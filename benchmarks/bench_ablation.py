@@ -1,0 +1,72 @@
+"""Ablation benches: each ingredient of the recipe in isolation."""
+
+import pytest
+
+from repro.analysis import sequence_hsd
+from repro.collectives import (
+    hierarchical_recursive_doubling,
+    recursive_doubling,
+)
+from repro.experiments.common import sampled_shift
+from repro.fabric import build_fabric
+from repro.ordering import random_order, topology_order
+from repro.routing import route_dmodk, route_minhop, route_random
+
+
+@pytest.mark.parametrize("router,order_kind,expect_free", [
+    ("dmodk", "ordered", True),
+    ("dmodk", "random", False),
+    ("random", "ordered", False),
+    ("random", "random", False),
+])
+def test_ablation_grid(benchmark, topo324, router, order_kind, expect_free):
+    fab = build_fabric(topo324)
+    tables = route_dmodk(fab) if router == "dmodk" else route_random(fab, 0)
+    n = topo324.num_endports
+    order = topology_order(n) if order_kind == "ordered" \
+        else random_order(n, seed=0)
+    cps = sampled_shift(n, 16)
+    rep = benchmark.pedantic(
+        sequence_hsd, args=(tables, cps, order), rounds=1, iterations=1
+    )
+    benchmark.extra_info["avg_hsd"] = round(rep.avg_max, 3)
+    assert rep.congestion_free == expect_free
+
+
+@pytest.mark.parametrize("balance,expect_worst_at_least", [
+    ("roundrobin", 1),
+    ("random", 3),
+    ("first", 10),
+])
+def test_ablation_minhop_tiebreak(benchmark, topo324, balance,
+                                  expect_worst_at_least):
+    fab = build_fabric(topo324)
+    tables = route_minhop(fab, balance=balance, seed=0)
+    n = topo324.num_endports
+    cps = sampled_shift(n, 16)
+    rep = benchmark.pedantic(
+        sequence_hsd, args=(tables, cps, topology_order(n)),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info["worst_hsd"] = rep.worst
+    assert rep.worst >= expect_worst_at_least
+
+
+@pytest.mark.parametrize("design,expect_free", [
+    ("naive", False),
+    ("proxy", False),
+    ("hierarchical", True),
+])
+def test_ablation_rd_design(benchmark, tables324, topo324, design, expect_free):
+    n = topo324.num_endports
+    cps = {
+        "naive": lambda: recursive_doubling(n),
+        "proxy": lambda: recursive_doubling(n, nonpow2="proxy"),
+        "hierarchical": lambda: hierarchical_recursive_doubling(topo324),
+    }[design]()
+    rep = benchmark.pedantic(
+        sequence_hsd, args=(tables324, cps, topology_order(n)),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info["avg_hsd"] = round(rep.avg_max, 3)
+    assert rep.congestion_free == expect_free

@@ -1,0 +1,53 @@
+"""Section VII bench: full bandwidth + cut-through latency when the
+node order matches the routing (fluid and packet simulators)."""
+
+import pytest
+
+from repro.collectives import hierarchical_recursive_doubling, shift
+from repro.ordering import topology_order
+from repro.sim import (
+    QDR_PCIE_GEN2,
+    FluidSimulator,
+    PacketSimulator,
+    cps_workload,
+)
+
+SIZE = 65536.0
+
+
+def test_fluid_shift_full_bandwidth(benchmark, tables16):
+    n = tables16.fabric.num_endports
+    wl = cps_workload(shift(n), topology_order(n), n, SIZE)
+    res = benchmark.pedantic(
+        FluidSimulator(tables16).run_sequences, args=(wl,),
+        rounds=3, iterations=1,
+    )
+    benchmark.extra_info["normalized_bw"] = round(res.normalized_bandwidth, 3)
+    ideal = (SIZE / 3250) / (SIZE / 3250 + QDR_PCIE_GEN2.host_overhead)
+    assert res.normalized_bandwidth > 0.98 * ideal
+
+
+def test_packet_shift_cut_through_latency(benchmark, tables16, topo16):
+    n = tables16.fabric.num_endports
+    wl = cps_workload(shift(n), topology_order(n), n, SIZE)
+    res = benchmark.pedantic(
+        PacketSimulator(tables16).run_sequences, args=(wl,),
+        rounds=1, iterations=1,
+    )
+    zero_load = QDR_PCIE_GEN2.zero_load_latency(int(SIZE), hops=2 * topo16.h - 1)
+    benchmark.extra_info["mean_latency_us"] = round(res.mean_latency, 2)
+    benchmark.extra_info["zero_load_us"] = round(zero_load, 2)
+    # Cut-through latency: within 5 % of the uncontended analytic value.
+    assert res.mean_latency == pytest.approx(zero_load, rel=0.05)
+
+
+def test_packet_hier_rd_full_bandwidth(benchmark, tables16, topo16):
+    n = tables16.fabric.num_endports
+    cps = hierarchical_recursive_doubling(topo16)
+    wl = cps_workload(cps, topology_order(n), n, SIZE)
+    res = benchmark.pedantic(
+        PacketSimulator(tables16).run_sequences, args=(wl,),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info["normalized_bw"] = round(res.normalized_bandwidth, 3)
+    assert res.normalized_bandwidth > 0.9

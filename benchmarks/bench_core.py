@@ -1,0 +1,45 @@
+"""Engine micro-benchmarks: routing-table construction and HSD walks.
+
+Not a paper artefact -- these track the library's own performance so
+regressions in the vectorised kernels are caught.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import stage_link_loads
+from repro.fabric import build_fabric
+from repro.routing import route_dmodk, route_minhop
+from repro.topology import paper_topologies
+
+
+@pytest.mark.parametrize("topo", ["n324", "n1944"])
+def test_bench_build_fabric(benchmark, topo):
+    spec = paper_topologies()[topo]
+    fab = benchmark.pedantic(build_fabric, args=(spec,), rounds=5, iterations=1)
+    assert fab.num_endports == spec.num_endports
+
+
+@pytest.mark.parametrize("topo", ["n324", "n1944"])
+def test_bench_route_dmodk(benchmark, topo):
+    fab = build_fabric(paper_topologies()[topo])
+    tables = benchmark.pedantic(route_dmodk, args=(fab,), rounds=5, iterations=1)
+    assert tables.switch_out.shape[1] == fab.num_endports
+
+
+def test_bench_route_minhop(benchmark):
+    fab = build_fabric(paper_topologies()["n324"])
+    tables = benchmark.pedantic(route_minhop, args=(fab,), rounds=2,
+                                iterations=1)
+    assert tables.switch_out.shape[1] == fab.num_endports
+
+
+@pytest.mark.parametrize("topo", ["n324", "n1944"])
+def test_bench_hsd_stage(benchmark, topo):
+    spec = paper_topologies()[topo]
+    tables = route_dmodk(build_fabric(spec))
+    n = spec.num_endports
+    src = np.arange(n)
+    dst = (src + n // 3) % n
+    loads = benchmark.pedantic(stage_link_loads, args=(tables, src, dst), rounds=10, iterations=1)
+    assert loads.max() == 1

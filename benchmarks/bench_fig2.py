@@ -1,0 +1,59 @@
+"""Figure 2 bench: normalized bandwidth vs message size (fluid sim).
+
+One benchmark per (message size, ordering); ``extra_info`` carries the
+normalized bandwidth so the ``--benchmark-only`` output reports the
+same series the paper plots.
+"""
+
+import pytest
+
+from repro.collectives import recursive_doubling, shift
+from repro.ordering import random_order, topology_order
+from repro.sim import FluidSimulator, cps_workload
+
+SIZES_KB = [16, 256]
+
+
+def _run(tables, cps, order, size_kb):
+    n = tables.fabric.num_endports
+    wl = cps_workload(cps, order, n, size_kb * 1024.0)
+    return FluidSimulator(tables).run_sequences(wl)
+
+
+@pytest.mark.parametrize("size_kb", SIZES_KB)
+def test_fig2_shift_random(benchmark, tables324, size_kb):
+    n = tables324.fabric.num_endports
+    cps = shift(n, displacements=range(1, 9))
+    order = random_order(n, seed=1)
+    res = benchmark.pedantic(
+        _run, args=(tables324, cps, order, size_kb), rounds=1, iterations=1
+    )
+    benchmark.extra_info["normalized_bw"] = round(res.normalized_bandwidth, 3)
+    # Paper: random order degrades toward ~0.4 of PCIe bandwidth.
+    assert res.normalized_bandwidth < 0.75
+
+
+@pytest.mark.parametrize("size_kb", SIZES_KB)
+def test_fig2_recdbl_random(benchmark, tables324, size_kb):
+    n = tables324.fabric.num_endports
+    cps = recursive_doubling(n)
+    order = random_order(n, seed=1)
+    res = benchmark.pedantic(
+        _run, args=(tables324, cps, order, size_kb), rounds=1, iterations=1
+    )
+    benchmark.extra_info["normalized_bw"] = round(res.normalized_bandwidth, 3)
+    assert res.normalized_bandwidth < 0.75
+
+
+@pytest.mark.parametrize("size_kb", SIZES_KB)
+def test_fig2_shift_ordered(benchmark, tables324, size_kb):
+    n = tables324.fabric.num_endports
+    cps = shift(n, displacements=range(1, 9))
+    order = topology_order(n)
+    res = benchmark.pedantic(
+        _run, args=(tables324, cps, order, size_kb), rounds=1, iterations=1
+    )
+    benchmark.extra_info["normalized_bw"] = round(res.normalized_bandwidth, 3)
+    # Contention-free reference: at least the overhead-limited ideal.
+    ideal = (size_kb * 1024 / 3250) / (size_kb * 1024 / 3250 + 1.0)
+    assert res.normalized_bandwidth > 0.95 * ideal

@@ -1,0 +1,41 @@
+"""Figure 3 bench: avg max HSD vs cluster size under random orders."""
+
+import pytest
+
+from repro.analysis import random_order_sweep
+from repro.experiments.common import figure3_cps_factories
+from repro.fabric import build_fabric
+from repro.routing import route_dmodk
+from repro.topology import paper_topologies
+
+CPS = sorted(figure3_cps_factories(max_shift_stages=24))
+TOPOS = ["n128", "n324"]
+
+
+@pytest.fixture(scope="module")
+def routed():
+    out = {}
+    for name in TOPOS:
+        spec = paper_topologies()[name]
+        out[name] = route_dmodk(build_fabric(spec))
+    return out
+
+
+@pytest.mark.parametrize("topo", TOPOS)
+@pytest.mark.parametrize("cps_name", CPS)
+def test_fig3_hsd_sweep(benchmark, routed, topo, cps_name):
+    tables = routed[topo]
+    factory = figure3_cps_factories(max_shift_stages=24)[cps_name]
+    res = benchmark.pedantic(
+        random_order_sweep, args=(tables, factory),
+        kwargs={"num_orders": 5, "seed": 0}, rounds=1, iterations=1,
+    )
+    benchmark.extra_info["avg_max_hsd"] = round(res.mean, 3)
+    benchmark.extra_info["min"] = round(res.min, 3)
+    benchmark.extra_info["max"] = round(res.max, 3)
+    # Paper's shape: the three "exponential" collectives congest hard,
+    # the tree-based ones stay mild.
+    if cps_name in ("ring", "shift", "butterfly", "dissemination"):
+        assert res.mean > 2.0
+    else:
+        assert res.mean < 3.0

@@ -1,0 +1,57 @@
+"""Multi-job isolation bench (extension of section V)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import stage_link_loads
+from repro.collectives import shift
+from repro.collectives.schedule import stage_flows
+from repro.fabric import build_fabric
+from repro.jobs import SubAllocator
+from repro.routing import route_dmodk
+from repro.topology import rlft_max
+
+
+@pytest.fixture(scope="module")
+def setup():
+    spec = rlft_max(18, 2)
+    return spec, route_dmodk(build_fabric(spec)), SubAllocator(spec)
+
+
+def _combined_worst(tables, jobs, num_stages=12):
+    worst = 0
+    stage_sets = [shift(j.num_ranks, displacements=range(1, num_stages + 1))
+                  .stages for j in jobs]
+    for k in range(num_stages):
+        srcs, dsts = [], []
+        for job, stages in zip(jobs, stage_sets):
+            s, d = stage_flows(stages[k], job.placement)
+            srcs.append(s)
+            dsts.append(d)
+        loads = stage_link_loads(tables, np.concatenate(srcs),
+                                 np.concatenate(dsts))
+        worst = max(worst, int(loads.max()))
+    return worst
+
+
+def test_three_jobs_isolated(benchmark, setup):
+    spec, tables, alloc = setup
+    jobs = [alloc.allocate(u * alloc.unit_size) for u in (8, 16, 4)]
+    worst = benchmark.pedantic(_combined_worst, args=(tables, jobs),
+                               rounds=1, iterations=1)
+    benchmark.extra_info["combined_worst_hsd"] = worst
+    for j in jobs:
+        alloc.release(j)
+    assert worst == 1
+
+
+def test_full_cluster_of_jobs(benchmark, setup):
+    # Every unit allocated, 6 jobs of 6 units: still perfectly isolated.
+    spec, tables, alloc = setup
+    jobs = [alloc.allocate(6 * alloc.unit_size) for _ in range(6)]
+    worst = benchmark.pedantic(_combined_worst, args=(tables, jobs),
+                               rounds=1, iterations=1)
+    benchmark.extra_info["combined_worst_hsd"] = worst
+    for j in jobs:
+        alloc.release(j)
+    assert worst == 1

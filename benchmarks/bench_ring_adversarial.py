@@ -1,0 +1,48 @@
+"""Section II bench: the adversarial Ring bandwidth collapse (7.1 %)."""
+
+import pytest
+
+from repro.analysis import sequence_hsd
+from repro.collectives import ring
+from repro.collectives.schedule import stage_flows
+from repro.ordering import adversarial_ring_order, topology_order
+from repro.sim import FluidSimulator, permutation_workload
+
+
+def _run_ring(tables, order, repeats=3, size=262144.0):
+    n = tables.fabric.num_endports
+    src, dst = stage_flows(ring(n).stages[0], order)
+    wl = permutation_workload(src, dst, n, size, repeats=repeats)
+    return FluidSimulator(tables).run_sequences(wl)
+
+
+def test_ring_adversarial_collapse(benchmark, tables324, topo324):
+    order = adversarial_ring_order(topo324)
+    res = benchmark.pedantic(
+        _run_ring, args=(tables324, order), rounds=1, iterations=1
+    )
+    mbps = res.per_port_bandwidth
+    benchmark.extra_info["per_port_MBps"] = round(mbps, 1)
+    benchmark.extra_info["normalized"] = round(res.normalized_bandwidth, 4)
+    # Paper: 231.5 MB/s, 7.1 % of nominal (oversubscription 18).
+    assert 180 < mbps < 300
+    assert res.normalized_bandwidth < 0.10
+
+
+def test_ring_topology_order_full_speed(benchmark, tables324, topo324):
+    n = topo324.num_endports
+    res = benchmark.pedantic(
+        _run_ring, args=(tables324, topology_order(n)), rounds=1, iterations=1
+    )
+    benchmark.extra_info["per_port_MBps"] = round(res.per_port_bandwidth, 1)
+    assert res.normalized_bandwidth > 0.95
+
+
+def test_ring_adversarial_hsd(benchmark, tables324, topo324):
+    order = adversarial_ring_order(topo324)
+    rep = benchmark.pedantic(
+        sequence_hsd, args=(tables324, ring(topo324.num_endports), order),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info["max_hsd"] = rep.worst
+    assert rep.worst >= topo324.m[0] - 1  # ~18-way oversubscription

@@ -1,0 +1,64 @@
+"""Table 3 bench: proposed configuration vs random ranking, full and
+partially populated fabrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import sequence_hsd
+from repro.collectives import hierarchical_recursive_doubling
+from repro.experiments.common import sampled_shift
+from repro.fabric import build_fabric
+from repro.ordering import physical_placement, random_order
+from repro.routing import route_dmodk
+from repro.topology import paper_topologies
+
+CASES = [("n324", 0), ("n324", 32), ("n1728", 0), ("n1728", 128)]
+
+
+def _setup(topo, excluded, seed=0):
+    spec = paper_topologies()[topo]
+    tables = route_dmodk(build_fabric(spec))
+    n = spec.num_endports
+    rng = np.random.default_rng(seed)
+    active = (np.sort(rng.permutation(n)[: n - excluded])
+              if excluded else np.arange(n))
+    return spec, tables, active
+
+
+@pytest.mark.parametrize("topo,excluded", CASES)
+def test_table3_shift_proposed(benchmark, topo, excluded):
+    spec, tables, active = _setup(topo, excluded)
+    n = spec.num_endports
+    cps = sampled_shift(n, 24)
+    slots = physical_placement(active, n)
+    rep = benchmark.pedantic(
+        sequence_hsd, args=(tables, cps, slots), rounds=1, iterations=1
+    )
+    benchmark.extra_info["avg_hsd"] = rep.avg_max
+    assert rep.congestion_free  # the paper's headline: HSD = 1
+
+
+@pytest.mark.parametrize("topo,excluded", CASES)
+def test_table3_hier_rd_proposed(benchmark, topo, excluded):
+    spec, tables, active = _setup(topo, excluded)
+    cps = hierarchical_recursive_doubling(spec)
+    slots = physical_placement(active, spec.num_endports)
+    rep = benchmark.pedantic(
+        sequence_hsd, args=(tables, cps, slots), rounds=1, iterations=1
+    )
+    benchmark.extra_info["avg_hsd"] = rep.avg_max
+    assert rep.congestion_free
+
+
+@pytest.mark.parametrize("topo,excluded", CASES[:2])
+def test_table3_random_ranking(benchmark, topo, excluded):
+    spec, tables, active = _setup(topo, excluded)
+    n = spec.num_endports
+    cps = sampled_shift(n, 24)
+    order = random_order(n, len(active), seed=7)
+    rep = benchmark.pedantic(
+        sequence_hsd, args=(tables, cps, order), rounds=1, iterations=1
+    )
+    benchmark.extra_info["avg_hsd"] = round(rep.avg_max, 3)
+    # Random ranking congests: the improvement column of Table 3.
+    assert rep.avg_max > 2.0

@@ -1,0 +1,32 @@
+"""Benchmark fixtures: routed fabrics at bench-friendly sizes.
+
+Every benchmark regenerates a paper artefact (table/figure); the
+``--benchmark-only`` run doubles as the reproduction driver, printing
+the key numbers through the benchmark ``extra_info`` channel.
+"""
+
+import pytest
+
+from repro.fabric import build_fabric
+from repro.routing import route_dmodk
+from repro.topology import paper_topologies
+
+
+@pytest.fixture(scope="session")
+def topo324():
+    return paper_topologies()["n324"]
+
+
+@pytest.fixture(scope="session")
+def tables324(topo324):
+    return route_dmodk(build_fabric(topo324))
+
+
+@pytest.fixture(scope="session")
+def topo16():
+    return paper_topologies()["n16-pgft"]
+
+
+@pytest.fixture(scope="session")
+def tables16(topo16):
+    return route_dmodk(build_fabric(topo16))

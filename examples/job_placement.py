@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Job placement on a shared cluster: what a scheduler should do.
+
+A 324-node cluster has 40 nodes down for maintenance (randomly
+scattered).  A 284-rank MPI job arrives.  This example compares the
+placements a scheduler could emit:
+
+* naive random placement on the free nodes,
+* topology-ordered placement (free nodes in fabric order) with the
+  job's sequence played over physical slots (the paper's partial-tree
+  semantics),
+
+and shows HSD plus simulated all-to-all time for each -- the argument
+for making schedulers and subnet managers cooperate.
+
+Run:  python examples/job_placement.py
+"""
+
+import numpy as np
+
+from repro.analysis import sequence_hsd
+from repro.collectives import hierarchical_recursive_doubling, shift
+from repro.fabric import build_fabric
+from repro.ordering import physical_placement, random_order
+from repro.routing import route_dmodk
+from repro.sim import FluidSimulator, cps_workload
+from repro.topology import paper_topologies
+
+spec = paper_topologies()["n324"]
+N = spec.num_endports
+rng = np.random.default_rng(7)
+down = rng.permutation(N)[:40]
+free = np.setdiff1d(np.arange(N), down)
+print(f"cluster: {spec}")
+print(f"{len(down)} nodes in maintenance; placing a {len(free)}-rank job\n")
+
+fabric = build_fabric(spec)
+tables = route_dmodk(fabric)
+window = shift(N, displacements=range(1, 25))      # all-to-all window
+hier = hierarchical_recursive_doubling(spec)        # allreduce pattern
+
+placements = {
+    "random placement": random_order(N, len(free), seed=1),
+    "topology-ordered": physical_placement(free, N),
+}
+
+for label, placement in placements.items():
+    hsd_a2a = sequence_hsd(tables, window, placement)
+    hsd_ar = sequence_hsd(tables, hier, placement)
+    wl = cps_workload(window, placement, N, 128 * 1024)
+    t = FluidSimulator(tables).run_sequences(wl).makespan
+    print(f"{label:18s} all-to-all HSD worst={hsd_a2a.worst} "
+          f"avg={hsd_a2a.avg_max:.2f} | allreduce HSD worst={hsd_ar.worst} "
+          f"| simulated a2a window: {t / 1000:.2f} ms")
+
+print(
+    "\nTopology-ordered placement with slot-based sequences keeps the\n"
+    "partially-populated tree congestion-free (HSD = 1), exactly as\n"
+    "Table 3's 'Cont.-X' rows report."
+)

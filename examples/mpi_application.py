@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""An MPI application's view: iterative solver on the simulated cluster.
+
+Drives the mini-MPI layer end to end: a data-parallel "conjugate
+gradient-ish" loop (local compute abstracted away) whose communication
+is one allreduce (the dot products) and one halo-ish allgather per
+iteration.  The communicator executes the collectives with real data
+*and* prices them on the simulated fabric, so the script reports the
+communication time per iteration under a good and a bad rank placement
+-- the paper's result expressed in application terms.
+
+Run:  python examples/mpi_application.py
+"""
+
+import numpy as np
+
+from repro.fabric import build_fabric
+from repro.mpi import Communicator
+from repro.ordering import random_order
+from repro.routing import route_dmodk
+from repro.topology import rlft_max
+
+spec = rlft_max(6, 2)  # 72 ranks
+tables = route_dmodk(build_fabric(spec))
+n = spec.num_endports
+rng = np.random.default_rng(1)
+
+print(f"cluster: {spec} | {n} MPI ranks\n")
+
+VECTOR = 32 * 1024 // 8   # 32 KB of doubles per rank
+
+for label, placement in (
+    ("topology-ordered", None),
+    ("random placement", random_order(n, seed=4)),
+):
+    comm = Communicator(tables, placement=placement)
+    local = [rng.normal(size=VECTOR) for _ in range(n)]
+
+    total_comm = 0.0
+    iterations = 3
+    for _ in range(iterations):
+        # "residual norm": allreduce of a scalar per rank.
+        norms = comm.allreduce([np.array([float(np.dot(x, x))])
+                                for x in local])
+        total_comm += norms.time_us
+        # "halo exchange": every rank shares a 4 KB boundary slab.
+        slabs = comm.allgather([x[:512] for x in local])
+        total_comm += slabs.time_us
+        # "search direction update": large allreduce (Rabenseifner).
+        upd = comm.allreduce(local, algorithm="rabenseifner")
+        total_comm += upd.time_us
+        local = [v / n for v in upd.values]  # keep values bounded
+
+    print(f"{label:18s}: {total_comm / iterations:9.1f} us comm/iteration "
+          f"({norms.algorithm} + {slabs.algorithm} + {upd.algorithm})")
+
+print(
+    "\nSame data, same results -- the placement alone changes the\n"
+    "communication time, which is exactly the knob the paper turns."
+)

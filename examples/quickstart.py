@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Quickstart: build a fat-tree, route it, and check a collective.
+
+Walks the library's core loop in ~40 lines:
+
+1. describe a Real-Life Fat-Tree,
+2. wire it into a fabric and compute D-Mod-K forwarding tables,
+3. generate an MPI collective's permutation sequence,
+4. place MPI ranks topology-aware vs randomly,
+5. measure hot-spot degree and simulated bandwidth for both.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis import sequence_hsd
+from repro.collectives import shift
+from repro.fabric import build_fabric
+from repro.ordering import random_order, topology_order
+from repro.routing import route_dmodk
+from repro.sim import FluidSimulator, cps_workload
+from repro.topology import two_level
+
+# 1. A 324-node cluster from 36-port switches: 18 leaves x 18 hosts,
+#    9 spines reached by 2 parallel cables per leaf (constant CBB).
+spec = two_level(leaf_down=18, num_leaves=18, num_spines=9, parallel=2)
+print(spec.describe())
+
+# 2. Fabric + the paper's D-Mod-K routing (eq. 1).
+fabric = build_fabric(spec)
+tables = route_dmodk(fabric)
+
+# 3. The Shift permutation sequence -- the superset of every
+#    unidirectional MPI collective pattern (all-to-all, ring, ...).
+n = spec.num_endports
+cps = shift(n, displacements=range(1, 33))  # a 32-stage window
+
+# 4+5. Compare placements.
+for label, order in (
+    ("topology-aware", topology_order(n)),
+    ("random", random_order(n, seed=42)),
+):
+    hsd = sequence_hsd(tables, cps, order)
+    wl = cps_workload(cps, order, n, message_size=256 * 1024)
+    bw = FluidSimulator(tables).run_sequences(wl).normalized_bandwidth
+    print(
+        f"{label:15s} worst HSD = {hsd.worst}  "
+        f"avg max HSD = {hsd.avg_max:.2f}  "
+        f"normalized bandwidth = {bw:.2f}"
+    )
+
+print(
+    "\nThe topology-aware order keeps every link at one flow per stage\n"
+    "(HSD = 1) and the network at full bandwidth; the random order\n"
+    "creates hot spots and loses roughly half the bandwidth -- the\n"
+    "paper's headline result."
+)

@@ -1,0 +1,119 @@
+"""repro -- contention-free fat-tree routing and MPI node ordering.
+
+A production-grade reproduction of Zahavi, *"Fat-Trees Routing and Node
+Ordering Providing Contention Free Traffic for MPI Global Collectives"*
+(2011).  The library covers the full stack the paper builds on:
+
+* :mod:`repro.topology` -- XGFT/PGFT/RLFT fat-tree models (section IV);
+* :mod:`repro.fabric` -- the wired-fabric data model, forwarding tables
+  and a topology file format (the "ibdm" substrate);
+* :mod:`repro.routing` -- D-Mod-K (eq. 1) plus min-hop/random baselines
+  and validators for the paper's theorems;
+* :mod:`repro.collectives` -- the 8 collective permutation sequences of
+  Table 2, their classification algebra, Table 1's usage survey, and
+  the topology-aware bidirectional sequences of section VI;
+* :mod:`repro.ordering` -- MPI rank placements: topology-aware, random,
+  adversarial;
+* :mod:`repro.analysis` -- the hot-spot-degree engine behind Figure 3
+  and Table 3;
+* :mod:`repro.sim` -- fluid and packet-level network simulators
+  calibrated to InfiniBand QDR (section II / VII);
+* :mod:`repro.experiments` -- drivers regenerating every table and
+  figure (``repro-experiments`` CLI).
+
+Quick taste::
+
+    from repro import (build_fabric, route_dmodk, shift, topology_order,
+                       sequence_hsd, two_level)
+
+    spec = two_level(18, 18, 9, parallel=2)        # 324 nodes
+    tables = route_dmodk(build_fabric(spec))
+    rep = sequence_hsd(tables, shift(324), topology_order(324))
+    assert rep.congestion_free                      # the paper's result
+"""
+
+from .analysis import (
+    HSDReport,
+    sequence_hsd,
+    stage_link_loads,
+    stage_max_hsd,
+    walk_flow_links,
+)
+from .collectives import (
+    CPS,
+    Stage,
+    binomial,
+    dissemination,
+    hierarchical_recursive_doubling,
+    pairwise_exchange,
+    recursive_doubling,
+    recursive_halving,
+    ring,
+    shift,
+    tournament,
+)
+from .fabric import Fabric, ForwardingTables, build_fabric
+from .mpi import CollectiveResult, Communicator
+from .ordering import (
+    adversarial_ring_order,
+    physical_placement,
+    random_order,
+    topology_order,
+)
+from .routing import route_dmodk, route_minhop, route_random
+from .sim import FluidSimulator, PacketSimulator, QDR_PCIE_GEN2, cps_workload
+from .topology import (
+    PGFT,
+    PGFTSpec,
+    k_ary_n_tree,
+    paper_topologies,
+    pgft,
+    rlft_max,
+    two_level,
+    xgft,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CPS",
+    "CollectiveResult",
+    "Communicator",
+    "Fabric",
+    "FluidSimulator",
+    "ForwardingTables",
+    "HSDReport",
+    "PGFT",
+    "PGFTSpec",
+    "PacketSimulator",
+    "QDR_PCIE_GEN2",
+    "Stage",
+    "adversarial_ring_order",
+    "binomial",
+    "build_fabric",
+    "cps_workload",
+    "dissemination",
+    "hierarchical_recursive_doubling",
+    "k_ary_n_tree",
+    "pairwise_exchange",
+    "paper_topologies",
+    "pgft",
+    "physical_placement",
+    "random_order",
+    "recursive_doubling",
+    "recursive_halving",
+    "ring",
+    "rlft_max",
+    "route_dmodk",
+    "route_minhop",
+    "route_random",
+    "sequence_hsd",
+    "shift",
+    "stage_link_loads",
+    "stage_max_hsd",
+    "topology_order",
+    "tournament",
+    "two_level",
+    "walk_flow_links",
+    "xgft",
+]

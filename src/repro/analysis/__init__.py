@@ -1,0 +1,36 @@
+"""Analytical traffic models: hot-spot degree, patterns, reporting."""
+
+from .hsd import (
+    HSDReport,
+    down_port_destination_counts,
+    sequence_hsd,
+    stage_link_loads,
+    stage_max_hsd,
+    walk_flow_links,
+)
+from .levels import (
+    LevelProfile,
+    link_classes,
+    sequence_level_profile,
+    stage_level_profile,
+)
+from .report import render_series, render_table
+from .traffic import OrderSweepResult, fixed_shift_pattern, random_order_sweep
+
+__all__ = [
+    "HSDReport",
+    "LevelProfile",
+    "OrderSweepResult",
+    "link_classes",
+    "sequence_level_profile",
+    "stage_level_profile",
+    "down_port_destination_counts",
+    "fixed_shift_pattern",
+    "random_order_sweep",
+    "render_series",
+    "render_table",
+    "sequence_hsd",
+    "stage_link_loads",
+    "stage_max_hsd",
+    "walk_flow_links",
+]

@@ -1,0 +1,109 @@
+"""Forwarding-table audit ("table lint").
+
+Given any destination-based tables, report the structural health an
+operator would want before trusting a fabric with collective traffic:
+
+* **up-port balance** per switch: how evenly the non-descendant
+  destinations spread over the up ports (D-Mod-K is perfectly even;
+  a skew is the first symptom of an SM gone wrong);
+* **theorem-2 violations**: down-going directed links serving more
+  than one destination;
+* **non-minimal entries**: (switch, dest) pairs whose next hop does
+  not strictly reduce the BFS distance (valleys, detours, or repair
+  leftovers).
+
+The audit powers ``repro-fabric validate --audit`` and is exercised as
+a regression net over every routing engine in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..fabric.lft import ForwardingTables
+from ..routing.minhop import bfs_distances
+from .hsd import down_port_destination_counts
+
+__all__ = ["audit_tables", "TableAudit"]
+
+
+@dataclass(frozen=True)
+class TableAudit:
+    """Summary of a forwarding-table audit."""
+
+    num_switches: int
+    up_balance_worst: float       # max over switches of (max-min)/mean dests/up-port
+    theorem2_violations: int      # down links serving >1 destination
+    non_minimal_entries: int      # (switch, dest) detours
+    unreachable_entries: int      # -1 entries
+
+    @property
+    def clean(self) -> bool:
+        return (self.theorem2_violations == 0
+                and self.non_minimal_entries == 0
+                and self.unreachable_entries == 0)
+
+    def render(self) -> str:
+        flag = "CLEAN" if self.clean else "ISSUES FOUND"
+        return "\n".join([
+            f"table audit: {flag}",
+            f"  switches             : {self.num_switches}",
+            f"  worst up-port skew   : {self.up_balance_worst:.3f}"
+            "  (0 = perfectly even)",
+            f"  theorem-2 violations : {self.theorem2_violations}",
+            f"  non-minimal entries  : {self.non_minimal_entries}",
+            f"  unreachable entries  : {self.unreachable_entries}",
+        ])
+
+
+def audit_tables(tables: ForwardingTables,
+                 check_theorem2: bool = True) -> TableAudit:
+    """Run the full audit.  ``check_theorem2=False`` skips the O(N^2)
+    all-pairs walk on large fabrics."""
+    fab = tables.fabric
+    N = fab.num_endports
+    sw_out = tables.switch_out
+    unreachable = int((sw_out < 0).sum())
+
+    # Up-port balance: per switch, count destinations per up-going port.
+    goes_up = fab.port_goes_up()
+    worst_skew = 0.0
+    for row in range(fab.num_switches):
+        node = N + row
+        ports = fab.ports_of(node)
+        up_ports = ports[goes_up[ports]]
+        if len(up_ports) == 0:
+            continue
+        entries = sw_out[row]
+        entries = entries[entries >= 0]
+        counts = np.array([(entries == gp).sum() for gp in up_ports],
+                          dtype=np.float64)
+        if counts.sum() == 0:
+            continue
+        skew = (counts.max() - counts.min()) / max(counts.mean(), 1e-12)
+        worst_skew = max(worst_skew, float(skew))
+
+    # Non-minimal entries against BFS distances.
+    dists = bfs_distances(fab, np.arange(N))
+    nodes = N + np.arange(fab.num_switches)
+    valid = sw_out >= 0
+    next_node = np.where(valid, fab.peer_node[np.where(valid, sw_out, 0)], -1)
+    d_here = dists[np.arange(N)[None, :], nodes[:, None]]
+    d_next = np.where(next_node >= 0,
+                      dists[np.arange(N)[None, :], next_node], -2)
+    non_minimal = int((valid & (d_next != d_here - 1)).sum())
+
+    t2 = 0
+    if check_theorem2:
+        counts = down_port_destination_counts(tables)
+        t2 = int((counts > 1).sum())
+
+    return TableAudit(
+        num_switches=fab.num_switches,
+        up_balance_worst=worst_skew,
+        theorem2_violations=t2,
+        non_minimal_entries=non_minimal,
+        unreachable_entries=unreachable,
+    )

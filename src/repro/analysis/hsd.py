@@ -1,0 +1,178 @@
+"""Hot-Spot-Degree (HSD) analysis -- the paper's ibdm-based tool.
+
+Given a topology, forwarding tables and a traffic pattern, compute for
+every directed link the number of flows crossing it ("HSD" = flows per
+link).  The paper's Figure 3 and Table 3 metrics are built from this:
+
+* per stage: the **maximum** HSD over all links (worst contention when
+  all end-ports move through stages synchronously);
+* per sequence: the **average** of the per-stage maxima;
+* per topology/CPS: statistics of that average over many random
+  MPI-node-orders.
+
+``HSD == 1`` for every stage is the paper's congestion-free criterion:
+no link ever carries two concurrent flows, so every message runs at
+full wire speed and cut-through latency.
+
+Everything is vectorised: a whole stage of flows is walked through the
+forwarding tables simultaneously (paths in an ``h``-level tree have at
+most ``2h + 1`` hops).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..collectives.cps import CPS
+from ..collectives.schedule import stage_flows
+from ..fabric.lft import ForwardingTables
+
+__all__ = [
+    "walk_flow_links",
+    "stage_link_loads",
+    "stage_max_hsd",
+    "sequence_hsd",
+    "HSDReport",
+    "down_port_destination_counts",
+]
+
+
+def _max_hops(tables: ForwardingTables) -> int:
+    h = int(tables.fabric.node_level.max())
+    return 2 * h + 2
+
+
+def walk_flow_links(
+    tables: ForwardingTables, src: np.ndarray, dst: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Walk every flow ``src[i] -> dst[i]`` through the tables.
+
+    Returns ``(flow_idx, gports)``: parallel arrays listing, for each
+    traversed directed link (identified by its source global port id),
+    which flow crossed it.  Flows with ``src == dst`` contribute nothing.
+    """
+    fab = tables.fabric
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    if src.shape != dst.shape:
+        raise ValueError("src/dst shape mismatch")
+    flows_idx: list[np.ndarray] = []
+    ports: list[np.ndarray] = []
+
+    active = src != dst
+    idx = np.flatnonzero(active)
+    if len(idx) == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    gp = tables.host_out_port(src[idx], dst[idx])
+    flows_idx.append(idx)
+    ports.append(gp)
+    cur = fab.peer_node[gp].astype(np.int64)
+    tgt = dst[idx]
+
+    for _ in range(_max_hops(tables)):
+        moving = cur != tgt
+        if not moving.any():
+            break
+        idx = idx[moving]
+        cur = cur[moving]
+        tgt = tgt[moving]
+        gp = tables.out_port(cur, tgt)
+        if (gp < 0).any():
+            bad = idx[gp < 0][0]
+            raise ValueError(f"flow {bad} hit an unrouted destination")
+        flows_idx.append(idx)
+        ports.append(gp)
+        cur = fab.peer_node[gp].astype(np.int64)
+    else:
+        if (cur != tgt).any():
+            raise ValueError("routing loop: flows did not terminate")
+
+    return np.concatenate(flows_idx), np.concatenate(ports)
+
+
+def stage_link_loads(
+    tables: ForwardingTables, src: np.ndarray, dst: np.ndarray
+) -> np.ndarray:
+    """Flows per directed link (array over global port ids) for one stage."""
+    _, gports = walk_flow_links(tables, src, dst)
+    loads = np.zeros(tables.fabric.num_ports, dtype=np.int64)
+    np.add.at(loads, gports, 1)
+    return loads
+
+
+def stage_max_hsd(
+    tables: ForwardingTables,
+    src: np.ndarray,
+    dst: np.ndarray,
+    switch_links_only: bool = False,
+) -> int:
+    """Maximum HSD over links for one synchronous stage.
+
+    ``switch_links_only`` ignores host injection/ejection links (where a
+    rank sending and receiving simultaneously is not network contention).
+    By default all links count, matching the worst-case analysis.
+    """
+    loads = stage_link_loads(tables, src, dst)
+    if switch_links_only:
+        fab = tables.fabric
+        owner_is_host = fab.port_owner < fab.num_endports
+        peer_is_host = (fab.peer_node >= 0) & (fab.peer_node < fab.num_endports)
+        loads = loads[~(owner_is_host | peer_is_host)]
+    return int(loads.max()) if len(loads) else 0
+
+
+@dataclass(frozen=True)
+class HSDReport:
+    """Per-stage maxima and their summary for one (tables, CPS, placement)."""
+
+    cps_name: str
+    stage_max: np.ndarray  # (num_stages,) max HSD per stage
+
+    @property
+    def avg_max(self) -> float:
+        """Figure-3 metric: average over stages of the per-stage max."""
+        return float(self.stage_max.mean()) if len(self.stage_max) else 0.0
+
+    @property
+    def worst(self) -> int:
+        return int(self.stage_max.max()) if len(self.stage_max) else 0
+
+    @property
+    def congestion_free(self) -> bool:
+        return self.worst <= 1
+
+
+def sequence_hsd(
+    tables: ForwardingTables,
+    cps: CPS,
+    rank_to_port: np.ndarray,
+    switch_links_only: bool = False,
+) -> HSDReport:
+    """Per-stage max HSD for a CPS under a placement (the Table 3 row)."""
+    maxima = []
+    for st in cps:
+        src, dst = stage_flows(st, rank_to_port)
+        if len(src) == 0:
+            continue
+        maxima.append(stage_max_hsd(tables, src, dst, switch_links_only))
+    return HSDReport(cps_name=cps.name, stage_max=np.asarray(maxima, dtype=np.int64))
+
+
+def down_port_destination_counts(tables: ForwardingTables) -> np.ndarray:
+    """Distinct destinations per down-going directed link under all-to-all
+    traffic (vectorised theorem-2 check; see
+    :func:`repro.routing.validate.down_port_destinations` for the
+    reference implementation)."""
+    fab = tables.fabric
+    N = fab.num_endports
+    src = np.repeat(np.arange(N), N)
+    dst = np.tile(np.arange(N), N)
+    flow_idx, gports = walk_flow_links(tables, src, dst)
+    flow_dst = dst[flow_idx]
+    pairs = np.unique(np.stack([gports, flow_dst], axis=1), axis=0)
+    counts = np.zeros(fab.num_ports, dtype=np.int64)
+    np.add.at(counts, pairs[:, 0], 1)
+    counts[fab.port_goes_up()] = 0
+    return counts

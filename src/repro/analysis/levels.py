@@ -1,0 +1,90 @@
+"""Per-level contention breakdown.
+
+``stage_max_hsd`` says *whether* a stage blocks; operators also want to
+know *where*: host injection, leaf up-links, spine up-links, or the
+down paths.  This module classifies every directed link by
+``(from-level, to-level)`` and reports loads per class -- e.g. the
+adversarial ring shows up as pure leaf-up-link contention, while random
+recursive doubling also loads the upper tiers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..collectives.cps import CPS
+from ..collectives.schedule import stage_flows
+from ..fabric.lft import ForwardingTables
+from .hsd import stage_link_loads
+
+__all__ = ["link_classes", "LevelProfile", "stage_level_profile",
+           "sequence_level_profile"]
+
+
+def link_classes(tables: ForwardingTables) -> dict[str, np.ndarray]:
+    """Boolean masks over global port ids, keyed by readable class names
+    like ``"up 0->1"`` (host injection) or ``"down 2->1"``."""
+    fab = tables.fabric
+    lvl = fab.node_level
+    src = lvl[fab.port_owner]
+    dst = np.where(fab.peer_node >= 0, lvl[fab.peer_node], -1)
+    classes: dict[str, np.ndarray] = {}
+    for a in np.unique(src):
+        for b in np.unique(dst[src == a]):
+            if b < 0:
+                continue
+            direction = "up" if b > a else "down"
+            mask = (src == a) & (dst == b)
+            classes[f"{direction} {int(a)}->{int(b)}"] = mask
+    return classes
+
+
+@dataclass(frozen=True)
+class LevelProfile:
+    """Max link load per link class, per stage."""
+
+    classes: tuple[str, ...]
+    stage_max: np.ndarray  # (num_stages, num_classes)
+
+    def worst_by_class(self) -> dict[str, int]:
+        if not len(self.stage_max):
+            return {c: 0 for c in self.classes}
+        worst = self.stage_max.max(axis=0)
+        return {c: int(v) for c, v in zip(self.classes, worst)}
+
+    def hottest_class(self) -> str:
+        by = self.worst_by_class()
+        return max(by, key=by.get)
+
+
+def stage_level_profile(
+    tables: ForwardingTables, src: np.ndarray, dst: np.ndarray
+) -> dict[str, int]:
+    """Max flows per link class for one stage."""
+    loads = stage_link_loads(tables, src, dst)
+    return {
+        name: int(loads[mask].max()) if mask.any() else 0
+        for name, mask in link_classes(tables).items()
+    }
+
+
+def sequence_level_profile(
+    tables: ForwardingTables, cps: CPS, rank_to_port: np.ndarray
+) -> LevelProfile:
+    """Per-stage, per-class max loads for a whole sequence."""
+    classes = link_classes(tables)
+    names = tuple(classes)
+    rows = []
+    for st in cps:
+        s, d = stage_flows(st, rank_to_port)
+        if len(s) == 0:
+            continue
+        loads = stage_link_loads(tables, s, d)
+        rows.append([int(loads[classes[c]].max()) if classes[c].any() else 0
+                     for c in names])
+    return LevelProfile(
+        classes=names,
+        stage_max=np.asarray(rows, dtype=np.int64).reshape(-1, len(names)),
+    )

@@ -1,0 +1,47 @@
+"""Plain-text table rendering for experiment outputs.
+
+The experiment drivers print the same rows/series the paper's tables
+and figures report; this module keeps the formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["render_table", "render_series"]
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Fixed-width table with a header rule; floats get 3 decimals."""
+    def fmt(v: object) -> str:
+        if isinstance(v, float):
+            return f"{v:.3f}"
+        return str(v)
+
+    srows = [[fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in srows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    out = []
+    if title:
+        out.append(title)
+    head = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    out.append(head)
+    out.append("-" * len(head))
+    for row in srows:
+        out.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def render_series(x_label: str, xs: Sequence[object],
+                  series: dict[str, Sequence[object]],
+                  title: str | None = None) -> str:
+    """A figure as a table: one x column plus one column per series."""
+    headers = [x_label] + list(series)
+    rows = [
+        [x] + [series[name][i] for name in series]
+        for i, x in enumerate(xs)
+    ]
+    return render_table(headers, rows, title=title)

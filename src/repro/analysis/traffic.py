@@ -1,0 +1,80 @@
+"""Traffic-pattern helpers shared by experiments and examples.
+
+Small utilities that produce ``(src_port, dst_port)`` stage arrays for
+non-CPS patterns -- e.g. the fixed permutation of Figure 1
+(``dst = (src + k) mod N``) -- and the multi-order sweep used by
+Figure 3 and Table 3 (statistics of the average-max HSD over many
+random node orders).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..collectives.cps import CPS
+from ..fabric.lft import ForwardingTables
+from ..ordering.orders import random_order
+from .hsd import sequence_hsd
+
+__all__ = ["fixed_shift_pattern", "OrderSweepResult", "random_order_sweep"]
+
+
+def fixed_shift_pattern(n: int, k: int,
+                        placement: np.ndarray | None = None
+                        ) -> tuple[np.ndarray, np.ndarray]:
+    """The Figure-1 pattern ``destination = (source + k) mod n`` expressed
+    on physical ports through an optional placement."""
+    ranks = np.arange(n, dtype=np.int64)
+    dsts = (ranks + k) % n
+    if placement is None:
+        return ranks, dsts
+    placement = np.asarray(placement, dtype=np.int64)
+    return placement[ranks], placement[dsts]
+
+
+@dataclass(frozen=True)
+class OrderSweepResult:
+    """Average-max HSD statistics over many random placements."""
+
+    cps_name: str
+    num_orders: int
+    avg_max: np.ndarray  # (num_orders,) figure-3 metric per order
+
+    @property
+    def mean(self) -> float:
+        return float(self.avg_max.mean())
+
+    @property
+    def min(self) -> float:
+        return float(self.avg_max.min())
+
+    @property
+    def max(self) -> float:
+        return float(self.avg_max.max())
+
+
+def random_order_sweep(
+    tables: ForwardingTables,
+    cps_factory,
+    num_orders: int = 25,
+    num_ranks: int | None = None,
+    seed: int = 0,
+    switch_links_only: bool = False,
+) -> OrderSweepResult:
+    """Figure-3 statistic: per random order, the average over stages of the
+    max HSD; summarised over ``num_orders`` seeds.
+
+    ``cps_factory(num_ranks)`` builds the CPS for the job size (so each
+    sweep can size the sequence to the rank count).
+    """
+    N = tables.fabric.num_endports
+    n = num_ranks if num_ranks is not None else N
+    cps: CPS = cps_factory(n)
+    vals = np.empty(num_orders, dtype=np.float64)
+    for t in range(num_orders):
+        placement = random_order(N, n, seed=seed + t)
+        rep = sequence_hsd(tables, cps, placement, switch_links_only)
+        vals[t] = rep.avg_max
+    return OrderSweepResult(cps_name=cps.name, num_orders=num_orders, avg_max=vals)

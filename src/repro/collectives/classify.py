@@ -1,0 +1,107 @@
+"""CPS algebra: displacement analysis and the paper's classification.
+
+Section III makes three claims about every CPS used by MVAPICH and
+OpenMPI; the functions here *decide* those properties for arbitrary
+sequences, so the claims become testable instead of assumed:
+
+* :func:`stage_displacements` / :func:`has_constant_displacement` --
+  observation 1 (constant displacement per stage);
+* :func:`is_bidirectional_stage` / :func:`classify` -- observation 2
+  (every CPS is unidirectional or bidirectional);
+* :func:`is_shift_subset` -- observation 3 (Shift is a superset of all
+  unidirectional CPS).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .cps import CPS, Stage
+
+__all__ = [
+    "stage_displacements",
+    "has_constant_displacement",
+    "is_bidirectional_stage",
+    "is_unidirectional",
+    "is_bidirectional",
+    "classify",
+    "is_shift_subset",
+]
+
+
+def stage_displacements(stage: Stage, n: int) -> np.ndarray:
+    """Sorted unique values of ``(dst - src) mod n`` over the stage."""
+    if len(stage) == 0:
+        return np.empty(0, dtype=np.int64)
+    d = (stage.destinations - stage.sources) % n
+    return np.unique(d)
+
+
+def has_constant_displacement(stage: Stage, n: int) -> bool:
+    """Observation 1: a stage moves data by one constant distance.
+
+    Bidirectional stages are allowed the pair ``{d, n-d}`` (the same
+    distance in both directions); empty stages count as constant.
+    """
+    disp = stage_displacements(stage, n)
+    if len(disp) <= 1:
+        return True
+    if len(disp) == 2:
+        return (disp[0] + disp[1]) % n == 0
+    return False
+
+
+def is_bidirectional_stage(stage: Stage) -> bool:
+    """Every (src, dst) pair appears with its reverse in the stage."""
+    if len(stage) == 0:
+        return True
+    fwd = {(int(s), int(d)) for s, d in stage.pairs}
+    return all((d, s) in fwd for s, d in fwd)
+
+
+def is_unidirectional(cps: CPS) -> bool:
+    """Every stage moves data by a *single* displacement value.
+
+    This is the paper's "displacement is always positive" notion: one
+    direction per stage.  Note the half-way Shift stage (``s == n/2``)
+    is self-inverse -- its pairs are mutually reversed -- yet it is
+    still unidirectional because only one displacement occurs.
+    """
+    n = cps.num_ranks
+    return all(len(stage_displacements(st, n)) <= 1 for st in cps)
+
+
+def is_bidirectional(cps: CPS) -> bool:
+    return all(is_bidirectional_stage(st) for st in cps)
+
+
+def classify(cps: CPS) -> str:
+    """``"unidirectional"``, ``"bidirectional"`` or ``"mixed"``."""
+    if is_bidirectional(cps):
+        return "bidirectional"
+    if is_unidirectional(cps):
+        return "unidirectional"
+    return "mixed"
+
+
+def is_shift_subset(cps: CPS) -> bool:
+    """Observation 3: every stage's pairs are contained in the Shift
+    stage of the same displacement (for the same rank count).
+
+    The Shift stage with displacement ``s`` contains *all* pairs
+    ``(i, (i+s) mod n)``, so a stage is contained iff it has constant
+    displacement and is unidirectional; this function checks containment
+    directly from the definition instead of trusting that shortcut.
+    """
+    n = cps.num_ranks
+    for st in cps:
+        if len(st) == 0:
+            continue
+        disp = stage_displacements(st, n)
+        if len(disp) != 1:
+            return False
+        s = int(disp[0])
+        expect = (st.sources + s) % n
+        if not np.array_equal(expect, st.destinations % n):
+            return False
+    return True

@@ -1,0 +1,70 @@
+"""Composite collective schedules.
+
+Real MPI libraries assemble large-message collectives from pieces --
+Table 1's "scatter + ring allgather" broadcast or Rabenseifner's
+reduce-scatter + allgather allreduce.  A composite is simply the
+concatenation of its parts' stages; since every part is built from
+constant-displacement permutations, the composite inherits the paper's
+congestion-freedom under D-Mod-K + topology order.
+
+The factories mirror the Table 1 entries so the planner example and
+benchmarks can evaluate whole algorithms, not just their pieces.
+"""
+
+from __future__ import annotations
+
+from .cps import CPS, binomial, recursive_doubling, recursive_halving, ring
+
+__all__ = [
+    "concatenate",
+    "scatter_allgather_bcast",
+    "rabenseifner_allreduce",
+    "rabenseifner_reduce",
+]
+
+
+def concatenate(name: str, *parts: CPS) -> CPS:
+    """Concatenate CPS parts into one schedule (same rank count)."""
+    if not parts:
+        raise ValueError("need at least one part")
+    n = parts[0].num_ranks
+    for part in parts:
+        if part.num_ranks != n:
+            raise ValueError(
+                f"rank count mismatch: {part.name} has {part.num_ranks},"
+                f" expected {n}"
+            )
+    stages = tuple(
+        st for part in parts for st in part.stages
+    )
+    return CPS(name, n, stages)
+
+
+def scatter_allgather_bcast(n: int) -> CPS:
+    """Large-message broadcast (van de Geijn): binomial scatter of the
+    chunks, then a ring allgather (Table 1's MVAPICH/OpenMPI choice)."""
+    return concatenate(
+        "bcast-scatter-allgather",
+        binomial(n, "scatter"),
+        ring(n, repeats=n - 1),
+    )
+
+
+def rabenseifner_allreduce(n: int) -> CPS:
+    """Rabenseifner allreduce: reduce-scatter by recursive halving, then
+    allgather by recursive doubling (proxy stages for non-pow2)."""
+    return concatenate(
+        "allreduce-rabenseifner",
+        recursive_halving(n, nonpow2="proxy"),
+        recursive_doubling(n, nonpow2="proxy"),
+    )
+
+
+def rabenseifner_reduce(n: int) -> CPS:
+    """Rabenseifner reduce: recursive-halving reduce-scatter, then a
+    binomial gather to the root."""
+    return concatenate(
+        "reduce-rabenseifner",
+        recursive_halving(n, nonpow2="proxy"),
+        binomial(n, "gather"),
+    )

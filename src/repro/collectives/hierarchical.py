@@ -1,0 +1,97 @@
+"""Topology-aware bidirectional sequences (paper section VI).
+
+Plain recursive doubling pairs ranks ``i <-> i XOR 2**s`` regardless of
+where they sit in the tree; stages whose XOR distance straddles switch
+levels in the "wrong" place can congest.  Theorem 3 gives the fix: as
+long as the traffic ascending through any switch during one stage is a
+single fixed-displacement exchange ``n_i <-> n_{i +/- D}``, theorem 1
+applies and the stage is congestion-free.
+
+The construction groups the stages by tree level.  With ``M_l`` the
+end-ports per level-``l`` sub-tree (``M_0 = 1``) and
+``L_l = floor(log2 m_l)``, ``E_l = M_{l-1} * 2**L_l``:
+
+* group ``l`` *bulk* stages ``s = 0..L_l-1`` exchange the ``m_l``
+  level-``(l-1)`` blocks of each level-``l`` sub-tree pairwise:
+  ``u <-> u XOR 2**s`` on the block index ``u``, i.e. rank displacement
+  ``+/- 2**s * M_{l-1}`` -- every stage is one hierarchical distance;
+* when ``m_l`` is not a power of two, a *pre* stage folds blocks
+  ``u >= 2**L_l`` onto proxies ``u - 2**L_l`` (displacement ``-E_l``)
+  and a *post* stage unfolds them (paper eqs. 5-6).
+
+The resulting sequence, placed with the topology-aware node order on
+top of D-Mod-K, keeps HSD = 1 on every link (verified in the test
+suite and Table 3 experiment), which is the paper's bidirectional-CPS
+result.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..topology.spec import PGFTSpec
+from .cps import CPS, Stage, _pairs
+
+__all__ = ["hierarchical_recursive_doubling", "group_stage_plan"]
+
+
+def group_stage_plan(spec: PGFTSpec) -> list[dict]:
+    """Per-level constants of the construction: ``m_l``, ``M_{l-1}``,
+    ``L_l``, ``E_l`` and whether pre/post stages are needed."""
+    plan = []
+    for level in spec.iter_levels():
+        m_l = spec.m[level - 1]
+        M_lo = spec.M(level - 1)
+        L_l = int(math.floor(math.log2(m_l)))
+        plan.append(
+            {
+                "level": level,
+                "m": m_l,
+                "block": M_lo,
+                "L": L_l,
+                "E": M_lo * (1 << L_l),
+                "needs_proxy": (1 << L_l) != m_l,
+            }
+        )
+    return plan
+
+
+def hierarchical_recursive_doubling(spec: PGFTSpec) -> CPS:
+    """The section-VI congestion-free bidirectional sequence for a full
+    PGFT population (``n = spec.num_endports`` ranks in topology order)."""
+    n = spec.num_endports
+    stages: list[Stage] = []
+    for g in group_stage_plan(spec):
+        block, m_l, L_l = g["block"], g["m"], g["L"]
+        i = np.arange(n, dtype=np.int64)
+        u = (i // block) % m_l
+        p2 = 1 << L_l
+
+        if g["needs_proxy"]:
+            # pre: blocks u >= 2**L fold onto u - 2**L (displacement -E_l).
+            src_mask = u >= p2
+            src = i[src_mask]
+            stages.append(
+                Stage(_pairs(src, src - p2 * block),
+                      label=f"g{g['level']}-pre")
+            )
+
+        for s in range(L_l):
+            mask = u < p2
+            src = i[mask]
+            uu = u[mask]
+            partner = src + ((uu ^ (1 << s)) - uu) * block
+            stages.append(
+                Stage(_pairs(src, partner), label=f"g{g['level']}-s{s}")
+            )
+
+        if g["needs_proxy"]:
+            dst_mask = u >= p2
+            dst = i[dst_mask]
+            stages.append(
+                Stage(_pairs(dst - p2 * block, dst),
+                      label=f"g{g['level']}-post")
+            )
+    return CPS("hierarchical-rd", n, tuple(stages))

@@ -1,0 +1,71 @@
+"""Non-power-of-two rank counts: proxy pre/post stages (section VI).
+
+MPI implementations run the XOR-based bidirectional sequences on the
+largest power of two ``2**L <= n`` and let the first ``r = n - 2**L``
+ranks act as *proxies* for the remainder:
+
+* **pre**  stage (paper eq. 3): ``n_i <- n_{i + 2**L}`` for
+  ``0 <= i < n - 2**L`` -- remainder ranks fold their data down;
+* core XOR stages over ranks ``0 .. 2**L - 1``;
+* **post** stage (paper eq. 4): ``n_i -> n_{i + 2**L}`` -- proxies
+  unfold the result back.
+
+Both extra stages are themselves constant-displacement permutations
+(displacement ``±2**L``), so theorem 1 keeps them congestion-free under
+D-Mod-K with topology-ordered ranks.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .cps import CPS, Stage, _pairs, _xor_stage
+
+__all__ = ["pre_stage", "post_stage", "with_proxy_stages", "pow2_floor"]
+
+
+def pow2_floor(n: int) -> int:
+    """Largest power of two ``<= n``."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    return 1 << (n.bit_length() - 1)
+
+
+def pre_stage(n: int) -> Stage | None:
+    """Fold stage ``n_{i+2**L} -> n_i``; ``None`` when ``n`` is a power
+    of two (no remainder)."""
+    p = pow2_floor(n)
+    if p == n:
+        return None
+    i = np.arange(n - p, dtype=np.int64)
+    return Stage(_pairs(i + p, i), label=f"pre(-{p})")
+
+
+def post_stage(n: int) -> Stage | None:
+    """Unfold stage ``n_i -> n_{i+2**L}``; ``None`` for powers of two."""
+    p = pow2_floor(n)
+    if p == n:
+        return None
+    i = np.arange(n - p, dtype=np.int64)
+    return Stage(_pairs(i, i + p), label=f"post(+{p})")
+
+
+def with_proxy_stages(n: int, reverse: bool = False) -> CPS:
+    """Recursive doubling (or halving, ``reverse=True``) over ``n`` ranks
+    with proxy pre/post stages; the core runs on ``2**L`` ranks."""
+    p = pow2_floor(n)
+    core_order = range(int(math.log2(p)))
+    if reverse:
+        core_order = reversed(core_order)
+    stages: list[Stage] = []
+    pre = pre_stage(n)
+    if pre is not None:
+        stages.append(pre)
+    stages.extend(_xor_stage(p, 1 << s, label=f"s={s}") for s in core_order)
+    post = post_stage(n)
+    if post is not None:
+        stages.append(post)
+    name = "recursive-halving" if reverse else "recursive-doubling"
+    return CPS(f"{name}-proxy", n, tuple(stages))

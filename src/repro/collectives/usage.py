@@ -1,0 +1,148 @@
+"""Table 1: which CPS each MPI collective algorithm uses.
+
+The paper surveys MVAPICH and OpenMPI and finds 18 collective
+algorithms built from only 8 distinct permutation sequences.  The
+original table is reproduced here as data (best-effort reconstruction
+from the paper text plus the surveyed implementations' documented
+algorithm choices; see EXPERIMENTS.md).  Markings follow the paper:
+``m``/``M`` = MVAPICH small/large messages, ``o``/``O`` = OpenMPI
+small/large messages, and ``pow2_only`` marks usage restricted to
+power-of-two rank counts (the paper's '2' suffix).
+
+The module is consumed by the Table 1 experiment, which regenerates the
+matrix and cross-checks that every referenced CPS exists in
+:mod:`repro.collectives.cps` and that exactly 8 distinct sequences are
+used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AlgorithmUsage", "TABLE1", "distinct_cps", "collectives_covered",
+           "render_matrix"]
+
+
+@dataclass(frozen=True)
+class AlgorithmUsage:
+    """One algorithm cell of Table 1."""
+
+    collective: str          # MPI collective (AllGather, Barrier, ...)
+    algorithm: str           # implementation algorithm name
+    library: str             # "mvapich" | "openmpi"
+    msg_size: str            # "small" | "large" | "any"
+    cps: tuple[str, ...]     # CPS names (repro.collectives.cps.CPS_NAMES keys)
+    pow2_only: bool = False
+
+    @property
+    def mark(self) -> str:
+        """The paper's cell marking (m/M/o/O with optional '2')."""
+        base = {"mvapich": "m", "openmpi": "o"}[self.library]
+        if self.msg_size == "large":
+            base = base.upper()
+        return base + ("2" if self.pow2_only else "")
+
+
+TABLE1: tuple[AlgorithmUsage, ...] = (
+    # --- AllGather -------------------------------------------------------
+    AlgorithmUsage("AllGather", "recursive doubling", "mvapich", "small",
+                   ("recursive-doubling",), pow2_only=True),
+    AlgorithmUsage("AllGather", "recursive doubling", "openmpi", "small",
+                   ("recursive-doubling",), pow2_only=True),
+    AlgorithmUsage("AllGather", "ring", "mvapich", "large", ("ring",)),
+    AlgorithmUsage("AllGather", "ring", "openmpi", "large", ("ring",)),
+    AlgorithmUsage("AllGather", "bruck", "openmpi", "small",
+                   ("dissemination",)),
+    # --- AllReduce -------------------------------------------------------
+    AlgorithmUsage("AllReduce", "recursive doubling", "mvapich", "small",
+                   ("recursive-doubling",)),
+    AlgorithmUsage("AllReduce", "recursive doubling", "openmpi", "small",
+                   ("recursive-doubling",)),
+    AlgorithmUsage("AllReduce", "rabenseifner", "mvapich", "large",
+                   ("recursive-halving", "recursive-doubling")),
+    AlgorithmUsage("AllReduce", "rabenseifner", "openmpi", "large",
+                   ("recursive-halving", "recursive-doubling")),
+    # --- AlltoAll --------------------------------------------------------
+    AlgorithmUsage("AlltoAll", "bruck / rotate", "mvapich", "small",
+                   ("shift",)),
+    AlgorithmUsage("AlltoAll", "pairwise exchange", "mvapich", "large",
+                   ("pairwise-exchange",), pow2_only=True),
+    AlgorithmUsage("AlltoAll", "pairwise exchange", "openmpi", "large",
+                   ("pairwise-exchange",), pow2_only=True),
+    AlgorithmUsage("AlltoAll", "shift (linear rotate)", "openmpi", "large",
+                   ("shift",)),
+    # --- Barrier ---------------------------------------------------------
+    AlgorithmUsage("Barrier", "dissemination", "mvapich", "any",
+                   ("dissemination",)),
+    AlgorithmUsage("Barrier", "bruck / dissemination", "openmpi", "any",
+                   ("dissemination",)),
+    AlgorithmUsage("Barrier", "recursive doubling", "openmpi", "any",
+                   ("recursive-doubling",), pow2_only=True),
+    # --- Broadcast -------------------------------------------------------
+    AlgorithmUsage("Broadcast", "binomial tree", "mvapich", "small",
+                   ("binomial",)),
+    AlgorithmUsage("Broadcast", "binomial tree", "openmpi", "small",
+                   ("binomial",)),
+    AlgorithmUsage("Broadcast", "scatter + ring allgather", "mvapich",
+                   "large", ("binomial", "ring")),
+    AlgorithmUsage("Broadcast", "scatter + ring allgather", "openmpi",
+                   "large", ("binomial", "ring")),
+    # --- Gather / Scatter --------------------------------------------------
+    AlgorithmUsage("Gather", "binomial tree", "mvapich", "any",
+                   ("tournament",)),
+    AlgorithmUsage("Gather", "binomial tree", "openmpi", "any",
+                   ("tournament",)),
+    AlgorithmUsage("Scatter", "binomial tree", "mvapich", "any",
+                   ("binomial",)),
+    AlgorithmUsage("Scatter", "binomial tree", "openmpi", "any",
+                   ("binomial",)),
+    # --- Reduce ------------------------------------------------------------
+    AlgorithmUsage("Reduce", "binomial tree", "mvapich", "small",
+                   ("tournament",)),
+    AlgorithmUsage("Reduce", "binomial tree", "openmpi", "small",
+                   ("tournament",)),
+    AlgorithmUsage("Reduce", "rabenseifner", "mvapich", "large",
+                   ("recursive-halving", "tournament")),
+    AlgorithmUsage("Reduce", "rabenseifner", "openmpi", "large",
+                   ("recursive-halving", "tournament")),
+    # --- ReduceScatter ------------------------------------------------------
+    AlgorithmUsage("ReduceScatter", "recursive halving", "mvapich", "small",
+                   ("recursive-halving",), pow2_only=True),
+    AlgorithmUsage("ReduceScatter", "recursive halving", "openmpi", "small",
+                   ("recursive-halving",), pow2_only=True),
+    AlgorithmUsage("ReduceScatter", "pairwise exchange", "mvapich", "large",
+                   ("pairwise-exchange",)),
+    AlgorithmUsage("ReduceScatter", "pairwise exchange", "openmpi", "large",
+                   ("pairwise-exchange",)),
+)
+
+
+def distinct_cps() -> set[str]:
+    """All CPS names referenced anywhere in the table."""
+    return {name for row in TABLE1 for name in row.cps}
+
+
+def collectives_covered() -> set[str]:
+    return {row.collective for row in TABLE1}
+
+
+def render_matrix() -> str:
+    """The Table 1 view: rows = CPS, columns = (collective, algorithm),
+    cells = concatenated library marks."""
+    cols = sorted({(r.collective, r.algorithm) for r in TABLE1})
+    rows = sorted(distinct_cps())
+    grid = {(cps, col): "" for cps in rows for col in cols}
+    for r in TABLE1:
+        for cps in r.cps:
+            key = (cps, (r.collective, r.algorithm))
+            grid[key] += r.mark
+    width = max(len(c) for c in rows) + 2
+    head = " " * width + " | ".join(f"{c}/{a}" for c, a in cols)
+    lines = [head, "-" * len(head)]
+    for cps in rows:
+        cells = []
+        for col in cols:
+            label = f"{col[0]}/{col[1]}"
+            cells.append(grid[(cps, col)].ljust(len(label)))
+        lines.append(cps.ljust(width) + " | ".join(cells))
+    return "\n".join(lines)

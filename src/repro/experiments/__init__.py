@@ -1,0 +1,18 @@
+"""Experiment drivers regenerating every table and figure of the paper.
+
+See DESIGN.md's per-experiment index.  Each submodule has a ``run()``
+returning the report text and a ``main()`` CLI; the ``repro-experiments``
+console script (``repro.experiments.cli``) dispatches to them.  Modules
+are imported lazily to keep ``python -m repro.experiments.<name>``
+clean and fast.
+"""
+
+__all__ = ["EXPERIMENTS", "main"]
+
+
+def __getattr__(name):
+    if name in ("EXPERIMENTS", "main"):
+        from . import cli
+
+        return getattr(cli, {"EXPERIMENTS": "EXPERIMENTS", "main": "main"}[name])
+    raise AttributeError(name)

@@ -1,0 +1,132 @@
+"""Ablations: what each ingredient of the recipe buys.
+
+The paper's conclusion credits "the combination of the two worlds":
+routing *and* collective/order design.  Three sweeps quantify that:
+
+1. **2x2 grid** -- {D-Mod-K, random routing} x {topology order, random
+   order} for Shift traffic: only the (D-Mod-K, ordered) cell is
+   congestion-free.
+2. **Router comparison** -- D-Mod-K vs min-hop (round-robin, random,
+   first-fit) vs counting-ftree vs random up-port routing, all with the
+   topology order.
+3. **Bidirectional design** -- naive recursive doubling vs the
+   section-VI hierarchical sequence on a non-power-of-two-arity tree,
+   and the proxy (pre/post) variant on non-power-of-two job sizes.
+4. **Tree depth** -- round-robin heuristics coincide with D-Mod-K on
+   2-level fabrics but congest on 3 levels, where the closed form's
+   ``floor(j / W_l)`` grouping is essential.
+"""
+
+from __future__ import annotations
+
+from ..analysis import render_table, sequence_hsd
+from ..collectives import (
+    hierarchical_recursive_doubling,
+    recursive_doubling,
+)
+from ..fabric import build_fabric
+from ..ordering import random_order, topology_order
+from ..routing import route_dmodk, route_ftree, route_minhop, route_random
+from ..topology import rlft_max
+from .common import get_topology, make_parser, sampled_shift
+
+__all__ = ["run", "main"]
+
+
+def run(topo: str = "n324", seed: int = 0, max_shift_stages: int = 32) -> str:
+    spec = get_topology(topo)
+    fab = build_fabric(spec)
+    n = spec.num_endports
+    cps = sampled_shift(n, max_shift_stages)
+    orders = {
+        "ordered": topology_order(n),
+        "random": random_order(n, seed=seed),
+    }
+
+    sections = []
+
+    # 1. routing x ordering grid
+    grid_rows = []
+    for r_name, tables in (
+        ("dmodk", route_dmodk(fab)),
+        ("random-router", route_random(fab, seed=seed)),
+    ):
+        for o_name, order in orders.items():
+            rep = sequence_hsd(tables, cps, order)
+            grid_rows.append((r_name, o_name, round(rep.avg_max, 3),
+                              rep.worst, rep.congestion_free))
+    sections.append(render_table(
+        ["routing", "order", "avg max HSD", "worst", "congestion-free"],
+        grid_rows,
+        title=f"Ablation 1 | routing x ordering for Shift on {spec}"))
+
+    # 2. router comparison under the topology order
+    router_rows = []
+    for r_name, tables in (
+        ("dmodk", route_dmodk(fab)),
+        ("minhop-roundrobin", route_minhop(fab, "roundrobin")),
+        ("minhop-random", route_minhop(fab, "random", seed=seed)),
+        ("minhop-first", route_minhop(fab, "first")),
+        ("ftree-counting", route_ftree(fab)),
+        ("ftree-shuffled", route_ftree(fab, shuffle=True, seed=seed)),
+        ("random-router", route_random(fab, seed=seed)),
+    ):
+        rep = sequence_hsd(tables, cps, orders["ordered"])
+        router_rows.append((r_name, round(rep.avg_max, 3), rep.worst))
+    sections.append(render_table(
+        ["routing engine", "avg max HSD", "worst"],
+        router_rows,
+        title="Ablation 2 | routing engines under the topology-aware order"))
+
+    # 3. bidirectional sequence design
+    tables = route_dmodk(fab)
+    bid_rows = []
+    for name, cps_b in (
+        ("recdbl-naive", recursive_doubling(n)),
+        ("recdbl-proxy", recursive_doubling(n, nonpow2="proxy")),
+        ("recdbl-hierarchical", hierarchical_recursive_doubling(spec)),
+    ):
+        rep = sequence_hsd(tables, cps_b, orders["ordered"])
+        bid_rows.append((name, len(cps_b.stages), round(rep.avg_max, 3),
+                         rep.worst, rep.congestion_free))
+    sections.append(render_table(
+        ["bidirectional CPS", "stages", "avg max HSD", "worst",
+         "congestion-free"],
+        bid_rows,
+        title="Ablation 3 | recursive-doubling designs (D-Mod-K, ordered)"))
+
+    # 4. tree depth: heuristics vs the closed form
+    depth_rows = []
+    for levels, spec_d in ((2, rlft_max(6, 2)), (3, rlft_max(3, 3))):
+        fab_d = build_fabric(spec_d)
+        n_d = spec_d.num_endports
+        cps_d = sampled_shift(n_d, max_shift_stages)
+        order_d = topology_order(n_d)
+        for r_name, tables in (
+            ("dmodk", route_dmodk(fab_d)),
+            ("minhop-roundrobin", route_minhop(fab_d, "roundrobin")),
+            ("ftree-counting", route_ftree(fab_d)),
+        ):
+            rep = sequence_hsd(tables, cps_d, order_d)
+            depth_rows.append((f"{levels}-level", str(spec_d), r_name,
+                               round(rep.avg_max, 3), rep.worst))
+    sections.append(render_table(
+        ["depth", "topology", "routing", "avg max HSD", "worst"],
+        depth_rows,
+        title=("Ablation 4 | round-robin heuristics match D-Mod-K at 2"
+               " levels, congest at 3 (the floor(j/W) grouping)")))
+
+    return "\n\n".join(sections)
+
+
+def main(argv=None) -> None:
+    parser = make_parser(__doc__)
+    parser.add_argument("--topo", default="n324")
+    parser.add_argument("--max-shift-stages", type=int, default=32)
+    args = parser.parse_args(argv)
+    print(run(topo=args.topo, seed=args.seed,
+              max_shift_stages=args.max_shift_stages))
+
+
+if __name__ == "__main__":
+    main()

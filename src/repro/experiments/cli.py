@@ -1,0 +1,60 @@
+"""``repro-experiments``: one entry point for every paper artefact.
+
+Usage::
+
+    repro-experiments list
+    repro-experiments fig3 --orders 25
+    repro-experiments all          # run everything with default params
+"""
+
+from __future__ import annotations
+
+import sys
+
+from . import ablation, contention_free, failures, fig1, fig2, fig3
+from . import generations, latency
+from . import multijob, ring_adversarial, table1, table3
+
+__all__ = ["main", "EXPERIMENTS"]
+
+EXPERIMENTS = {
+    "fig1": fig1,
+    "fig2": fig2,
+    "fig3": fig3,
+    "table1": table1,
+    "table3": table3,
+    "ring-adversarial": ring_adversarial,
+    "contention-free": contention_free,
+    "ablation": ablation,
+    "multijob": multijob,
+    "failures": failures,
+    "latency": latency,
+    "generations": generations,
+}
+
+
+def main(argv=None) -> None:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help", "list"):
+        print("available experiments:")
+        for name, mod in EXPERIMENTS.items():
+            doc = (mod.__doc__ or "").strip().splitlines()[0]
+            print(f"  {name:18s} {doc}")
+        print("\nrun one:  repro-experiments <name> [options]")
+        print("run all:  repro-experiments all")
+        return
+    name, rest = argv[0], argv[1:]
+    if name == "all":
+        for key, mod in EXPERIMENTS.items():
+            print(f"\n{'=' * 72}\n>>> {key}\n{'=' * 72}")
+            mod.main([])
+        return
+    if name not in EXPERIMENTS:
+        raise SystemExit(
+            f"unknown experiment {name!r}; try: repro-experiments list"
+        )
+    EXPERIMENTS[name].main(rest)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Shared plumbing for the experiment drivers.
+
+Every experiment module exposes ``run(**params) -> str`` returning the
+text report (the same rows/series the paper's table or figure shows)
+and a ``main(argv)`` for command-line use via
+``python -m repro.experiments.<name>`` or the ``repro-experiments``
+console script.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from ..analysis.hsd import sequence_hsd
+from ..collectives import (
+    binomial,
+    dissemination,
+    hierarchical_recursive_doubling,
+    recursive_doubling,
+    ring,
+    shift,
+    tournament,
+)
+from ..fabric import build_fabric
+from ..fabric.model import Fabric
+from ..routing import route_dmodk
+from ..topology import paper_topologies
+from ..topology.spec import PGFTSpec
+
+__all__ = [
+    "get_topology",
+    "figure3_cps_factories",
+    "sampled_shift",
+    "make_parser",
+    "DEFAULT_SEED",
+]
+
+DEFAULT_SEED = 20110516  # the paper's conference month
+
+
+def get_topology(name: str) -> PGFTSpec:
+    """Resolve an evaluation topology by name (see ``paper_topologies``)."""
+    topos = paper_topologies()
+    if name not in topos:
+        raise SystemExit(
+            f"unknown topology {name!r}; available: {', '.join(sorted(topos))}"
+        )
+    return topos[name]
+
+
+def sampled_shift(n: int, max_stages: int = 64):
+    """Shift CPS with at most ``max_stages`` evenly sampled displacements
+    (the full sequence has ``n-1`` stages; sampling keeps large-fabric
+    sweeps tractable without biasing the per-stage HSD statistics)."""
+    if n - 1 <= max_stages:
+        return shift(n)
+    step = (n - 1) // max_stages
+    return shift(n, displacements=range(1, n, step))
+
+
+def figure3_cps_factories(max_shift_stages: int = 64) -> dict:
+    """The six collectives of Figure 3 ("Butterfly" is the paper's name
+    for the recursive-doubling exchange)."""
+    return {
+        "binomial": lambda n: binomial(n),
+        "butterfly": lambda n: recursive_doubling(n),
+        "dissemination": lambda n: dissemination(n),
+        "ring": lambda n: ring(n),
+        "shift": lambda n: sampled_shift(n, max_shift_stages),
+        "tournament": lambda n: tournament(n),
+    }
+
+
+def make_parser(description: str) -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                        help="base RNG seed (default: %(default)s)")
+    return parser

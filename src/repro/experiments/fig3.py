@@ -1,0 +1,63 @@
+"""Figure 3: average max hot-spot-degree vs cluster size.
+
+For fabrics of 128, 324, 1728 and 1944 nodes, six global collectives
+are analysed under deterministic (D-Mod-K) routing and **random** MPI
+node order: per random order, the maximum HSD of any link is averaged
+over the stages of the collective; 25 orders give the mean and min/max
+"error bars".  Ring, Shift and Butterfly (recursive doubling) grow
+steeply with cluster size -- the scalability problem the paper solves.
+"""
+
+from __future__ import annotations
+
+from ..analysis import random_order_sweep, render_table
+from ..fabric import build_fabric
+from ..routing import route_dmodk
+from .common import figure3_cps_factories, get_topology, make_parser
+
+__all__ = ["run", "main"]
+
+DEFAULT_TOPOS = ("n128", "n324", "n1728", "n1944")
+
+
+def run(
+    topos=DEFAULT_TOPOS,
+    num_orders: int = 25,
+    max_shift_stages: int = 64,
+    seed: int = 0,
+) -> str:
+    factories = figure3_cps_factories(max_shift_stages)
+    rows = []
+    for name in topos:
+        spec = get_topology(name)
+        tables = route_dmodk(build_fabric(spec))
+        for cps_name, factory in factories.items():
+            res = random_order_sweep(
+                tables, factory, num_orders=num_orders, seed=seed
+            )
+            rows.append((
+                name, spec.num_endports, cps_name,
+                round(res.mean, 3), round(res.min, 3), round(res.max, 3),
+            ))
+    return render_table(
+        ["topology", "nodes", "collective", "avg max HSD", "min", "max"],
+        rows,
+        title=("Figure 3 | average of per-stage max HSD over "
+               f"{num_orders} random node orders\n"
+               "(paper: ring/shift/butterfly grow with size; HSD 1 means"
+               " congestion-free)"),
+    )
+
+
+def main(argv=None) -> None:
+    parser = make_parser(__doc__)
+    parser.add_argument("--topos", nargs="+", default=list(DEFAULT_TOPOS))
+    parser.add_argument("--orders", type=int, default=25)
+    parser.add_argument("--max-shift-stages", type=int, default=64)
+    args = parser.parse_args(argv)
+    print(run(topos=args.topos, num_orders=args.orders,
+              max_shift_stages=args.max_shift_stages, seed=args.seed))
+
+
+if __name__ == "__main__":
+    main()

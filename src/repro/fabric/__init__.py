@@ -1,0 +1,23 @@
+"""Fabric data model ("mini-ibdm"): wired nodes/ports, forwarding tables
+and a topology file format."""
+
+from .lft import ForwardingTables
+from .model import ENDPORT, SWITCH, Fabric, build_fabric
+from .render import render_levels, render_link_loads, render_route
+from .topofile import TopoFileError, dumps, load, loads, save
+
+__all__ = [
+    "ENDPORT",
+    "SWITCH",
+    "Fabric",
+    "ForwardingTables",
+    "TopoFileError",
+    "build_fabric",
+    "dumps",
+    "load",
+    "loads",
+    "render_levels",
+    "render_link_loads",
+    "render_route",
+    "save",
+]

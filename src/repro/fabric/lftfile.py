@@ -1,0 +1,113 @@
+"""Forwarding-table file format (OpenSM ``dump_lfts`` flavoured).
+
+Subnet managers persist computed routes so tools can audit them and
+switches can be programmed; we provide the same round-trip for
+:class:`~repro.fabric.lft.ForwardingTables`:
+
+::
+
+    # repro lft v1
+    switch SW1-0000
+      0 : 2          # dest end-port 0 -> local out port 2
+      1 : 2
+      5 : -          # unreachable
+    switch SW2-0000
+      ...
+
+Local port numbers (not global ids) are stored, so a table file remains
+meaningful against a re-parsed copy of the same fabric.  ``host_up``
+rows are stored only when present (multi-rail hosts).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from .lft import ForwardingTables
+from .model import Fabric
+
+__all__ = ["dumps_lft", "loads_lft", "save_lft", "load_lft", "LftFileError"]
+
+
+class LftFileError(ValueError):
+    """Malformed forwarding-table file."""
+
+
+def dumps_lft(tables: ForwardingTables) -> str:
+    fab = tables.fabric
+    out = ["# repro lft v1"]
+    for row in range(fab.num_switches):
+        node = fab.num_endports + row
+        out.append(f"switch {fab.node_names[node]}")
+        base = int(fab.port_start[node])
+        for dest in range(fab.num_endports):
+            gp = int(tables.switch_out[row, dest])
+            cell = "-" if gp < 0 else str(gp - base)
+            out.append(f"  {dest} : {cell}")
+    if tables.host_up is not None:
+        out.append("hostports")
+        for src in range(fab.num_endports):
+            row_txt = " ".join(str(int(v)) for v in tables.host_up[src])
+            out.append(f"  {src} : {row_txt}")
+    return "\n".join(out) + "\n"
+
+
+def loads_lft(text: str, fabric: Fabric) -> ForwardingTables:
+    name_to_node = {n: i for i, n in enumerate(fabric.node_names)}
+    switch_out = np.full(
+        (fabric.num_switches, fabric.num_endports), -1, dtype=np.int64
+    )
+    host_up = None
+    cur_row: int | None = None
+    in_hosts = False
+
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("switch "):
+            name = line.split(None, 1)[1]
+            if name not in name_to_node:
+                raise LftFileError(f"line {lineno}: unknown switch {name!r}")
+            node = name_to_node[name]
+            cur_row = node - fabric.num_endports
+            if cur_row < 0:
+                raise LftFileError(f"line {lineno}: {name!r} is not a switch")
+            in_hosts = False
+        elif line == "hostports":
+            host_up = np.zeros(
+                (fabric.num_endports, fabric.num_endports), dtype=np.int32
+            )
+            in_hosts = True
+        elif ":" in line:
+            left, right = (s.strip() for s in line.split(":", 1))
+            if in_hosts:
+                src = int(left)
+                host_up[src] = [int(v) for v in right.split()]
+            else:
+                if cur_row is None:
+                    raise LftFileError(f"line {lineno}: entry before switch")
+                dest = int(left)
+                if right == "-":
+                    continue
+                node = fabric.num_endports + cur_row
+                local = int(right)
+                if local >= fabric.degree(node):
+                    raise LftFileError(
+                        f"line {lineno}: port {local} out of range"
+                    )
+                switch_out[cur_row, dest] = fabric.port_start[node] + local
+        else:
+            raise LftFileError(f"line {lineno}: cannot parse {line!r}")
+    return ForwardingTables(fabric=fabric, switch_out=switch_out,
+                            host_up=host_up)
+
+
+def save_lft(tables: ForwardingTables, path: str | Path) -> None:
+    Path(path).write_text(dumps_lft(tables))
+
+
+def load_lft(path: str | Path, fabric: Fabric) -> ForwardingTables:
+    return loads_lft(Path(path).read_text(), fabric)

@@ -1,0 +1,68 @@
+"""Plain-text rendering of fabrics and routes.
+
+Small fabrics (the paper's figures are all 16 nodes) are much easier to
+reason about when you can *see* them; these helpers draw the level
+structure and individual routes in plain text for examples, CLI output
+and failing-test diagnostics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .lft import ForwardingTables
+from .model import Fabric
+
+__all__ = ["render_levels", "render_route", "render_link_loads"]
+
+
+def render_levels(fabric: Fabric, max_width: int = 100) -> str:
+    """One row per level, top first; hosts abbreviated when wide."""
+    lines = []
+    top = int(fabric.node_level.max())
+    for level in range(top, -1, -1):
+        nodes = [v for v in range(fabric.num_nodes)
+                 if fabric.node_level[v] == level]
+        names = [fabric.node_names[v] for v in nodes]
+        row = "  ".join(names)
+        if len(row) > max_width:
+            row = f"{names[0]} .. {names[-1]}  ({len(names)} nodes)"
+        label = f"L{level}" if level else "hosts"
+        lines.append(f"{label:>5s} | {row}")
+    return "\n".join(lines)
+
+
+def render_route(tables: ForwardingTables, src: int, dst: int) -> str:
+    """``H0 -(p0)-> SW1-0000 -(p5)-> ... -> H9`` for one route."""
+    # Imported here: repro.routing pulls the analysis layer, which in
+    # turn imports this package (render is a leaf convenience module).
+    from ..routing.validate import trace_route
+
+    fab = tables.fabric
+    if src == dst:
+        return f"{fab.node_names[src]} (local)"
+    parts = [fab.node_names[src]]
+    for gp in trace_route(tables, src, dst):
+        local = int(fab.local_port(gp))
+        nxt = int(fab.peer_node[gp])
+        parts.append(f"-(p{local})-> {fab.node_names[nxt]}")
+    return " ".join(parts)
+
+
+def render_link_loads(fabric: Fabric, loads: np.ndarray,
+                      min_load: int = 1) -> str:
+    """List every directed link carrying at least ``min_load`` flows,
+    hottest first."""
+    order = np.argsort(-loads, kind="stable")
+    lines = []
+    for gp in order:
+        if loads[gp] < min_load:
+            break
+        owner = int(fabric.port_owner[gp])
+        peer = int(fabric.peer_node[gp])
+        local = int(gp - fabric.port_start[owner])
+        lines.append(
+            f"{int(loads[gp]):4d} flows  "
+            f"{fabric.node_names[owner]}[{local}] -> {fabric.node_names[peer]}"
+        )
+    return "\n".join(lines) if lines else "(no loaded links)"

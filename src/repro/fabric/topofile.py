@@ -1,0 +1,155 @@
+"""Topology file format: a small ibnetdiscover-like text dialect.
+
+The paper's tooling (ibdm / ibutils) works by "parsing a file holding
+the topology and then manipulating the resulting in-memory
+data-structures".  We provide the same workflow with a minimal,
+line-oriented format:
+
+::
+
+    # comment
+    pgft 2; 4,4; 1,2; 1,2          # optional spec line (metadata only)
+    hca    H0000 ports=1
+    switch SW1-0000 ports=8 level=1
+    link   H0000[0] SW1-0000[0]
+
+* ``hca`` nodes are end-ports; their declaration order defines the
+  end-port index (= MPI topology order).
+* ``switch`` nodes may carry an optional ``level=`` attribute; when any
+  level is missing, levels are inferred by BFS from the hosts.
+* ``link A[pa] B[pb]`` wires local port ``pa`` of ``A`` to ``pb`` of
+  ``B``; each port may be used once.
+
+:func:`save` writes any :class:`~repro.fabric.model.Fabric` in this
+format and :func:`load` parses it back; a round-trip preserves the wiring
+bit-for-bit (node numbering included).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import numpy as np
+
+from ..topology.spec import PGFTSpec, pgft
+from .model import Fabric
+
+__all__ = ["load", "loads", "save", "dumps", "TopoFileError"]
+
+
+class TopoFileError(ValueError):
+    """Raised on malformed topology files."""
+
+
+_LINK_RE = re.compile(r"^(\S+)\[(\d+)\]\s+(\S+)\[(\d+)\]$")
+
+
+def dumps(fabric: Fabric) -> str:
+    """Serialise a fabric to the text format."""
+    out: list[str] = ["# repro fabric"]
+    if fabric.spec is not None:
+        s = fabric.spec
+        out.append(
+            "pgft {}; {}; {}; {}".format(
+                s.h,
+                ",".join(map(str, s.m)),
+                ",".join(map(str, s.w)),
+                ",".join(map(str, s.p)),
+            )
+        )
+    for v in range(fabric.num_nodes):
+        name = fabric.node_names[v]
+        ports = fabric.degree(v)
+        if v < fabric.num_endports:
+            out.append(f"hca {name} ports={ports}")
+        else:
+            out.append(f"switch {name} ports={ports} level={int(fabric.node_level[v])}")
+    seen = set()
+    for gp in range(fabric.num_ports):
+        peer = int(fabric.port_peer[gp])
+        if peer < 0 or gp in seen:
+            continue
+        seen.add(peer)
+        a = int(fabric.port_owner[gp])
+        b = int(fabric.port_owner[peer])
+        pa = gp - int(fabric.port_start[a])
+        pb = peer - int(fabric.port_start[b])
+        out.append(f"link {fabric.node_names[a]}[{pa}] {fabric.node_names[b]}[{pb}]")
+    return "\n".join(out) + "\n"
+
+
+def save(fabric: Fabric, path: str | Path) -> None:
+    Path(path).write_text(dumps(fabric))
+
+
+def loads(text: str) -> Fabric:
+    """Parse the text format into a :class:`Fabric`."""
+    spec: PGFTSpec | None = None
+    hcas: list[tuple[str, int]] = []
+    switches: list[tuple[str, int, int]] = []
+    raw_links: list[tuple[str, int, str, int]] = []
+
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        kind, _, rest = line.partition(" ")
+        rest = rest.strip()
+        try:
+            if kind == "pgft":
+                parts = [seg.strip() for seg in rest.split(";")]
+                if len(parts) != 4:
+                    raise TopoFileError("pgft needs 4 ;-separated groups")
+                h = int(parts[0])
+                vec = lambda s: [int(x) for x in s.split(",")]  # noqa: E731
+                spec = pgft(h, vec(parts[1]), vec(parts[2]), vec(parts[3]))
+            elif kind in ("hca", "switch"):
+                fields = rest.split()
+                name = fields[0]
+                attrs = dict(f.split("=", 1) for f in fields[1:])
+                ports = int(attrs.get("ports", 1))
+                if kind == "hca":
+                    hcas.append((name, ports))
+                else:
+                    switches.append((name, ports, int(attrs.get("level", -1))))
+            elif kind == "link":
+                m = _LINK_RE.match(rest)
+                if not m:
+                    raise TopoFileError(f"bad link syntax: {rest!r}")
+                raw_links.append((m[1], int(m[2]), m[3], int(m[4])))
+            else:
+                raise TopoFileError(f"unknown directive {kind!r}")
+        except (ValueError, KeyError) as exc:
+            raise TopoFileError(f"line {lineno}: {exc}") from exc
+
+    names = [n for n, _ in hcas] + [n for n, _, _ in switches]
+    if len(set(names)) != len(names):
+        raise TopoFileError("duplicate node names")
+    index = {n: i for i, n in enumerate(names)}
+    port_counts = np.array([p for _, p in hcas] + [p for _, p, _ in switches])
+    levels = np.array(
+        [0] * len(hcas) + [lvl for _, _, lvl in switches], dtype=np.int32
+    )
+    links = []
+    for na, pa, nb, pb in raw_links:
+        for n, p in ((na, pa), (nb, pb)):
+            if n not in index:
+                raise TopoFileError(f"link references unknown node {n!r}")
+            if p >= port_counts[index[n]]:
+                raise TopoFileError(f"port {p} out of range for node {n!r}")
+        links.append((index[na], pa, index[nb], pb))
+
+    return Fabric.from_links(
+        num_endports=len(hcas),
+        port_counts=port_counts,
+        links=links,
+        spec=spec,
+        node_level=levels if (levels[len(hcas):] >= 0).all() or not len(switches)
+        else None,
+        node_names=names,
+    )
+
+
+def load(path: str | Path) -> Fabric:
+    return loads(Path(path).read_text())

@@ -1,0 +1,5 @@
+"""Multi-job operation: congestion-free sub-allocation of RLFTs."""
+
+from .allocation import AllocationError, Job, SubAllocator
+
+__all__ = ["AllocationError", "Job", "SubAllocator"]

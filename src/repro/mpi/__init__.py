@@ -1,0 +1,5 @@
+"""Miniature MPI: data-correct collectives priced on the simulated fabric."""
+
+from .communicator import CollectiveResult, Communicator
+
+__all__ = ["CollectiveResult", "Communicator"]

@@ -1,0 +1,26 @@
+"""MPI rank -> end-port placements: topology-aware, random, adversarial."""
+
+from .adversarial import adversarial_ring_order, ring_successor_permutation
+from .orders import (
+    invert_placement,
+    physical_placement,
+    random_order,
+    random_subset,
+    topology_order,
+    topology_subset,
+)
+from .policies import block_order, cyclic_order, policy_order
+
+__all__ = [
+    "adversarial_ring_order",
+    "block_order",
+    "cyclic_order",
+    "invert_placement",
+    "physical_placement",
+    "policy_order",
+    "random_order",
+    "random_subset",
+    "ring_successor_permutation",
+    "topology_order",
+    "topology_subset",
+]

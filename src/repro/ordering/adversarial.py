@@ -1,0 +1,97 @@
+"""Adversarial node ordering for the Ring permutation (paper section II).
+
+The paper measures a 92.9 % bandwidth collapse by choosing a node order
+such that, for a Ring permutation (every rank sends to the next one),
+"all of the nodes of each leaf switch send data to nodes of other leaf
+switches [and] for each leaf switch all flows congest on a single
+up-going port".
+
+Construction (for D-Mod-K-routed RLFTs, where the leaf up-port toward
+destination end-port ``j`` is ``j mod m_1``):
+
+1. pick one *residue class* ``c_b`` per leaf ``b``; destinations with
+   index ``≡ c_b (mod m_1)`` all leave leaf ``b`` through up-port
+   ``c_b``;
+2. assign each leaf a set ``S_b`` of ``m_1`` *other* leaves so that the
+   successor map ``(b, t) -> (S_b[t], c_b)`` is a permutation of all
+   end-ports (each port has exactly one predecessor);
+3. read the permutation's cycles off as the rank order: consecutive
+   ranks sit on successive ports of the map, so the Ring stage realises
+   it (cycle stitch points lose one congested flow each, a vanishing
+   fraction).
+
+With ``L`` leaves of ``m`` hosts this drives ``m`` (or ``m-1`` when
+``L == m``) flows onto a single up link per leaf -- the paper's
+worst-case oversubscription of 18 on 36-port-switch fabrics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..topology.spec import PGFTSpec
+
+__all__ = ["adversarial_ring_order", "ring_successor_permutation"]
+
+
+def ring_successor_permutation(spec: PGFTSpec) -> np.ndarray:
+    """The adversarial successor map ``succ[port] -> port`` (step 1-2)."""
+    if spec.h < 2:
+        raise ValueError("adversarial ordering needs at least 2 levels")
+    m = spec.m[0]
+    N = spec.num_endports
+    L = N // m
+    if L < 2:
+        raise ValueError("need at least two leaf switches")
+
+    succ = np.full(N, -1, dtype=np.int64)
+    if L % m == 0 and L // m >= 1:
+        g = L // m
+        for c in range(m):
+            members = np.arange(c, L, m)  # leaves with residue class c
+            assert len(members) == g
+            for i, b in enumerate(members):
+                # Chunk of m leaves, rotated by one chunk to avoid b itself
+                # (impossible only when g == 1, where one self-flow remains).
+                chunk = (np.arange(m) + ((i + 1) % g) * m) % L
+                succ[b * m + np.arange(m)] = chunk * m + c
+    else:
+        # General fallback: greedy residue assignment. Each leaf b uses
+        # residue c_b = b % m and takes the next m unclaimed leaves of
+        # that residue's column, preferring leaves != b.
+        claimed = np.zeros((L, m), dtype=bool)  # (leaf, residue) ports taken
+        for b in range(L):
+            c = b % m
+            order = np.argsort((np.arange(L) == b))  # others first
+            free = [l for l in order if not claimed[l, c]]
+            take = free[:m]
+            if len(take) < m:
+                raise ValueError("cannot build adversarial order for this shape")
+            for t, l in enumerate(take):
+                claimed[l, c] = True
+                succ[b * m + t] = l * m + c
+    if (succ < 0).any() or len(np.unique(succ)) != N:
+        raise AssertionError("successor map is not a permutation")
+    return succ
+
+
+def adversarial_ring_order(spec: PGFTSpec) -> np.ndarray:
+    """Rank placement realising the adversarial Ring traffic (step 3).
+
+    Returns ``rank_to_port`` of length ``N``: walking the successor
+    permutation cycle by cycle, so that rank ``r+1`` sits on
+    ``succ[port(r)]`` except where two cycles are stitched together.
+    """
+    succ = ring_successor_permutation(spec)
+    N = len(succ)
+    visited = np.zeros(N, dtype=bool)
+    order: list[int] = []
+    for start in range(N):
+        if visited[start]:
+            continue
+        cur = start
+        while not visited[cur]:
+            visited[cur] = True
+            order.append(cur)
+            cur = int(succ[cur])
+    return np.asarray(order, dtype=np.int64)

@@ -1,0 +1,99 @@
+"""MPI node orderings (rank -> end-port placements).
+
+The paper's central knob besides routing: *where* each MPI rank sits.
+A placement is a vector ``rank_to_port`` with ``rank_to_port[r]`` the
+end-port index of rank ``r`` (end-port indices are the RLFT topology
+order -- leaf-switch major, host minor).
+
+* :func:`topology_order` -- the paper's proposal: rank ``r`` on
+  end-port ``r`` (identity / "routing order" in Fig. 1b).  For partial
+  jobs, ranks fill the active ports in ascending index order.
+* :func:`random_order` -- uniformly random placement (the measured
+  ~40 % bandwidth-loss regime of [2]).
+* :func:`random_subset` -- a partial job: choose active ports at
+  random, then place ranks randomly on them ("Cont.-X" rows of
+  Table 3 exclude X random nodes).
+* :func:`topology_subset` -- partial job on randomly chosen ports but
+  with topology-ordered ranks (the paper's partially-populated result:
+  D-Mod-K keeps HSD = 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "topology_order",
+    "random_order",
+    "random_subset",
+    "topology_subset",
+    "physical_placement",
+    "invert_placement",
+]
+
+
+def topology_order(num_endports: int, num_ranks: int | None = None) -> np.ndarray:
+    """Rank ``r`` on end-port ``r`` (first ``num_ranks`` ports)."""
+    n = num_endports if num_ranks is None else num_ranks
+    if n > num_endports:
+        raise ValueError(f"{n} ranks do not fit {num_endports} end-ports")
+    return np.arange(n, dtype=np.int64)
+
+
+def random_order(num_endports: int, num_ranks: int | None = None,
+                 seed: int | np.random.Generator = 0) -> np.ndarray:
+    """Uniformly random placement of ``num_ranks`` ranks on the fabric."""
+    rng = np.random.default_rng(seed)
+    n = num_endports if num_ranks is None else num_ranks
+    if n > num_endports:
+        raise ValueError(f"{n} ranks do not fit {num_endports} end-ports")
+    return rng.permutation(num_endports)[:n].astype(np.int64)
+
+
+def random_subset(num_endports: int, excluded: int,
+                  seed: int | np.random.Generator = 0) -> np.ndarray:
+    """Random placement on a random subset: ``excluded`` ports idle.
+
+    Matches the paper's partial-tree generation: "randomly selecting a
+    set of nodes excluded from the communication", with the surviving
+    ranks also randomly ordered.
+    """
+    rng = np.random.default_rng(seed)
+    ports = rng.permutation(num_endports)[: num_endports - excluded]
+    return rng.permutation(ports).astype(np.int64)
+
+
+def topology_subset(num_endports: int, excluded: int,
+                    seed: int | np.random.Generator = 0) -> np.ndarray:
+    """Topology-ordered ranks on a random subset of active ports.
+
+    The paper's proposal applied to a partially-populated tree: the
+    active end-ports keep their fabric order; ranks are dense.
+    """
+    rng = np.random.default_rng(seed)
+    ports = rng.permutation(num_endports)[: num_endports - excluded]
+    return np.sort(ports).astype(np.int64)
+
+
+def physical_placement(active: np.ndarray, num_endports: int) -> np.ndarray:
+    """The paper's partial-tree semantics: CPS slots ARE physical
+    end-port positions; excluded ports hold ``-1`` and their flows are
+    skipped.
+
+    Use with a CPS generated for the *full* fabric size.  Section VI:
+    "the number of stages used does not reflect the actual number of
+    the used end-ports but the number of leaf switches they occupy" --
+    traffic stays a subset of the full-population pattern, so D-Mod-K
+    keeps HSD = 1 for arbitrary exclusions.
+    """
+    active = np.asarray(active, dtype=np.int64)
+    slots = np.full(num_endports, -1, dtype=np.int64)
+    slots[active] = active
+    return slots
+
+
+def invert_placement(rank_to_port: np.ndarray, num_endports: int) -> np.ndarray:
+    """``port_to_rank`` vector; idle ports hold ``-1``."""
+    inv = np.full(num_endports, -1, dtype=np.int64)
+    inv[np.asarray(rank_to_port)] = np.arange(len(rank_to_port))
+    return inv

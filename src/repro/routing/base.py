@@ -1,0 +1,111 @@
+"""Routing engine interface and shared PGFT routing scaffolding.
+
+A *routing engine* consumes a wired :class:`~repro.fabric.model.Fabric`
+and produces destination-based
+:class:`~repro.fabric.lft.ForwardingTables`.  Everything downstream
+(hot-spot analysis, fluid and packet simulators) only reads tables, so
+engines are interchangeable.
+
+PGFT-structured engines (D-Mod-K and the randomised baseline) share the
+same skeleton: at a level-``l`` switch the route toward end-port ``j``
+either *descends* -- when the switch is an ancestor of ``j`` -- through
+the down port pointing at ``j``'s sub-tree, or *ascends* through some up
+port.  Engines differ only in two choices:
+
+* which of the ``p_l`` parallel cables to use when descending, and
+* which up port to use when ascending.
+
+:func:`build_pgft_tables` factors that skeleton out; concrete engines
+supply the two choice functions as vectorised callbacks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+import numpy as np
+
+from ..fabric.lft import ForwardingTables
+from ..fabric.model import Fabric
+from ..topology.pgft import PGFT, endport_digits
+
+__all__ = ["Router", "build_pgft_tables", "require_spec"]
+
+
+class Router(Protocol):
+    """Anything that turns a fabric into forwarding tables."""
+
+    def __call__(self, fabric: Fabric) -> ForwardingTables: ...
+
+
+def require_spec(fabric: Fabric) -> PGFT:
+    """Return the PGFT helper for a spec-carrying fabric or raise."""
+    if fabric.spec is None:
+        raise ValueError(
+            "this routing engine needs a PGFT-structured fabric "
+            "(fabric.spec is None); use the min-hop engine for generic fabrics"
+        )
+    return PGFT(fabric.spec)
+
+
+def build_pgft_tables(
+    fabric: Fabric,
+    up_choice: Callable[[int, np.ndarray, np.ndarray], np.ndarray],
+    down_parallel: Callable[[int, np.ndarray, np.ndarray], np.ndarray],
+    host_choice: Callable[[np.ndarray], np.ndarray] | None = None,
+) -> ForwardingTables:
+    """Assemble forwarding tables for a PGFT fabric.
+
+    Parameters
+    ----------
+    up_choice:
+        ``up_choice(level, switch_index, dest)`` -> up-port ordinal in
+        ``[0, w_{level+1} * p_{level+1})`` for switches at ``level`` that
+        are *not* ancestors of ``dest``.  Arrays are broadcast to the full
+        ``(num_switches_at_level, N)`` grid.
+    down_parallel:
+        ``down_parallel(level, switch_index, dest)`` -> parallel-cable
+        ordinal ``k in [0, p_level)`` used when descending toward
+        ``dest``; the child digit is forced by ``dest`` itself.
+    host_choice:
+        ``host_choice(dest)`` -> local up port a host uses toward
+        ``dest``; defaults to port 0 (single-rail hosts).
+    """
+    tree = require_spec(fabric)
+    spec = tree.spec
+    N = spec.num_endports
+    dest = np.arange(N, dtype=np.int64)
+    jdig = endport_digits(spec, dest)  # (N, h)
+
+    rows = []
+    for level in spec.iter_levels():
+        S = spec.switches_at(level)
+        sw = np.arange(S, dtype=np.int64)
+        m_l = spec.m[level - 1]
+        n_down = spec.down_ports_at(level)
+
+        anc = tree.ancestor_mask(level, sw[:, None], dest[None, :])  # (S, N)
+        k = np.broadcast_to(
+            np.asarray(down_parallel(level, sw[:, None], dest[None, :])), (S, N)
+        )
+        down_local = jdig[None, :, level - 1] + k * m_l
+        if level == spec.h:
+            local = down_local
+            if not anc.all():
+                raise AssertionError("top-level switches must reach everything")
+        else:
+            up = np.broadcast_to(
+                np.asarray(up_choice(level, sw[:, None], dest[None, :])), (S, N)
+            )
+            local = np.where(anc, down_local, n_down + up)
+
+        node = fabric.switch_node(level, sw)
+        rows.append(fabric.port_start[node][:, None] + local)
+
+    switch_out = np.concatenate(rows, axis=0).astype(np.int64)
+
+    host_up = None
+    if spec.up_ports_at(0) > 1:
+        choice = host_choice(dest) if host_choice else np.zeros(N, dtype=np.int64)
+        host_up = np.broadcast_to(choice, (N, N)).astype(np.int32).copy()
+    return ForwardingTables(fabric=fabric, switch_out=switch_out, host_up=host_up)

@@ -1,0 +1,112 @@
+"""Counting-based fat-tree routing (subnet-manager heuristic baseline).
+
+Production subnet managers historically balanced fat-tree routes with
+*counters*: walk destinations in some order and give each switch's next
+up-routed destination the least-used up port (round-robin).  This
+engine reproduces that heuristic:
+
+* ascending entries: at each switch the non-descendant destinations are
+  assigned to up-ports round-robin in destination processing order;
+* descending entries: within each child sub-tree, destinations take the
+  ``p_l`` parallel cables round-robin.
+
+Three instructive limits, all captured in the test suite and the
+ablation bench -- together they explain *why* the paper's closed form
+matters:
+
+* on **2-level single-cable** fabrics the counters land on bit-identical
+  tables to D-Mod-K (and min-hop round-robin behaves the same way):
+  at a leaf, "every ``K``-th destination" and "destination mod ``K``"
+  coincide;
+* on **3-level** trees they diverge and congest (worst HSD 3 on the
+  maximal arity-3 RLFT): above the leaves, D-Mod-K groups destinations
+  by ``floor(j / W_l)`` -- consecutive destinations must *share* an
+  up-port so that the groups, not the individuals, round-robin.  A
+  per-destination counter balances counts perfectly yet breaks the
+  modular structure the congestion-freedom proof needs;
+* on **parallel-cable** fabrics the down-cable counters can mis-align
+  with the up-cable choice even at 2 levels (the paper's 16-node PGFT:
+  per-child stride 2 is even, so a Shift stage doubles up on a cable);
+  and with randomised processing order (``shuffle=True``, an SM walking
+  LIDs in discovery order) hot spots return everywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..fabric.lft import ForwardingTables
+from ..fabric.model import Fabric
+from ..topology.pgft import endport_digits
+from .base import build_pgft_tables, require_spec
+
+__all__ = ["route_ftree", "FTreeRouter"]
+
+
+def route_ftree(fabric: Fabric, shuffle: bool = False,
+                seed: int | np.random.Generator = 0) -> ForwardingTables:
+    """Counting-based forwarding tables for a PGFT fabric.
+
+    ``shuffle=True`` processes destinations in a random order instead of
+    index order (counters still balance *counts* perfectly -- but not
+    the modular structure the congestion-freedom proof needs).
+    """
+    tree = require_spec(fabric)
+    spec = tree.spec
+    N = spec.num_endports
+    rng = np.random.default_rng(seed)
+    proc = rng.permutation(N) if shuffle else np.arange(N)
+    # rank_of[j] = position of destination j in processing order.
+    rank_of = np.empty(N, dtype=np.int64)
+    rank_of[proc] = np.arange(N)
+    jdig = endport_digits(spec, np.arange(N))
+
+    def up_choice(level: int, sw: np.ndarray, dest: np.ndarray) -> np.ndarray:
+        S = spec.switches_at(level)
+        n_up = spec.up_ports_at(level)
+        anc = tree.ancestor_mask(
+            level, np.arange(S)[:, None], np.arange(N)[None, :]
+        )
+        # Round-robin counter over non-descendant dests, in processing
+        # order: sort columns by rank_of, cumulative-count, unsort.
+        order = np.argsort(rank_of, kind="stable")
+        not_anc = ~anc[:, order]
+        counter = np.cumsum(not_anc, axis=1) - 1
+        q = np.empty_like(counter)
+        q[:, order] = counter % n_up
+        return q
+
+    def down_parallel(level: int, sw: np.ndarray, dest: np.ndarray) -> np.ndarray:
+        p_l = spec.p[level - 1]
+        if p_l == 1:
+            return np.zeros((1, N), dtype=np.int64)
+        a = jdig[:, level - 1]
+        k = np.empty(N, dtype=np.int64)
+        order = np.argsort(rank_of, kind="stable")
+        for child in range(spec.m[level - 1]):
+            idx = order[a[order] == child]
+            k[idx] = np.arange(len(idx)) % p_l
+        return k[None, :]
+
+    def host_choice(dest: np.ndarray) -> np.ndarray:
+        n_up = spec.up_ports_at(0)
+        if n_up == 1:
+            return np.zeros(N, dtype=np.int64)
+        return (rank_of % n_up).astype(np.int64)
+
+    return build_pgft_tables(fabric, up_choice, down_parallel, host_choice)
+
+
+class FTreeRouter:
+    """Callable wrapper (``shuffle`` emulates discovery-order SMs)."""
+
+    def __init__(self, shuffle: bool = False, seed: int = 0):
+        self.shuffle = shuffle
+        self.seed = seed
+        self.name = "ftree-shuffled" if shuffle else "ftree"
+
+    def __call__(self, fabric: Fabric) -> ForwardingTables:
+        return route_ftree(fabric, self.shuffle, self.seed)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FTreeRouter(shuffle={self.shuffle}, seed={self.seed})"

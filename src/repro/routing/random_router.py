@@ -1,0 +1,58 @@
+"""Randomised up-port routing baseline.
+
+Destination-based and deadlock-free like D-Mod-K (still strictly
+up*/down* on the tree), but the up-port used toward each destination is
+drawn uniformly at random per ``(switch, destination)`` pair, and the
+parallel down-cable likewise.  This mimics what a structure-oblivious
+subnet manager produces on a fat tree: every destination is reachable
+along minimal paths, yet nothing prevents many destinations of one
+communication stage from sharing an up link -- the hot-spot source the
+paper quantifies in section II.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..fabric.lft import ForwardingTables
+from ..fabric.model import Fabric
+from .base import build_pgft_tables, require_spec
+
+__all__ = ["route_random", "RandomRouter"]
+
+
+def route_random(fabric: Fabric, seed: int | np.random.Generator = 0) -> ForwardingTables:
+    """Random up-port forwarding tables for a PGFT fabric."""
+    tree = require_spec(fabric)
+    spec = tree.spec
+    rng = np.random.default_rng(seed)
+    N = spec.num_endports
+
+    def up_choice(level: int, sw: np.ndarray, dest: np.ndarray) -> np.ndarray:
+        S = spec.switches_at(level)
+        hi = spec.up_ports_at(level)
+        return rng.integers(0, hi, size=(S, N))
+
+    def down_parallel(level: int, sw: np.ndarray, dest: np.ndarray) -> np.ndarray:
+        S = spec.switches_at(level)
+        return rng.integers(0, spec.p[level - 1], size=(S, N))
+
+    def host_choice(dest: np.ndarray) -> np.ndarray:
+        return rng.integers(0, spec.up_ports_at(0), size=N)
+
+    return build_pgft_tables(fabric, up_choice, down_parallel, host_choice)
+
+
+class RandomRouter:
+    """Callable wrapper with a fixed seed (deterministic per instance)."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+
+    def __call__(self, fabric: Fabric) -> ForwardingTables:
+        return route_random(fabric, self.seed)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RandomRouter(seed={self.seed})"

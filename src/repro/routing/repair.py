@@ -1,0 +1,110 @@
+"""Forwarding-table repair after link failures.
+
+Real subnet managers re-route around dead cables without recomputing
+the whole fabric from scratch.  This module does the same for our
+tables: entries that point at a dead port are re-assigned to a live
+port on a *shortest path* through the degraded fabric, spreading the
+detoured destinations round-robin over the candidates.
+
+The result keeps D-Mod-K's behaviour everywhere the original routing
+survives -- contention is only introduced where physics forces it (a
+detour shares a live link with its original traffic).  The failures
+experiment quantifies that graceful degradation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..fabric.lft import ForwardingTables
+from ..fabric.model import Fabric
+from .minhop import bfs_distances
+
+__all__ = ["repair_tables", "RepairReport"]
+
+
+@dataclass(frozen=True)
+class RepairReport:
+    """What the repair touched."""
+
+    tables: ForwardingTables
+    repaired_entries: int        # (switch, dest) entries re-pointed
+    dead_ports: int
+    unreachable: tuple[int, ...]  # destinations no longer reachable
+
+    @property
+    def ok(self) -> bool:
+        return not self.unreachable
+
+
+def repair_tables(tables: ForwardingTables, fabric: Fabric) -> RepairReport:
+    """Re-point dead entries of ``tables`` onto the degraded ``fabric``.
+
+    ``fabric`` must be the degraded twin of ``tables.fabric`` (same
+    port numbering; some cables removed, e.g. via
+    :meth:`Fabric.with_failed_cables`).
+    """
+    if fabric.num_ports != tables.fabric.num_ports:
+        raise ValueError("degraded fabric does not match the tables' fabric")
+    N = fabric.num_endports
+    dead = fabric.port_peer < 0
+    sw_out = tables.switch_out.copy()
+
+    # Destinations whose host cable died are gone entirely.
+    host_ports = fabric.port_start[:N]
+    lost_hosts = tuple(int(h) for h in np.flatnonzero(dead[host_ports]))
+
+    repaired = 0
+    if sw_out.size:
+        dists = bfs_distances(fabric, np.arange(N))  # (N, V) on degraded net
+        # An entry must be repaired when it points at a dead port OR is
+        # no longer on a shortest path: keeping a non-minimal survivor
+        # can bounce traffic back toward the failure (a routing loop),
+        # so the repair is transitive -- every entry re-validates, and
+        # strictly-descending distances make loops impossible.
+        entry_dead = dead[sw_out]
+        next_node = np.where(entry_dead, -1, fabric.peer_node[sw_out])
+        nodes = N + np.arange(sw_out.shape[0])
+        dest_idx = np.arange(N)
+        d_here = dists[dest_idx[None, :], nodes[:, None]]
+        d_next = np.where(next_node >= 0,
+                          dists[dest_idx[None, :], next_node], -2)
+        needs = entry_dead | (d_next != d_here - 1)
+        rows, dests = np.nonzero(needs)
+        for row, dest in zip(rows.tolist(), dests.tolist()):
+            if dest in lost_hosts:
+                sw_out[row, dest] = -1
+                continue
+            node = N + row
+            ports = fabric.ports_of(node)
+            live = ports[fabric.port_peer[ports] >= 0]
+            peers = fabric.peer_node[live]
+            if dists[dest, node] < 0:
+                sw_out[row, dest] = -1
+                continue
+            cand = live[dists[dest, peers] == dists[dest, node] - 1]
+            if len(cand) == 0:
+                sw_out[row, dest] = -1
+                continue
+            sw_out[row, dest] = int(cand[dest % len(cand)])
+            repaired += 1
+
+    new_tables = ForwardingTables(
+        fabric=fabric, switch_out=sw_out, host_up=tables.host_up
+    )
+    # A destination is declared unreachable when its host cable died or
+    # any switch was left without a live candidate toward it
+    # (conservative: some of those switches might never be asked).
+    unreachable = set(lost_hosts)
+    if sw_out.size:
+        unreachable.update(
+            int(d) for d in np.flatnonzero((sw_out < 0).any(axis=0))
+        )
+    return RepairReport(
+        tables=new_tables,
+        repaired_entries=repaired,
+        dead_ports=int(dead.sum()),
+        unreachable=tuple(sorted(unreachable)),
+    )

@@ -1,0 +1,119 @@
+"""Routing validators: reachability, up*/down* shape, theorem-2 checks.
+
+These are the safety nets every routing engine is run through in the
+test suite:
+
+* :func:`check_reachability` -- every (src, dst) pair terminates within
+  the tree diameter; returns the hop-count matrix.
+* :func:`check_up_down` -- every path ascends zero or more levels and
+  then descends (no "valleys"), the classic deadlock-freedom shape for
+  fat-tree routing.
+* :func:`down_port_destinations` -- per down-going directed link, the
+  set size of destinations whose (unique, destination-based) route uses
+  it; theorem 2 states D-Mod-K yields at most one on complete RLFTs.
+* :func:`top_switch_of` -- the top-level switch carrying all traffic to
+  each destination (lemma 5) -- ``None``-free only for tree-shaped
+  tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..fabric.lft import ForwardingTables
+
+__all__ = [
+    "check_reachability",
+    "check_up_down",
+    "down_port_destinations",
+    "trace_route",
+    "RoutingError",
+]
+
+
+class RoutingError(AssertionError):
+    """A routing invariant was violated."""
+
+
+def trace_route(tables: ForwardingTables, src: int, dst: int,
+                max_hops: int = 64) -> list[int]:
+    """Global port ids traversed from ``src`` to ``dst`` (directed)."""
+    fab = tables.fabric
+    if src == dst:
+        return []
+    path = []
+    gp = int(tables.host_out_port(src, dst))
+    path.append(gp)
+    cur = int(fab.peer_node[gp])
+    for _ in range(max_hops):
+        if cur == dst:
+            return path
+        gp = int(tables.out_port(cur, dst))
+        if gp < 0:
+            raise RoutingError(f"dead end at node {cur} toward {dst}")
+        path.append(gp)
+        cur = int(fab.peer_node[gp])
+    raise RoutingError(f"route {src}->{dst} exceeded {max_hops} hops (loop?)")
+
+
+def check_reachability(tables: ForwardingTables) -> np.ndarray:
+    """Hop-count matrix; raises :class:`RoutingError` on any failure."""
+    hops = tables.paths_matrix()
+    if (hops < 0).any():
+        bad = np.argwhere(hops < 0)[0]
+        raise RoutingError(f"unreachable pair src={bad[0]} dst={bad[1]}")
+    return hops
+
+
+def check_up_down(tables: ForwardingTables, sample: int | None = None,
+                  seed: int = 0) -> None:
+    """Verify the up-then-down shape of every (or a sampled set of) route.
+
+    ``sample`` bounds the number of (src, dst) pairs checked on large
+    fabrics; ``None`` checks all pairs.
+    """
+    fab = tables.fabric
+    N = fab.num_endports
+    pairs = [(s, d) for s in range(N) for d in range(N) if s != d]
+    if sample is not None and sample < len(pairs):
+        rng = np.random.default_rng(seed)
+        idx = rng.choice(len(pairs), size=sample, replace=False)
+        pairs = [pairs[i] for i in idx]
+    lvl = fab.node_level
+    for s, d in pairs:
+        path = trace_route(tables, s, d)
+        levels = [int(lvl[fab.port_owner[gp]]) for gp in path] + [0]
+        went_down = False
+        for a, b in zip(levels, levels[1:]):
+            if b > a and went_down:
+                raise RoutingError(
+                    f"route {s}->{d} ascends after descending: levels {levels}"
+                )
+            if b < a:
+                went_down = True
+
+
+def down_port_destinations(tables: ForwardingTables) -> np.ndarray:
+    """Number of distinct destinations carried by each down-going directed
+    link under all-to-all traffic.
+
+    Returns an array over global port ids; up-going and host ports hold
+    zero.  Theorem 2: D-Mod-K on a complete RLFT gives at most one
+    destination per down port.
+    """
+    fab = tables.fabric
+    N = fab.num_endports
+    goes_up = fab.port_goes_up()
+    used = np.zeros((fab.num_ports,), dtype=np.int64)
+    # Walk each destination's routes from every source; count *distinct*
+    # destinations per directed port by per-destination marking.
+    for dst in range(N):
+        marked: set[int] = set()
+        for src in range(N):
+            if src == dst:
+                continue
+            for gp in trace_route(tables, src, dst):
+                if not goes_up[gp] and gp not in marked:
+                    marked.add(gp)
+                    used[gp] += 1
+    return used

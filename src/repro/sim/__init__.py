@@ -1,0 +1,42 @@
+"""Network simulators: event-driven fluid (flow-level) and packet-level
+cut-through models calibrated to the paper's InfiniBand QDR setup."""
+
+from .calibration import (
+    DDR_PCIE_GEN1,
+    EDR_PCIE_GEN3,
+    QDR_PCIE_GEN2,
+    LinkCalibration,
+)
+from .events import EventQueue, SimulationError
+from .fluid import FluidResult, FluidSimulator, MessageRecord
+from .metrics import (
+    bandwidth_lower_bound,
+    efficiency,
+    ideal_sequence_time,
+    link_byte_loads,
+    utilization_report,
+)
+from .packet import PacketResult, PacketSimulator
+from .workload import cps_workload, permutation_workload, uniform_random_workload
+
+__all__ = [
+    "DDR_PCIE_GEN1",
+    "EDR_PCIE_GEN3",
+    "EventQueue",
+    "FluidResult",
+    "FluidSimulator",
+    "LinkCalibration",
+    "MessageRecord",
+    "PacketResult",
+    "PacketSimulator",
+    "QDR_PCIE_GEN2",
+    "SimulationError",
+    "bandwidth_lower_bound",
+    "cps_workload",
+    "efficiency",
+    "ideal_sequence_time",
+    "link_byte_loads",
+    "permutation_workload",
+    "utilization_report",
+    "uniform_random_workload",
+]

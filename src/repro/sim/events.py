@@ -1,0 +1,65 @@
+"""Minimal discrete-event simulation core.
+
+A deterministic event queue shared by the fluid and packet simulators:
+events fire in (time, sequence) order, so equal-time events run in
+scheduling order and runs are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Callable
+
+__all__ = ["EventQueue", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """The simulation reached an inconsistent state."""
+
+
+class EventQueue:
+    """Priority queue of ``(time, callback, payload)`` events."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callable, tuple]] = []
+        self._seq = count()
+        self.now = 0.0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, when: float, callback: Callable, *args: Any) -> None:
+        """Schedule ``callback(*args)`` at absolute time ``when``."""
+        if when < self.now - 1e-9:
+            raise SimulationError(
+                f"cannot schedule event in the past ({when} < now {self.now})"
+            )
+        heapq.heappush(self._heap, (when, next(self._seq), callback, args))
+
+    def schedule_in(self, delay: float, callback: Callable, *args: Any) -> None:
+        """Schedule ``callback(*args)`` after ``delay`` time units."""
+        self.schedule(self.now + delay, callback, *args)
+
+    def step(self) -> bool:
+        """Run the next event; returns False when the queue is empty."""
+        if not self._heap:
+            return False
+        when, _, callback, args = heapq.heappop(self._heap)
+        self.now = when
+        callback(*args)
+        return True
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        """Drain the queue (optionally bounded); returns events executed."""
+        executed = 0
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                break
+            if max_events is not None and executed >= max_events:
+                raise SimulationError(
+                    f"exceeded {max_events} events; runaway simulation?"
+                )
+            self.step()
+            executed += 1
+        return executed

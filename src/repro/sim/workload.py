@@ -1,0 +1,79 @@
+"""Workload builders: CPS + placement + message size -> port sequences.
+
+Bridges the collectives layer to the simulators: the paper's experiments
+translate a collective's algorithm "into sequences of destinations
+specific for each end-port" (section II); this module performs that
+translation, with uniform or per-stage message sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..collectives.cps import CPS
+from ..collectives.schedule import stage_flows
+
+__all__ = ["cps_workload", "permutation_workload", "uniform_random_workload"]
+
+
+def cps_workload(
+    cps: CPS,
+    rank_to_port: np.ndarray,
+    num_endports: int,
+    message_size: float | list[float],
+) -> list[list[tuple[int, float]]]:
+    """Per-port ``(dst, size)`` sequences for a CPS under a placement.
+
+    ``message_size`` is either one size for every stage or a per-stage
+    list (e.g. recursive halving sends shrinking messages).
+    """
+    if isinstance(message_size, (int, float)):
+        sizes = [float(message_size)] * len(cps)
+    else:
+        sizes = [float(s) for s in message_size]
+        if len(sizes) != len(cps):
+            raise ValueError(
+                f"{len(sizes)} sizes for {len(cps)} stages"
+            )
+    seqs: list[list[tuple[int, float]]] = [[] for _ in range(num_endports)]
+    for st, size in zip(cps, sizes):
+        src, dst = stage_flows(st, rank_to_port)
+        for s, d in zip(src.tolist(), dst.tolist()):
+            seqs[s].append((d, size))
+    return seqs
+
+
+def permutation_workload(
+    src: np.ndarray,
+    dst: np.ndarray,
+    num_endports: int,
+    message_size: float,
+    repeats: int = 1,
+) -> list[list[tuple[int, float]]]:
+    """A fixed permutation replayed ``repeats`` times (e.g. the ring
+    adversary of section II)."""
+    seqs: list[list[tuple[int, float]]] = [[] for _ in range(num_endports)]
+    for s, d in zip(np.asarray(src).tolist(), np.asarray(dst).tolist()):
+        if s == d:
+            continue
+        seqs[s].extend([(d, float(message_size))] * repeats)
+    return seqs
+
+
+def uniform_random_workload(
+    num_endports: int,
+    messages_per_port: int,
+    message_size: float,
+    seed: int | np.random.Generator = 0,
+) -> list[list[tuple[int, float]]]:
+    """Unstructured traffic: every port sends to uniform random peers.
+
+    Not a collective -- the background-traffic control case.
+    """
+    rng = np.random.default_rng(seed)
+    seqs: list[list[tuple[int, float]]] = []
+    for p in range(num_endports):
+        dsts = rng.integers(0, num_endports - 1, size=messages_per_port)
+        dsts = np.where(dsts >= p, dsts + 1, dsts)  # exclude self
+        seqs.append([(int(d), float(message_size)) for d in dsts])
+    return seqs

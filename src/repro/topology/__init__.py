@@ -1,0 +1,41 @@
+"""Fat-tree topology models: XGFT, PGFT and Real-Life Fat-Trees.
+
+Public entry points:
+
+* :class:`~repro.topology.spec.PGFTSpec` / :func:`~repro.topology.spec.pgft`
+  -- the canonical tuple.
+* :class:`~repro.topology.pgft.PGFT` -- digit arithmetic, node addressing
+  and cable enumeration.
+* :mod:`~repro.topology.rlft` -- RLFT factories (maximal trees, the
+  paper's evaluation topologies, design-space search).
+* :mod:`~repro.topology.xgft` -- XGFT / k-ary-n-tree conveniences.
+"""
+
+from .discover import DiscoveryError, discover_pgft
+from .pgft import PGFT, endport_digits, endport_index
+from .rlft import design_pgfts, paper_topologies, rlft_max, three_level, two_level
+from .xgft import is_k_ary_n_tree, is_xgft, k_ary_n_tree, xgft
+
+# Import last: the ``pgft`` convenience constructor must win over the
+# ``repro.topology.pgft`` submodule attribute of the same name.
+from .spec import PGFTSpec, TopologyError, pgft
+
+__all__ = [
+    "DiscoveryError",
+    "PGFT",
+    "PGFTSpec",
+    "TopologyError",
+    "design_pgfts",
+    "discover_pgft",
+    "endport_digits",
+    "endport_index",
+    "is_k_ary_n_tree",
+    "is_xgft",
+    "k_ary_n_tree",
+    "paper_topologies",
+    "pgft",
+    "rlft_max",
+    "three_level",
+    "two_level",
+    "xgft",
+]

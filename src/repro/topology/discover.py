@@ -1,0 +1,146 @@
+"""PGFT discovery: recognise the fat-tree structure of a raw wire list.
+
+Subnet managers face this daily: the fabric arrives as an unlabelled
+list of cables (e.g. parsed from an ``ibnetdiscover`` dump) and the
+routing engine must first establish that the wiring *is* the fat-tree
+the operator intended -- miswired cables silently destroy the
+congestion-freedom guarantees.
+
+The structural characterisation used here: between consecutive levels
+``l-1`` and ``l``, a PGFT's bipartite connection graph is a disjoint
+union of complete bipartite blocks ``K_{m_l, w_l}`` with exactly
+``p_l`` parallel cables on every edge -- because a lower node's parent
+set depends only on its non-``a_l`` digits, all ``m_l`` siblings of a
+block share an identical parent set.  Checking this per level verifies
+the fabric is isomorphic to ``build_fabric(spec)`` for the inferred
+tuple (up to renumbering within blocks).
+
+:func:`discover_pgft` infers ``PGFT(h; m; w; p)`` and raises
+:class:`DiscoveryError` pinpointing the first structural violation.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from ..fabric.model import Fabric
+from .spec import PGFTSpec, pgft
+
+__all__ = ["discover_pgft", "DiscoveryError"]
+
+
+class DiscoveryError(ValueError):
+    """The fabric is not a valid PGFT; the message says why."""
+
+
+def _neighbors_up(fab: Fabric, node: int, level_of: np.ndarray) -> dict[int, int]:
+    """Upper-level peers of ``node`` -> number of parallel cables."""
+    peers: dict[int, int] = defaultdict(int)
+    for gp in fab.ports_of(node):
+        peer = int(fab.peer_node[gp])
+        if peer >= 0 and level_of[peer] == level_of[node] + 1:
+            peers[peer] += 1
+    return dict(peers)
+
+
+def discover_pgft(fabric: Fabric) -> PGFTSpec:
+    """Infer and verify the PGFT tuple of a wired fabric."""
+    fab = fabric
+    level_of = fab.node_level
+    if (level_of < 0).any():
+        fab.infer_levels()
+        level_of = fab.node_level
+    h = int(level_of.max())
+    if h < 1:
+        raise DiscoveryError("fabric has no switches")
+    n_hosts = fab.num_endports
+    if n_hosts < 1:
+        raise DiscoveryError("fabric has no end-ports")
+
+    m: list[int] = []
+    w: list[int] = []
+    p: list[int] = []
+
+    for level in range(1, h + 1):
+        lower = [v for v in range(fab.num_nodes) if level_of[v] == level - 1]
+        upper = [v for v in range(fab.num_nodes) if level_of[v] == level]
+        if not lower or not upper:
+            raise DiscoveryError(f"no nodes at level {level - 1} or {level}")
+
+        # Parent multiset per lower node.
+        parent_sets: dict[int, dict[int, int]] = {}
+        for v in lower:
+            ups = _neighbors_up(fab, v, level_of)
+            if not ups:
+                raise DiscoveryError(
+                    f"node {fab.node_names[v]} (level {level - 1}) has no"
+                    f" up-links"
+                )
+            parent_sets[v] = ups
+
+        # Uniform w_l and p_l.
+        w_l = len(next(iter(parent_sets.values())))
+        p_counts = {c for ups in parent_sets.values() for c in ups.values()}
+        if len(p_counts) != 1:
+            raise DiscoveryError(
+                f"level {level}: parallel-cable counts differ across pairs"
+                f" ({sorted(p_counts)})"
+            )
+        p_l = p_counts.pop()
+        for v, ups in parent_sets.items():
+            if len(ups) != w_l:
+                raise DiscoveryError(
+                    f"level {level}: {fab.node_names[v]} has {len(ups)}"
+                    f" parents, expected {w_l}"
+                )
+
+        # Complete-bipartite block check: group lower nodes by parent set.
+        blocks: dict[frozenset, list[int]] = defaultdict(list)
+        for v, ups in parent_sets.items():
+            blocks[frozenset(ups)].append(v)
+        sizes = {len(members) for members in blocks.values()}
+        if len(sizes) != 1:
+            raise DiscoveryError(
+                f"level {level}: sibling-block sizes differ ({sorted(sizes)});"
+                " wiring is not a PGFT"
+            )
+        m_l = sizes.pop()
+
+        # Every upper node must appear in exactly one block.
+        seen: dict[int, int] = {}
+        for key in blocks:
+            for u in key:
+                if u in seen:
+                    raise DiscoveryError(
+                        f"level {level}: switch {fab.node_names[u]} is shared"
+                        " by two sibling blocks; wiring is not a PGFT"
+                    )
+                seen[u] = 1
+        if len(seen) != len(upper):
+            missing = set(upper) - set(seen)
+            v = missing.pop()
+            raise DiscoveryError(
+                f"level {level}: switch {fab.node_names[v]} has no down-links"
+            )
+
+        m.append(m_l)
+        w.append(w_l)
+        p.append(p_l)
+
+    spec = pgft(h, m, w, p)
+    # Final count cross-checks.
+    if spec.num_endports != n_hosts:
+        raise DiscoveryError(
+            f"inferred {spec} implies {spec.num_endports} end-ports,"
+            f" fabric has {n_hosts}"
+        )
+    for level in spec.iter_levels():
+        have = int((level_of == level).sum())
+        want = spec.switches_at(level)
+        if have != want:
+            raise DiscoveryError(
+                f"level {level}: {have} switches, {spec} implies {want}"
+            )
+    return spec

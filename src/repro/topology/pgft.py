@@ -1,0 +1,246 @@
+"""PGFT node addressing, digit arithmetic and connection rules.
+
+This module turns the canonical ``PGFT(h; m; w; p)`` tuple into concrete
+node identities and wire connections (section IV.B of the paper).
+
+Addressing model
+----------------
+Every node carries a digit vector of length ``h`` (positions ``1..h``,
+stored 0-based).  For a node at level ``l``:
+
+* positions ``1..l`` hold *w-digits* ``d_i in [0, w_i)`` -- which of the
+  replicated upper switches the node is, counted from the bottom;
+* positions ``l+1..h`` hold *m-digits* ``a_i in [0, m_i)`` -- the path of
+  sub-tree choices from the root down to the node.
+
+End-ports (level 0) therefore carry only m-digits: the digit vector of
+end-port ``j`` is simply ``j`` written in the little-endian mixed radix
+``(m_1, ..., m_h)``.  This index order *is* the paper's topology-aware
+MPI node order.
+
+Connection rule (paper Fig. 5)
+------------------------------
+A level-``l-1`` node ``X`` and a level-``l`` node ``Z`` are cabled iff
+their digit vectors agree everywhere except position ``l``.  At that
+position ``X`` holds an m-digit ``a_l`` (``Z``'s child index for ``X``)
+and ``Z`` holds a w-digit ``e_l`` (``X``'s parent index for ``Z``).  The
+pair is joined by ``p_l`` parallel cables; cable ``k`` connects
+
+* up-going port   ``q = e_l + k * w_l``  of ``X``  to
+* down-going port ``r = a_l + k * m_l``  of ``Z``.
+
+Node indices
+------------
+Within a level, nodes are numbered by their digit vector in little-endian
+mixed radix ``(w_1..w_l, m_{l+1}..m_h)``.  All functions are vectorised
+over NumPy integer arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .spec import PGFTSpec, TopologyError
+
+__all__ = [
+    "PGFT",
+    "endport_digits",
+    "endport_index",
+]
+
+
+def endport_digits(spec: PGFTSpec, j: np.ndarray | int) -> np.ndarray:
+    """m-digit vector(s) of end-port index ``j``.
+
+    Returns an array of shape ``(..., h)`` with digit ``a_i`` (1-based
+    position ``i``) at column ``i-1``.
+    """
+    j = np.asarray(j)
+    out = np.empty(j.shape + (spec.h,), dtype=np.int64)
+    rem = j.astype(np.int64, copy=True)
+    for i in range(spec.h):
+        out[..., i] = rem % spec.m[i]
+        rem //= spec.m[i]
+    return out
+
+
+def endport_index(spec: PGFTSpec, digits: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`endport_digits` (little-endian mixed radix)."""
+    digits = np.asarray(digits)
+    idx = np.zeros(digits.shape[:-1], dtype=np.int64)
+    scale = 1
+    for i in range(spec.h):
+        idx = idx + digits[..., i] * scale
+        scale *= spec.m[i]
+    return idx
+
+
+class PGFT:
+    """Concrete PGFT: digit/index conversions and connection enumeration.
+
+    The class is a thin, stateless-but-cached wrapper around a
+    :class:`PGFTSpec`; all structural queries are pure functions of the
+    spec.  Fabric construction (actual port objects and cables) lives in
+    :mod:`repro.fabric.model` and consumes :meth:`iter_level_cables`.
+    """
+
+    def __init__(self, spec: PGFTSpec):
+        self.spec = spec
+        h = spec.h
+        # Radix vector of node indices per level: level l uses
+        # (w_1..w_l, m_{l+1}..m_h).
+        self._radix = {
+            level: tuple(spec.w[:level]) + tuple(spec.m[level:])
+            for level in range(0, h + 1)
+        }
+
+    # -- basic counts ---------------------------------------------------
+    @property
+    def num_endports(self) -> int:
+        return self.spec.num_endports
+
+    def num_nodes_at(self, level: int) -> int:
+        """Number of nodes at ``level`` (level 0 = end-ports)."""
+        if level == 0:
+            return self.spec.num_endports
+        return self.spec.switches_at(level)
+
+    # -- digit/index conversions ---------------------------------------
+    def node_digits(self, level: int, index: np.ndarray | int) -> np.ndarray:
+        """Digit vector(s) of node ``index`` at ``level``; shape ``(..., h)``."""
+        radix = self._radix[level]
+        index = np.asarray(index)
+        out = np.empty(index.shape + (self.spec.h,), dtype=np.int64)
+        rem = index.astype(np.int64, copy=True)
+        for i, base in enumerate(radix):
+            out[..., i] = rem % base
+            rem //= base
+        return out
+
+    def node_index(self, level: int, digits: np.ndarray) -> np.ndarray:
+        """Node index from digit vector(s) at ``level``."""
+        radix = self._radix[level]
+        digits = np.asarray(digits)
+        idx = np.zeros(digits.shape[:-1], dtype=np.int64)
+        scale = 1
+        for i, base in enumerate(radix):
+            idx = idx + digits[..., i] * scale
+            scale *= base
+        return idx
+
+    # -- structural relations -------------------------------------------
+    def ancestor_mask(self, level: int, switch_index: np.ndarray,
+                      endport: np.ndarray) -> np.ndarray:
+        """Whether each ``switch_index`` (level ``level``) is an ancestor
+        of the corresponding ``endport``.
+
+        A level-``l`` switch is an ancestor of end-port ``j`` iff their
+        digits agree at positions ``l+1..h`` (the switch's m-digits).
+        Top-level switches are ancestors of every end-port.
+        Broadcasting applies between the two index arrays.
+        """
+        sdig = self.node_digits(level, switch_index)
+        jdig = endport_digits(self.spec, endport)
+        if level == self.spec.h:
+            shape = np.broadcast_shapes(sdig.shape[:-1], jdig.shape[:-1])
+            return np.ones(shape, dtype=bool)
+        return np.all(sdig[..., level:] == jdig[..., level:], axis=-1)
+
+    def leaf_of_endport(self, j: np.ndarray | int) -> np.ndarray:
+        """Index of the (unique in RLFT) level-1 switch above end-port ``j``
+        reachable through up-port 0.
+
+        For general PGFTs with ``w_1 > 1`` this returns the parent with
+        w-digit ``d_1 = 0``; use :meth:`parents_of` for the full set.
+        """
+        digits = endport_digits(self.spec, j)
+        pdig = digits.copy()
+        pdig[..., 0] = 0
+        return self.node_index(1, pdig)
+
+    def parents_of(self, level: int, index: np.ndarray | int) -> np.ndarray:
+        """Indices of all ``w_{level+1}`` parents of node ``index`` at
+        ``level``; shape ``(..., w_{level+1})``, ordered by parent digit."""
+        spec = self.spec
+        if level >= spec.h:
+            raise TopologyError("top-level nodes have no parents")
+        w_up = spec.w[level]
+        digits = self.node_digits(level, index)
+        base = np.repeat(digits[..., None, :], w_up, axis=-2)
+        base[..., :, level] = np.arange(w_up)
+        return self.node_index(level + 1, base)
+
+    def children_of(self, level: int, index: np.ndarray | int) -> np.ndarray:
+        """Indices of all ``m_level`` children (at ``level-1``) of a
+        level-``level`` node; shape ``(..., m_level)``, by child digit."""
+        spec = self.spec
+        if level < 1:
+            raise TopologyError("end-ports have no children")
+        m_dn = spec.m[level - 1]
+        digits = self.node_digits(level, index)
+        base = np.repeat(digits[..., None, :], m_dn, axis=-2)
+        base[..., :, level - 1] = np.arange(m_dn)
+        return self.node_index(level - 1, base)
+
+    # -- cable enumeration ------------------------------------------------
+    def level_cables(self, level: int) -> tuple[np.ndarray, ...]:
+        """All cables between levels ``level-1`` and ``level``, vectorised.
+
+        Returns four equal-length int64 arrays
+        ``(lower_index, lower_up_port, upper_index, upper_down_port)``
+        where the port numbers are *logical*: up ports count
+        ``0..w_l*p_l-1`` on the lower node, down ports ``0..m_l*p_l-1``
+        on the upper node, following the paper's parallel-port rule.
+        """
+        spec = self.spec
+        if not 1 <= level <= spec.h:
+            raise TopologyError(f"level {level} out of range 1..{spec.h}")
+        m_l, w_l, p_l = spec.m[level - 1], spec.w[level - 1], spec.p[level - 1]
+        n_up = self.num_nodes_at(level)
+
+        upper = np.arange(n_up, dtype=np.int64)
+        udig = self.node_digits(level, upper)  # (n_up, h)
+        # Broadcast over (upper, child a_l, parallel k).
+        a = np.arange(m_l, dtype=np.int64)
+        k = np.arange(p_l, dtype=np.int64)
+        U, A, K = np.meshgrid(upper, a, k, indexing="ij")
+
+        low_dig = np.repeat(udig[:, None, :], m_l, axis=1)  # (n_up, m_l, h)
+        low_dig[:, :, level - 1] = a[None, :]
+        lower = self.node_index(level - 1, low_dig)  # (n_up, m_l)
+        lower = np.repeat(lower[:, :, None], p_l, axis=2)  # (n_up, m_l, p_l)
+
+        e_l = udig[:, level - 1]  # upper node's w-digit at position l
+        up_port = e_l[:, None, None] + K * w_l
+        down_port = A + K * m_l
+        flat = lambda x: np.ascontiguousarray(x.reshape(-1))  # noqa: E731
+        return flat(lower), flat(up_port), flat(U), flat(down_port)
+
+    def iter_level_cables(self):
+        """Yield ``(level, lower, up_port, upper, down_port)`` per level."""
+        for level in self.spec.iter_levels():
+            yield (level, *self.level_cables(level))
+
+    # -- sanity -----------------------------------------------------------
+    def validate(self) -> None:
+        """Cross-check structural invariants; raises TopologyError."""
+        spec = self.spec
+        for level in spec.iter_levels():
+            lower, up_port, upper, down_port = self.level_cables(level)
+            n_lower = self.num_nodes_at(level - 1)
+            n_upper = self.num_nodes_at(level)
+            expect = n_upper * spec.m[level - 1] * spec.p[level - 1]
+            if len(lower) != expect:
+                raise TopologyError(
+                    f"level {level}: {len(lower)} cables, expected {expect}"
+                )
+            # Each lower up-port and each upper down-port used exactly once.
+            up_keys = lower * spec.up_ports_at(level - 1) + up_port
+            dn_keys = upper * spec.down_ports_at(level) + down_port
+            if len(np.unique(up_keys)) != n_lower * spec.up_ports_at(level - 1):
+                raise TopologyError(f"level {level}: up-port usage not a bijection")
+            if len(np.unique(dn_keys)) != n_upper * spec.down_ports_at(level):
+                raise TopologyError(f"level {level}: down-port usage not a bijection")
+
+    def __repr__(self) -> str:
+        return f"PGFT<{self.spec}>"

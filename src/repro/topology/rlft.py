@@ -1,0 +1,154 @@
+"""Real-Life Fat-Tree (RLFT) factories and design helpers.
+
+RLFTs (paper section IV.C) are the PGFT sub-class actually built in HPC
+practice: constant cross-bisectional bandwidth, single-rail hosts, and a
+uniform switch radix ``2K`` with the top level fully populated
+(``m_h * p_h == 2K``).
+
+Besides predicate checks (on :class:`~repro.topology.spec.PGFTSpec`),
+this module provides factories for the topologies used throughout the
+paper's evaluation, and a small design-space search that finds every
+constant-CBB PGFT reaching a requested node count with a given switch
+radix -- the task a cluster architect performs when sizing a fabric.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from .spec import PGFTSpec, TopologyError, pgft
+
+__all__ = [
+    "rlft_max",
+    "two_level",
+    "three_level",
+    "design_pgfts",
+    "paper_topologies",
+]
+
+
+def rlft_max(arity: int, levels: int) -> PGFTSpec:
+    """The maximal RLFT of ``levels`` levels built from ``2*arity``-port
+    switches, supporting ``2 * arity**levels`` end-ports.
+
+    Matches the paper's example: ``rlft_max(18, 3)`` is
+    ``PGFT(3; 18,18,36; 1,18,18; 1,1,1)`` with 11664 end-ports.
+    """
+    if arity < 1 or levels < 1:
+        raise TopologyError("arity and levels must be positive")
+    if levels == 1:
+        return pgft(1, [2 * arity], [1], [1])
+    m = [arity] * (levels - 1) + [2 * arity]
+    w = [1] + [arity] * (levels - 1)
+    p = [1] * levels
+    return pgft(levels, m, w, p)
+
+
+def two_level(leaf_down: int, num_leaves: int, num_spines: int,
+              parallel: int = 1) -> PGFTSpec:
+    """Two-level constant-CBB PGFT.
+
+    ``leaf_down`` hosts per leaf switch, ``num_leaves`` leaf switches,
+    ``num_spines`` spine switches each connected to every leaf by
+    ``parallel`` cables.  Constant CBB requires
+    ``leaf_down == num_spines * parallel``; every spine sees all
+    ``num_leaves`` leaves, i.e. the spec is
+    ``PGFT(2; leaf_down, num_leaves; 1, num_spines; 1, parallel)``.
+    """
+    if leaf_down != num_spines * parallel:
+        raise TopologyError(
+            "constant CBB needs leaf_down == num_spines * parallel "
+            f"({leaf_down} != {num_spines}*{parallel})"
+        )
+    return pgft(2, [leaf_down, num_leaves], [1, num_spines], [1, parallel])
+
+
+def three_level(k1: int, k2: int, k3: int, w2: int, w3: int,
+                p2: int = 1, p3: int = 1) -> PGFTSpec:
+    """General three-level constant-CBB PGFT builder with validation."""
+    spec = pgft(3, [k1, k2, k3], [1, w2, w3], [1, p2, p3])
+    if not spec.has_constant_cbb():
+        raise TopologyError(f"{spec} does not have constant CBB")
+    return spec
+
+
+def design_pgfts(num_endports: int, radix: int, levels: int,
+                 max_results: int = 64) -> list[PGFTSpec]:
+    """Enumerate constant-CBB, single-rail PGFTs with ``num_endports``
+    end-ports whose switches use at most ``radix`` ports.
+
+    This is a brute-force walk over divisor chains of ``num_endports``;
+    it is intended for design exploration at realistic sizes (radix up
+    to a few hundred), not as a general solver.
+
+    Results are sorted by total switch count (cheapest fabric first).
+    """
+    results: list[PGFTSpec] = []
+
+    def rec(level: int, remaining: int, m: list[int], w: list[int],
+            p: list[int]) -> None:
+        if len(results) >= max_results:
+            return
+        if level > levels:
+            if remaining == 1:
+                try:
+                    spec = pgft(levels, m, w, p)
+                except TopologyError:
+                    return
+                if spec.has_constant_cbb() and all(
+                    spec.ports_at(l) <= radix for l in spec.iter_levels()
+                ):
+                    results.append(spec)
+            return
+        # Choose m_l among divisors of what remains, then (w_l, p_l)
+        # satisfying the CBB chain m_{l-1} p_{l-1} == w_l p_l.
+        for m_l in _divisors(remaining):
+            if m_l == 1 and level < levels:
+                continue  # degenerate internal level
+            if level == 1:
+                rec(level + 1, remaining // m_l, m + [m_l], w + [1], p + [1])
+            else:
+                need = m[-1] * p[-1]  # w_l * p_l must equal this
+                for w_l in _divisors(need):
+                    p_l = need // w_l
+                    rec(level + 1, remaining // m_l,
+                        m + [m_l], w + [w_l], p + [p_l])
+
+    rec(1, num_endports, [], [], [])
+    uniq = {str(s): s for s in results}
+    return sorted(uniq.values(), key=lambda s: (s.num_switches, str(s)))
+
+
+def _divisors(n: int) -> Iterator[int]:
+    for d in range(1, int(math.isqrt(n)) + 1):
+        if n % d == 0:
+            yield d
+            if d != n // d:
+                yield n // d
+
+
+def paper_topologies() -> dict[str, PGFTSpec]:
+    """The evaluation topologies of the paper (Figure 3 and Table 3).
+
+    Sizes 128, 324, 1728 and 1944 as constant-CBB PGFTs, plus the small
+    16-node fabric of Figures 1 and 4(b), and the maximal 2- and 3-level
+    RLFTs from 36-port switches.  Where the paper does not pin down the
+    exact tuple we pick the standard constant-CBB construction (see
+    DESIGN.md, substitutions table).
+    """
+    return {
+        # Figure 1 / Figure 4(b): 16 nodes, 8-port switches, 2 spines with
+        # parallel ports (PGFT) -- the motivating example.
+        "n16-pgft": pgft(2, [4, 4], [1, 2], [1, 2]),
+        # Figure 4(a): same 16 nodes as XGFT (4 spines, no parallel ports).
+        "n16-xgft": pgft(2, [4, 4], [1, 4], [1, 1]),
+        # Figure 3 sizes.
+        "n128": pgft(2, [8, 16], [1, 8], [1, 1]),        # 16-port switches
+        "n324": pgft(2, [18, 18], [1, 9], [1, 2]),       # 36-port, 9 spines x2
+        "n1728": pgft(3, [12, 12, 12], [1, 12, 12], [1, 1, 1]),  # 24-port
+        "n1944": pgft(3, [18, 18, 6], [1, 18, 6], [1, 1, 3]),   # 36-port
+        # Maximal RLFTs from 36-port switches (section V example).
+        "rlft2-max36": rlft_max(18, 2),   # 648 end-ports
+        "rlft3-max36": rlft_max(18, 3),   # 11664 end-ports
+    }

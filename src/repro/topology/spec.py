@@ -1,0 +1,219 @@
+"""Canonical tuple specification of Parallel-Ports Generalized Fat-Trees.
+
+A PGFT (Zahavi 2011, section IV.B) is canonically defined by the tuple
+
+    ``PGFT(h; m_1..m_h; w_1..w_h; p_1..p_h)``
+
+where
+
+* ``h``   -- number of switch levels (end-ports sit at level 0),
+* ``m_l`` -- number of *distinct* lower-level nodes a level-``l`` node
+  connects down to,
+* ``w_l`` -- number of *distinct* level-``l`` nodes a level-``l-1`` node
+  connects up to,
+* ``p_l`` -- number of parallel links between each such connected pair.
+
+The spec object precomputes the mixed-radix constants used throughout the
+library:
+
+* ``M[l] = m_1 * ... * m_l`` (``M[0] == 1``) -- end-ports per level-``l``
+  subtree; ``M[h]`` is the total end-port count ``N``.
+* ``W[l] = w_1 * ... * w_l`` (``W[0] == 1``) -- the divisors of the
+  D-Mod-K routing function, eq. (1) of the paper.
+* ``switches_at(l)`` -- number of switches at level ``l``.
+
+Levels are 1-based to match the paper; Python sequences ``m``, ``w``,
+``p`` are 0-based, so ``m_l == spec.m[l-1]``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+
+class TopologyError(ValueError):
+    """Raised when a topology tuple is malformed or inconsistent."""
+
+
+@dataclass(frozen=True)
+class PGFTSpec:
+    """Immutable PGFT tuple with derived constants and validation.
+
+    Parameters
+    ----------
+    h:
+        Number of switch levels, ``h >= 1``.
+    m, w, p:
+        Sequences of length ``h`` holding ``m_l``, ``w_l`` and ``p_l``
+        for ``l = 1..h`` (stored 0-based).
+
+    Raises
+    ------
+    TopologyError
+        If any entry is non-positive, the lengths disagree with ``h``,
+        or the tuple does not describe an integral number of switches
+        at every level.
+    """
+
+    h: int
+    m: tuple[int, ...]
+    w: tuple[int, ...]
+    p: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.h < 1:
+            raise TopologyError(f"PGFT needs at least one level, got h={self.h}")
+        for name, seq in (("m", self.m), ("w", self.w), ("p", self.p)):
+            if len(seq) != self.h:
+                raise TopologyError(
+                    f"len({name})={len(seq)} does not match h={self.h}"
+                )
+            if any((not isinstance(v, int)) or v < 1 for v in seq):
+                raise TopologyError(f"{name} entries must be positive ints: {seq}")
+        # Note: switch counts are integral for every positive tuple:
+        # switches_at(l) = prod(m[l:]) * prod(w[:l]).
+
+    # ------------------------------------------------------------------
+    # Derived constants
+    # ------------------------------------------------------------------
+    @property
+    def num_endports(self) -> int:
+        """Total number of end-ports, ``N = prod(m)``."""
+        return math.prod(self.m)
+
+    def M(self, level: int) -> int:
+        """``prod(m_1..m_level)``; end-ports per level-``level`` subtree."""
+        self._check_level(level, allow_zero=True)
+        return math.prod(self.m[:level])
+
+    def W(self, level: int) -> int:
+        """``prod(w_1..w_level)``; the D-Mod-K divisor for level ``level``."""
+        self._check_level(level, allow_zero=True)
+        return math.prod(self.w[:level])
+
+    def switches_at(self, level: int) -> int:
+        """Number of switches at ``level`` (1-based)."""
+        self._check_level(level)
+        return self.num_endports * self.W(level) // self.M(level)
+
+    @property
+    def num_switches(self) -> int:
+        """Total switch count over all levels."""
+        return sum(self.switches_at(l) for l in range(1, self.h + 1))
+
+    def down_ports_at(self, level: int) -> int:
+        """Down-going ports per switch at ``level``: ``m_l * p_l``."""
+        self._check_level(level)
+        return self.m[level - 1] * self.p[level - 1]
+
+    def up_ports_at(self, level: int) -> int:
+        """Up-going ports per node at ``level`` (0-based end-ports allowed).
+
+        A node at level ``l < h`` has ``w_{l+1} * p_{l+1}`` up ports; the
+        top level has none.
+        """
+        if level < 0 or level > self.h:
+            raise TopologyError(f"level {level} out of range 0..{self.h}")
+        if level == self.h:
+            return 0
+        return self.w[level] * self.p[level]
+
+    def ports_at(self, level: int) -> int:
+        """Total (down + up) ports per switch at ``level``."""
+        return self.down_ports_at(level) + self.up_ports_at(level)
+
+    @property
+    def num_links(self) -> int:
+        """Number of physical cables (bidirectional links)."""
+        total = self.num_endports * self.up_ports_at(0)
+        for level in range(1, self.h):
+            total += self.switches_at(level) * self.up_ports_at(level)
+        return total
+
+    # ------------------------------------------------------------------
+    # Structural predicates
+    # ------------------------------------------------------------------
+    def has_constant_cbb(self) -> bool:
+        """Constant cross-bisectional bandwidth: ``m_l p_l == w_{l+1} p_{l+1}``.
+
+        This is the first RLFT restriction (section IV.C): the aggregate
+        down-going and up-going bandwidth of every non-top switch match,
+        which is necessary for non-blocking Shift traffic.
+        """
+        return all(
+            self.m[l] * self.p[l] == self.w[l + 1] * self.p[l + 1]
+            for l in range(self.h - 1)
+        )
+
+    def is_single_rail(self) -> bool:
+        """Second RLFT restriction: hosts attach with one cable each."""
+        return self.w[0] == 1 and self.p[0] == 1
+
+    def switch_radix(self, level: int) -> int:
+        """Port count of switches at ``level`` (for the uniform-radix check)."""
+        return self.ports_at(level)
+
+    def is_rlft(self, radix: int | None = None) -> bool:
+        """Whether this PGFT satisfies all Real-Life Fat-Tree restrictions.
+
+        * constant CBB on every internal level,
+        * hosts connected by a single cable,
+        * every switch is (at most) the same ``radix``; the top level may
+          leave ports unused only when the tree is a sub-allocation of a
+          larger RLFT, so strict RLFTs require ``m_h p_h == radix``.
+
+        When ``radix`` is None, it is inferred from level-1 switches.
+        """
+        if not (self.has_constant_cbb() and self.is_single_rail()):
+            return False
+        if radix is None:
+            radix = self.ports_at(1)
+        if any(self.ports_at(l) > radix for l in range(1, self.h + 1)):
+            return False
+        return self.down_ports_at(self.h) == radix
+
+    @property
+    def arity(self) -> int:
+        """Switch arity ``K``: half the ports of a (level-1) switch."""
+        return self.ports_at(1) // 2
+
+    # ------------------------------------------------------------------
+    # Presentation
+    # ------------------------------------------------------------------
+    def __str__(self) -> str:
+        fmt = lambda seq: ",".join(str(v) for v in seq)  # noqa: E731
+        return f"PGFT({self.h}; {fmt(self.m)}; {fmt(self.w)}; {fmt(self.p)})"
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary of the topology."""
+        lines = [
+            str(self),
+            f"  end-ports : {self.num_endports}",
+            f"  levels    : {self.h}",
+        ]
+        for level in range(1, self.h + 1):
+            lines.append(
+                f"  level {level}   : {self.switches_at(level)} switches, "
+                f"{self.down_ports_at(level)} down / "
+                f"{self.up_ports_at(level)} up ports each"
+            )
+        lines.append(f"  links     : {self.num_links}")
+        lines.append(f"  constant CBB: {self.has_constant_cbb()}")
+        return "\n".join(lines)
+
+    def _check_level(self, level: int, allow_zero: bool = False) -> None:
+        lo = 0 if allow_zero else 1
+        if level < lo or level > self.h:
+            raise TopologyError(f"level {level} out of range {lo}..{self.h}")
+
+    def iter_levels(self) -> Iterator[int]:
+        """Iterate switch levels ``1..h``."""
+        return iter(range(1, self.h + 1))
+
+
+def pgft(h: int, m, w, p) -> PGFTSpec:
+    """Convenience constructor accepting any integer sequences."""
+    return PGFTSpec(h=h, m=tuple(int(v) for v in m), w=tuple(int(v) for v in w),
+                    p=tuple(int(v) for v in p))

@@ -1,0 +1,49 @@
+"""XGFT and k-ary-n-tree conveniences.
+
+Extended Generalized Fat-Trees (Ohring et al., and section IV.A of the
+paper) are the ``p == 1`` sub-class of PGFTs: at most a single cable
+between any two switches.  k-ary-n-trees (Petrini & Vanneschi) are the
+further specialisation with uniform ``m`` and ``w``.
+
+Both are provided as factories returning :class:`PGFTSpec` so the whole
+library (routing, HSD, simulators) treats them uniformly.
+"""
+
+from __future__ import annotations
+
+from .spec import PGFTSpec, TopologyError, pgft
+
+__all__ = ["xgft", "k_ary_n_tree", "is_xgft", "is_k_ary_n_tree"]
+
+
+def xgft(h: int, m, w) -> PGFTSpec:
+    """``XGFT(h; m_1..m_h; w_1..w_h)`` as a PGFT with all ``p_l == 1``."""
+    return pgft(h, m, w, [1] * h)
+
+
+def k_ary_n_tree(k: int, n: int) -> PGFTSpec:
+    """The classic k-ary-n-tree: ``XGFT(n; k,..,k; 1,k,..,k)``.
+
+    ``k**n`` end-ports, ``n`` levels of ``2k``-port switches (top level
+    uses ``k`` down ports only).
+    """
+    if k < 1 or n < 1:
+        raise TopologyError("k and n must be positive")
+    return xgft(n, [k] * n, [1] + [k] * (n - 1))
+
+
+def is_xgft(spec: PGFTSpec) -> bool:
+    """True when no parallel cables are used anywhere."""
+    return all(v == 1 for v in spec.p)
+
+
+def is_k_ary_n_tree(spec: PGFTSpec) -> bool:
+    """True when the spec is exactly a k-ary-n-tree."""
+    if not is_xgft(spec):
+        return False
+    k = spec.m[0]
+    return (
+        all(v == k for v in spec.m)
+        and spec.w[0] == 1
+        and all(v == k for v in spec.w[1:])
+    )

@@ -1,0 +1,76 @@
+"""Forwarding-table audit."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.audit import audit_tables
+from repro.fabric import ForwardingTables, build_fabric
+from repro.routing import route_dmodk, route_minhop, route_random
+from repro.routing.repair import repair_tables
+from repro.topology import rlft_max
+
+
+@pytest.fixture(scope="module")
+def fabric():
+    return build_fabric(rlft_max(4, 2))
+
+
+class TestAudit:
+    def test_dmodk_is_clean(self, fabric):
+        audit = audit_tables(route_dmodk(fabric))
+        assert audit.clean
+        assert audit.up_balance_worst == 0.0
+        assert "CLEAN" in audit.render()
+
+    def test_random_router_flagged(self, fabric):
+        audit = audit_tables(route_random(fabric, seed=1))
+        assert not audit.clean
+        assert audit.theorem2_violations > 0
+        assert audit.up_balance_worst > 0.5
+
+    def test_minhop_first_skewed(self, fabric):
+        audit = audit_tables(route_minhop(fabric, "first"))
+        assert audit.up_balance_worst > 2.0
+
+    def test_minhop_roundrobin_balanced(self, fabric):
+        audit = audit_tables(route_minhop(fabric, "roundrobin"))
+        assert audit.up_balance_worst == 0.0
+        assert audit.non_minimal_entries == 0
+
+    def test_unreachable_counted(self, fabric):
+        tables = route_dmodk(fabric)
+        sw = tables.switch_out.copy()
+        sw[0, 5] = -1
+        broken = ForwardingTables(fabric=fabric, switch_out=sw,
+                                  host_up=tables.host_up)
+        audit = audit_tables(broken, check_theorem2=False)
+        assert audit.unreachable_entries == 1
+        assert not audit.clean
+
+    def test_repaired_tables_report_detours(self, fabric):
+        base = route_dmodk(fabric)
+        ups = np.flatnonzero(fabric.port_goes_up()
+                             & (fabric.port_owner >= fabric.num_endports))
+        degraded = fabric.with_failed_cables(ups[[0]])
+        rep = repair_tables(base, degraded)
+        # On the degraded graph the repaired tables are minimal again.
+        audit = audit_tables(rep.tables, check_theorem2=False)
+        assert audit.non_minimal_entries == 0
+
+    def test_skip_theorem2(self, fabric):
+        audit = audit_tables(route_dmodk(fabric), check_theorem2=False)
+        assert audit.theorem2_violations == 0  # skipped = reported as 0
+
+
+class TestCliAudit:
+    def test_validate_audit_flag(self, tmp_path, capsys):
+        from repro.fabric import save
+        from repro.fabric.cli import main
+        from repro.topology import pgft
+
+        topo = tmp_path / "f.topo"
+        save(build_fabric(pgft(2, [4, 4], [1, 2], [1, 2])), topo)
+        assert main(["validate", str(topo), "--audit"]) == 0
+        out = capsys.readouterr().out
+        assert "table audit: CLEAN" in out
+        assert "up-port skew" in out

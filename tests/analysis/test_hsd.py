@@ -1,0 +1,116 @@
+"""Hot-spot-degree engine: hand-checked flows and the Figure 1 scenario."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    HSDReport,
+    fixed_shift_pattern,
+    random_order_sweep,
+    sequence_hsd,
+    stage_link_loads,
+    stage_max_hsd,
+    walk_flow_links,
+)
+from repro.collectives import shift
+from repro.fabric import build_fabric
+from repro.ordering import random_order, topology_order
+from repro.routing import route_dmodk, trace_route
+from repro.topology import pgft
+
+
+class TestWalker:
+    def test_matches_scalar_trace(self, fig1_tables):
+        N = fig1_tables.fabric.num_endports
+        src = np.repeat(np.arange(N), N)
+        dst = np.tile(np.arange(N), N)
+        flow_idx, gports = walk_flow_links(fig1_tables, src, dst)
+        # Group by flow and compare sets against trace_route.
+        by_flow = {}
+        for f, gp in zip(flow_idx, gports):
+            by_flow.setdefault(int(f), []).append(int(gp))
+        for f, path in by_flow.items():
+            assert sorted(path) == sorted(trace_route(
+                fig1_tables, int(src[f]), int(dst[f])))
+
+    def test_self_flows_contribute_nothing(self, fig1_tables):
+        src = np.array([3, 5])
+        dst = np.array([3, 5])
+        flow_idx, gports = walk_flow_links(fig1_tables, src, dst)
+        assert len(flow_idx) == 0
+
+    def test_shape_mismatch_rejected(self, fig1_tables):
+        with pytest.raises(ValueError):
+            walk_flow_links(fig1_tables, np.arange(3), np.arange(4))
+
+
+class TestStageLoads:
+    def test_single_flow_counts_each_hop_once(self, fig1_tables):
+        loads = stage_link_loads(fig1_tables, np.array([0]), np.array([15]))
+        assert loads.sum() == len(trace_route(fig1_tables, 0, 15))
+        assert loads.max() == 1
+
+    def test_same_leaf_traffic_stays_local(self, fig1_tables):
+        loads = stage_link_loads(fig1_tables, np.array([0]), np.array([1]))
+        fab = fig1_tables.fabric
+        touched = np.flatnonzero(loads)
+        assert len(touched) == 2
+        assert (fab.node_level[fab.port_owner[touched]] <= 1).all()
+
+    def test_switch_links_only_filter(self, fig1_tables):
+        # Host links loaded, switch links idle: same-leaf exchange.
+        hsd_all = stage_max_hsd(
+            fig1_tables, np.array([0]), np.array([1]), switch_links_only=False)
+        hsd_sw = stage_max_hsd(
+            fig1_tables, np.array([0]), np.array([1]), switch_links_only=True)
+        assert hsd_all == 1
+        assert hsd_sw == 0
+
+
+class TestFigure1:
+    """dst = (src + 4) mod 16: 3 hot links under one bad order, clean
+    under the routing-aware order (the paper's Figure 1)."""
+
+    def test_routing_aware_order_clean(self, fig1_tables):
+        src, dst = fixed_shift_pattern(16, 4)
+        assert stage_max_hsd(fig1_tables, src, dst) == 1
+
+    def test_bad_order_creates_hot_spots(self, fig1_tables):
+        rng = np.random.default_rng(5)
+        worst = 0
+        for _ in range(10):
+            order = rng.permutation(16)
+            src, dst = fixed_shift_pattern(16, 4, placement=order)
+            worst = max(worst, stage_max_hsd(fig1_tables, src, dst))
+        assert worst >= 2
+
+
+class TestReport:
+    def test_hsd_report_metrics(self):
+        rep = HSDReport("x", np.array([1, 2, 3]))
+        assert rep.avg_max == 2.0
+        assert rep.worst == 3
+        assert not rep.congestion_free
+
+    def test_empty_report(self):
+        rep = HSDReport("x", np.array([], dtype=np.int64))
+        assert rep.avg_max == 0.0
+        assert rep.congestion_free
+
+    def test_sequence_hsd_counts_all_stages(self, fig1_tables):
+        rep = sequence_hsd(fig1_tables, shift(16), topology_order(16))
+        assert len(rep.stage_max) == 15
+        assert rep.congestion_free
+
+
+class TestOrderSweep:
+    def test_sweep_statistics(self, fig1_tables):
+        res = random_order_sweep(fig1_tables, shift, num_orders=5, seed=0)
+        assert res.num_orders == 5
+        assert res.min <= res.mean <= res.max
+        assert res.mean > 1.0  # random orders congest
+
+    def test_sweep_deterministic(self, fig1_tables):
+        a = random_order_sweep(fig1_tables, shift, num_orders=3, seed=2)
+        b = random_order_sweep(fig1_tables, shift, num_orders=3, seed=2)
+        assert np.array_equal(a.avg_max, b.avg_max)

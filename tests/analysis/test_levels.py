@@ -1,0 +1,71 @@
+"""Per-level contention breakdown."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    link_classes,
+    sequence_level_profile,
+    stage_level_profile,
+)
+from repro.collectives import ring, shift
+from repro.fabric import build_fabric
+from repro.ordering import adversarial_ring_order, topology_order
+from repro.routing import route_dmodk
+from repro.topology import pgft
+
+
+@pytest.fixture(scope="module")
+def setup():
+    spec = pgft(2, [4, 8], [1, 4], [1, 1])
+    tables = route_dmodk(build_fabric(spec))
+    return spec, tables
+
+
+class TestLinkClasses:
+    def test_partitions_all_ports(self, setup):
+        _, tables = setup
+        classes = link_classes(tables)
+        total = sum(int(m.sum()) for m in classes.values())
+        assert total == tables.fabric.num_ports
+
+    def test_expected_class_names(self, setup):
+        _, tables = setup
+        names = set(link_classes(tables))
+        assert names == {"up 0->1", "up 1->2", "down 1->0", "down 2->1"}
+
+    def test_masks_disjoint(self, setup):
+        _, tables = setup
+        classes = list(link_classes(tables).values())
+        acc = np.zeros_like(classes[0])
+        for m in classes:
+            assert not (acc & m).any()
+            acc |= m
+
+
+class TestProfiles:
+    def test_congestion_free_profile_all_ones(self, setup):
+        spec, tables = setup
+        n = spec.num_endports
+        profile = sequence_level_profile(tables, shift(n), topology_order(n))
+        assert profile.stage_max.max() == 1
+        assert set(profile.worst_by_class().values()) == {1}
+
+    def test_adversary_hits_leaf_uplinks_only(self, setup):
+        spec, tables = setup
+        order = adversarial_ring_order(spec)
+        profile = sequence_level_profile(tables, ring(spec.num_endports), order)
+        worst = profile.worst_by_class()
+        assert profile.hottest_class() == "up 1->2"
+        assert worst["up 1->2"] >= spec.m[0] - 1
+        assert worst["up 0->1"] == 1  # injection stays clean
+
+    def test_stage_profile_matches_sequence(self, setup):
+        spec, tables = setup
+        n = spec.num_endports
+        src = np.arange(n)
+        dst = (src + 1) % n
+        by_stage = stage_level_profile(tables, src, dst)
+        profile = sequence_level_profile(
+            tables, ring(n), topology_order(n))
+        assert by_stage == dict(zip(profile.classes, profile.stage_max[0]))

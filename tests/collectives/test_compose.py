@@ -1,0 +1,72 @@
+"""Composite collective schedules."""
+
+import pytest
+
+from repro.analysis import sequence_hsd
+from repro.collectives import has_constant_displacement, ring, shift
+from repro.collectives.compose import (
+    concatenate,
+    rabenseifner_allreduce,
+    rabenseifner_reduce,
+    scatter_allgather_bcast,
+)
+from repro.collectives.semantics import (
+    verify_allreduce,
+    verify_broadcast,
+    verify_reduce,
+)
+from repro.fabric import build_fabric
+from repro.ordering import topology_order
+from repro.routing import route_dmodk
+from repro.topology import rlft_max
+
+
+class TestConcatenate:
+    def test_stage_counts_add(self):
+        a, b = ring(8, repeats=2), shift(8)
+        c = concatenate("combo", a, b)
+        assert len(c) == 2 + 7
+        assert c.num_ranks == 8
+
+    def test_rank_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            concatenate("bad", ring(8), ring(9))
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            concatenate("empty")
+
+
+@pytest.mark.parametrize("n", [8, 13, 32])
+class TestSemantics:
+    def test_bcast_composite_is_a_broadcast(self, n):
+        ok, msg = verify_broadcast(scatter_allgather_bcast(n))
+        assert ok, msg
+
+    def test_rabenseifner_allreduce_complete(self, n):
+        ok, msg = verify_allreduce(rabenseifner_allreduce(n))
+        assert ok, msg
+
+    def test_rabenseifner_reduce_complete(self, n):
+        ok, msg = verify_reduce(rabenseifner_reduce(n))
+        assert ok, msg
+
+
+class TestStructure:
+    @pytest.mark.parametrize("factory", [
+        scatter_allgather_bcast, rabenseifner_allreduce, rabenseifner_reduce,
+    ])
+    def test_constant_displacement_every_stage(self, factory):
+        cps = factory(24)
+        for st in cps:
+            assert has_constant_displacement(st, 24), st.label
+
+    def test_unidirectional_composite_congestion_free(self):
+        # scatter+allgather bcast contains only unidirectional stages:
+        # clean under D-Mod-K + topology order.
+        spec = rlft_max(4, 2)
+        n = spec.num_endports
+        tables = route_dmodk(build_fabric(spec))
+        rep = sequence_hsd(tables, scatter_allgather_bcast(n),
+                           topology_order(n))
+        assert rep.congestion_free

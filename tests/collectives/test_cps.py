@@ -1,0 +1,198 @@
+"""CPS generators: Table 2 definitions, stage structure, paper examples."""
+
+import numpy as np
+import pytest
+
+from repro.collectives import (
+    CPS_NAMES,
+    Stage,
+    binomial,
+    by_name,
+    dissemination,
+    pairwise_exchange,
+    recursive_doubling,
+    recursive_halving,
+    ring,
+    shift,
+    tournament,
+)
+
+
+class TestStage:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            Stage(np.zeros((3, 3)))
+
+    def test_permutation_detection(self):
+        assert Stage(np.array([[0, 1], [1, 0]])).is_permutation()
+        assert not Stage(np.array([[0, 1], [2, 1]])).is_permutation()
+
+    def test_reversed(self):
+        st = Stage(np.array([[0, 1], [2, 3]]), label="x")
+        rev = st.reversed()
+        assert np.array_equal(rev.pairs, [[1, 0], [3, 2]])
+        assert rev.label == "x^R"
+
+
+class TestShift:
+    def test_stage_count(self):
+        assert len(shift(10)) == 9
+
+    def test_every_stage_full_permutation(self):
+        for st in shift(7):
+            assert len(st) == 7
+            assert st.is_permutation()
+
+    def test_displacements_cover_all(self):
+        cps = shift(6)
+        disp = [int((st.destinations[0] - st.sources[0]) % 6) for st in cps]
+        assert disp == [1, 2, 3, 4, 5]
+
+    def test_custom_displacements(self):
+        cps = shift(100, displacements=range(1, 100, 10))
+        assert len(cps) == 10
+
+
+class TestRing:
+    def test_single_stage_plus_one(self):
+        cps = ring(5)
+        assert len(cps) == 1
+        st = cps.stages[0]
+        assert np.array_equal(st.destinations, (st.sources + 1) % 5)
+
+    def test_repeats(self):
+        cps = ring(5, repeats=4)
+        assert len(cps) == 4
+        assert cps.total_messages() == 20
+
+
+class TestBinomial:
+    def test_paper_1024_example_stage_sizes(self):
+        # Paper: "On the first stage only node-0 is sending to node-1. On
+        # the second, node-0 -> node-2 and node-1 -> node-3. ..."
+        cps = binomial(1024)
+        assert len(cps.stages[0]) == 1
+        assert list(map(tuple, cps.stages[0].pairs)) == [(0, 1)]
+        assert list(map(tuple, cps.stages[1].pairs)) == [(0, 2), (1, 3)]
+        assert list(map(tuple, cps.stages[2].pairs)) == [
+            (0, 4), (1, 5), (2, 6), (3, 7)]
+        assert len(cps) == 10
+
+    def test_covers_all_ranks_exactly_once_as_dest(self):
+        n = 37
+        cps = binomial(n)
+        dests = np.concatenate([st.destinations for st in cps])
+        # Every rank except root receives exactly once (broadcast tree).
+        assert sorted(dests) == list(range(1, n))
+
+    def test_gather_reverses(self):
+        fwd = binomial(16, "scatter")
+        back = binomial(16, "gather")
+        assert np.array_equal(
+            fwd.stages[0].pairs, back.stages[-1].pairs[:, ::-1]
+        )
+
+    def test_rejects_bad_direction(self):
+        with pytest.raises(ValueError):
+            binomial(8, "sideways")
+
+
+class TestTournament:
+    def test_winners_halve_each_stage(self):
+        cps = tournament(16)
+        sizes = [len(st) for st in cps]
+        assert sizes == [8, 4, 2, 1]
+
+    def test_messages_flow_to_even_strides(self):
+        st = tournament(8).stages[0]
+        assert np.array_equal(st.sources, [1, 3, 5, 7])
+        assert np.array_equal(st.destinations, [0, 2, 4, 6])
+
+    def test_non_pow2(self):
+        cps = tournament(6)
+        total_dests = np.concatenate([st.sources for st in cps])
+        # Every non-winner loses exactly once.
+        assert sorted(total_dests) == [1, 2, 3, 4, 5]
+
+
+class TestDissemination:
+    def test_stage_count_is_ceil_log2(self):
+        assert len(dissemination(8)) == 3
+        assert len(dissemination(9)) == 4
+        assert len(dissemination(1944)) == 11  # the paper's 1944-node example
+
+    def test_all_ranks_send_every_stage(self):
+        for st in dissemination(10):
+            assert len(st) == 10
+            assert st.is_permutation()
+
+
+class TestRecursiveDoubling:
+    def test_bidirectional_pairs(self):
+        st = recursive_doubling(8).stages[0]
+        pairs = {tuple(p) for p in st.pairs}
+        assert (0, 1) in pairs and (1, 0) in pairs
+
+    def test_mask_drops_out_of_range(self):
+        cps = recursive_doubling(6, nonpow2="mask")
+        # Stage s=2 (mask 4): partners 0<->4, 1<->5; 2,3 have partner >= 6.
+        st = cps.stages[2]
+        srcs = set(st.sources.tolist())
+        assert srcs == {0, 1, 4, 5}
+
+    def test_halving_is_reversed(self):
+        d = recursive_doubling(16)
+        h = recursive_halving(16)
+        assert [st.label for st in h] == [st.label for st in reversed(d.stages)]
+
+    def test_rejects_bad_mode(self):
+        with pytest.raises(ValueError):
+            recursive_doubling(8, nonpow2="magic")
+
+
+class TestPairwiseExchange:
+    def test_default_matches_shift_stages(self):
+        cps = pairwise_exchange(6)
+        ref = shift(6)
+        assert len(cps) == 5
+        for a, b in zip(cps, ref):
+            assert np.array_equal(a.pairs, b.pairs)
+
+    def test_xor_variant(self):
+        cps = pairwise_exchange(8, variant="xor")
+        assert len(cps) == 7
+        st = cps.stages[0]  # s=1
+        assert (st.destinations == (st.sources ^ 1)).all()
+
+    def test_xor_requires_pow2(self):
+        with pytest.raises(ValueError, match="power-of-two"):
+            pairwise_exchange(6, variant="xor")
+
+    def test_xor_variant_breaks_constant_displacement(self):
+        # The real-world reason the paper abstracts pairwise exchange as
+        # displacement-based: XOR with a non-pow2 mask mixes distances.
+        from repro.collectives import has_constant_displacement
+
+        cps = pairwise_exchange(8, variant="xor")
+        st3 = cps.stages[2]  # mask 3
+        assert not has_constant_displacement(st3, 8)
+
+    def test_unknown_variant(self):
+        with pytest.raises(ValueError, match="variant"):
+            pairwise_exchange(8, variant="quantum")
+
+
+class TestByName:
+    def test_all_names_instantiable(self):
+        for name in CPS_NAMES:
+            cps = by_name(name, 8)
+            assert cps.num_ranks == 8
+            assert len(cps) >= 1
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown CPS"):
+            by_name("quantum-teleport", 8)
+
+    def test_too_few_ranks(self):
+        with pytest.raises(ValueError):
+            shift(1)

@@ -1,0 +1,83 @@
+"""Rank-to-port scheduling: stage flows and port sequences."""
+
+import numpy as np
+import pytest
+
+from repro.collectives import (
+    Stage,
+    port_sequences,
+    ring,
+    shift,
+    stage_flows,
+    validate_placement,
+)
+
+
+class TestValidatePlacement:
+    def test_accepts_valid(self):
+        out = validate_placement([2, 0, 1], num_endports=4)
+        assert out.dtype == np.int64
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="same end-port"):
+            validate_placement([0, 0], num_endports=4)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="outside"):
+            validate_placement([0, 9], num_endports=4)
+
+    def test_rejects_wrong_rank_count(self):
+        with pytest.raises(ValueError, match="ranks"):
+            validate_placement([0, 1], num_endports=4, num_ranks=3)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            validate_placement([[0], [1]], num_endports=4)
+
+
+class TestStageFlows:
+    def test_identity_placement(self):
+        st = Stage(np.array([[0, 1], [1, 2]]))
+        src, dst = stage_flows(st, np.arange(4))
+        assert list(src) == [0, 1]
+        assert list(dst) == [1, 2]
+
+    def test_permuted_placement(self):
+        st = Stage(np.array([[0, 1]]))
+        src, dst = stage_flows(st, np.array([3, 0]))
+        assert list(src) == [3]
+        assert list(dst) == [0]
+
+    def test_ranks_beyond_job_dropped(self):
+        st = Stage(np.array([[0, 5], [1, 2]]))
+        src, dst = stage_flows(st, np.arange(3))  # job of 3 ranks
+        assert list(src) == [1]
+
+    def test_negative_slots_dropped(self):
+        st = Stage(np.array([[0, 1], [1, 2]]))
+        slots = np.array([0, -1, 2])
+        src, dst = stage_flows(st, slots)
+        assert len(src) == 0  # both pairs touch the missing slot 1
+
+    def test_self_messages_dropped(self):
+        st = Stage(np.array([[0, 0], [1, 2]]))
+        src, dst = stage_flows(st, np.arange(3))
+        assert list(src) == [1]
+
+
+class TestPortSequences:
+    def test_shift_sequences_lengths(self):
+        cps = shift(6)
+        seqs = port_sequences(cps, np.arange(6), 6)
+        assert all(len(s) == 5 for s in seqs)
+
+    def test_sequence_order_matches_stages(self):
+        cps = shift(4)
+        seqs = port_sequences(cps, np.arange(4), 4)
+        assert seqs[0] == [1, 2, 3]
+
+    def test_idle_ports_empty(self):
+        cps = ring(3)
+        seqs = port_sequences(cps, np.array([0, 2, 4]), 6)
+        assert seqs[1] == [] and seqs[3] == [] and seqs[5] == []
+        assert seqs[0] == [2]

@@ -1,0 +1,118 @@
+"""Data-flow semantics: every CPS computes the collective it names."""
+
+import numpy as np
+import pytest
+
+from repro.collectives import (
+    binomial,
+    dissemination,
+    hierarchical_recursive_doubling,
+    recursive_doubling,
+    ring,
+    tournament,
+)
+from repro.collectives.cps import CPS, Stage
+from repro.collectives.semantics import (
+    run_dataflow,
+    verify_allgather,
+    verify_allreduce,
+    verify_broadcast,
+    verify_gather,
+    verify_reduce,
+)
+from repro.topology import pgft, rlft_max
+
+
+class TestRunDataflow:
+    def test_default_initial_state(self):
+        st = Stage(np.array([[0, 1]]))
+        final = run_dataflow(CPS("x", 2, (st,)))
+        assert final == [{0}, {0, 1}]
+
+    def test_concurrent_stage_semantics(self):
+        # 0->1 and 1->2 in ONE stage: rank 2 must NOT receive chunk 0
+        # (sends read the pre-stage state).
+        st = Stage(np.array([[0, 1], [1, 2]]))
+        final = run_dataflow(CPS("x", 3, (st,)))
+        assert final[2] == {1, 2}
+
+    def test_sequential_stages_propagate(self):
+        s1 = Stage(np.array([[0, 1]]))
+        s2 = Stage(np.array([[1, 2]]))
+        final = run_dataflow(CPS("x", 3, (s1, s2)))
+        assert final[2] == {0, 1, 2}
+
+    def test_custom_initial(self):
+        st = Stage(np.array([[0, 1]]))
+        final = run_dataflow(CPS("x", 2, (st,)), initial=[{9}, set()])
+        assert final[1] == {9}
+
+    def test_initial_length_checked(self):
+        st = Stage(np.array([[0, 1]]))
+        with pytest.raises(ValueError, match="ranks"):
+            run_dataflow(CPS("x", 2, (st,)), initial=[set()])
+
+    def test_out_of_range_rank_rejected(self):
+        st = Stage(np.array([[0, 5]]))
+        with pytest.raises(ValueError, match="outside"):
+            run_dataflow(CPS("x", 2, (st,)))
+
+
+@pytest.mark.parametrize("n", [2, 5, 8, 13, 32, 67])
+class TestAlgorithms:
+    def test_binomial_is_a_broadcast(self, n):
+        ok, msg = verify_broadcast(binomial(n))
+        assert ok, msg
+
+    def test_dissemination_is_an_allgather(self, n):
+        ok, msg = verify_allgather(dissemination(n))
+        assert ok, msg
+
+    def test_ring_n_minus_1_is_an_allgather(self, n):
+        ok, msg = verify_allgather(ring(n, repeats=n - 1))
+        assert ok, msg
+
+    def test_ring_too_few_rounds_is_not(self, n):
+        if n <= 2:
+            pytest.skip("n-2 rounds need n > 2")
+        ok, _ = verify_allgather(ring(n, repeats=n - 2))
+        assert not ok
+
+    def test_tournament_is_a_gather(self, n):
+        ok, msg = verify_gather(tournament(n))
+        assert ok, msg
+        ok, msg = verify_reduce(tournament(n))
+        assert ok, msg
+
+    def test_recursive_doubling_proxy_is_an_allreduce(self, n):
+        ok, msg = verify_allreduce(recursive_doubling(n, nonpow2="proxy"))
+        assert ok, msg
+
+    def test_binomial_gather_direction(self, n):
+        ok, msg = verify_gather(binomial(n, "gather"))
+        assert ok, msg
+
+
+class TestMaskedRdIncomplete:
+    def test_masked_rd_fails_on_non_pow2(self):
+        # Table 2 as literally written drops pairs with partners >= n,
+        # which loses contributions -- the reason MPI adds proxy stages.
+        ok, msg = verify_allreduce(recursive_doubling(13, nonpow2="mask"))
+        assert not ok
+        assert "missing" in msg
+
+    def test_masked_rd_fine_on_pow2(self):
+        ok, _ = verify_allreduce(recursive_doubling(16, nonpow2="mask"))
+        assert ok
+
+
+class TestHierarchicalRd:
+    @pytest.mark.parametrize("spec", [
+        rlft_max(4, 2),
+        pgft(2, [6, 6], [1, 6], [1, 1]),
+        pgft(2, [18, 18], [1, 9], [1, 2]),
+        pgft(3, [2, 3, 4], [1, 2, 3], [1, 1, 1]),
+    ], ids=str)
+    def test_is_a_complete_allreduce(self, spec):
+        ok, msg = verify_allreduce(hierarchical_recursive_doubling(spec))
+        assert ok, (str(spec), msg)

@@ -1,0 +1,40 @@
+"""Shared fixtures: representative fabrics at test-friendly sizes."""
+
+import pytest
+
+from repro.fabric import build_fabric
+from repro.routing import route_dmodk
+from repro.topology import pgft
+
+
+# Small topologies exercising every structural feature: parallel ports,
+# multiple levels, non-power-of-two arity, single-switch trees.
+SPECS = {
+    "fig1": pgft(2, [4, 4], [1, 2], [1, 2]),          # paper Fig. 4(b)
+    "xgft16": pgft(2, [4, 4], [1, 4], [1, 1]),        # paper Fig. 4(a)
+    "tiny": pgft(1, [6], [1], [1]),                   # single switch
+    "deep": pgft(3, [2, 2, 2], [1, 2, 2], [1, 1, 1]),  # 8 nodes, 3 levels
+    "oddk": pgft(2, [3, 4], [1, 3], [1, 1]),          # non-pow2 arity 3
+    "par3": pgft(2, [6, 4], [1, 2], [1, 3]),          # 3 parallel cables
+}
+
+
+@pytest.fixture(params=sorted(SPECS), ids=sorted(SPECS))
+def any_spec(request):
+    return SPECS[request.param]
+
+
+@pytest.fixture(params=[k for k in sorted(SPECS) if SPECS[k].h > 1],
+                ids=[k for k in sorted(SPECS) if SPECS[k].h > 1])
+def multi_level_spec(request):
+    return SPECS[request.param]
+
+
+@pytest.fixture
+def fig1_fabric():
+    return build_fabric(SPECS["fig1"])
+
+
+@pytest.fixture
+def fig1_tables(fig1_fabric):
+    return route_dmodk(fig1_fabric)

@@ -1,0 +1,44 @@
+"""Experiment plumbing helpers."""
+
+import pytest
+
+from repro.experiments.common import (
+    figure3_cps_factories,
+    get_topology,
+    sampled_shift,
+)
+
+
+class TestGetTopology:
+    def test_known(self):
+        assert get_topology("n324").num_endports == 324
+
+    def test_unknown_exits_with_choices(self):
+        with pytest.raises(SystemExit, match="n1944"):
+            get_topology("n9999")
+
+
+class TestSampledShift:
+    def test_small_n_unsampled(self):
+        cps = sampled_shift(10, max_stages=64)
+        assert len(cps) == 9
+
+    def test_large_n_capped(self):
+        cps = sampled_shift(1944, max_stages=64)
+        assert len(cps) <= 65
+        # Sampling keeps distinct displacements.
+        disp = [int((st.destinations[0] - st.sources[0]) % 1944)
+                for st in cps]
+        assert len(set(disp)) == len(disp)
+
+
+class TestFigure3Factories:
+    def test_six_collectives(self):
+        fac = figure3_cps_factories()
+        assert set(fac) == {"binomial", "butterfly", "dissemination",
+                            "ring", "shift", "tournament"}
+
+    def test_each_builds(self):
+        for name, factory in figure3_cps_factories(16).items():
+            cps = factory(32)
+            assert len(cps.stages) >= 1, name

@@ -1,0 +1,58 @@
+"""ForwardingTables container: queries, dump, paths matrix."""
+
+import numpy as np
+import pytest
+
+from repro.fabric import ForwardingTables, build_fabric
+from repro.routing import route_dmodk, trace_route
+from repro.topology import pgft
+
+
+def test_shape_validation():
+    fab = build_fabric(pgft(2, [4, 4], [1, 2], [1, 2]))
+    with pytest.raises(ValueError, match="does not match"):
+        ForwardingTables(fabric=fab, switch_out=np.zeros((3, 16), dtype=np.int64))
+
+
+def test_out_port_matches_dump(fig1_fabric, fig1_tables):
+    text = fig1_tables.dump()
+    assert "Switch" in text
+    # Every switch block lists all 16 destinations.
+    assert text.count(" : ") == fig1_fabric.num_switches * 16
+
+
+def test_paths_matrix_agrees_with_trace(fig1_tables):
+    hops = fig1_tables.paths_matrix()
+    N = fig1_tables.fabric.num_endports
+    for s in range(N):
+        for d in range(N):
+            if s == d:
+                assert hops[s, d] == 0
+            else:
+                assert hops[s, d] == len(trace_route(fig1_tables, s, d))
+
+
+def test_paths_matrix_bounds(any_spec):
+    fab = build_fabric(any_spec)
+    tables = route_dmodk(fab)
+    hops = tables.paths_matrix()
+    assert hops.min() >= 0
+    assert hops.max() <= 2 * any_spec.h + 1
+    # Same-leaf pairs take exactly 2 hops (up to leaf, down to host).
+    if any_spec.m[0] >= 2:
+        assert hops[0, 1] == 2
+
+
+def test_next_node_walks_toward_destination(fig1_fabric, fig1_tables):
+    # From any leaf switch, next hop toward a local host is that host.
+    fab = fig1_fabric
+    leaf = fab.num_endports  # first switch node
+    for dest in range(4):  # hosts 0..3 are under leaf 0
+        assert fig1_tables.next_node(leaf, dest) == dest
+
+
+def test_host_out_port_single_rail(fig1_fabric, fig1_tables):
+    src = np.arange(4)
+    dst = np.full(4, 9)
+    gp = fig1_tables.host_out_port(src, dst)
+    assert np.array_equal(gp, fig1_fabric.port_start[src])

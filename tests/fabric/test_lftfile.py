@@ -1,0 +1,91 @@
+"""Forwarding-table file round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.fabric import build_fabric
+from repro.fabric.lftfile import (
+    LftFileError,
+    dumps_lft,
+    load_lft,
+    loads_lft,
+    save_lft,
+)
+from repro.routing import route_dmodk, route_minhop
+from repro.topology import pgft
+
+
+@pytest.fixture
+def fabric():
+    return build_fabric(pgft(2, [4, 4], [1, 2], [1, 2]))
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("router", [route_dmodk, route_minhop])
+    def test_tables_preserved(self, fabric, router):
+        tables = router(fabric)
+        back = loads_lft(dumps_lft(tables), fabric)
+        assert np.array_equal(back.switch_out, tables.switch_out)
+
+    def test_file_io(self, fabric, tmp_path):
+        tables = route_dmodk(fabric)
+        path = tmp_path / "t.lft"
+        save_lft(tables, path)
+        back = load_lft(path, fabric)
+        assert np.array_equal(back.switch_out, tables.switch_out)
+
+    def test_unreachable_entries(self, fabric):
+        tables = route_dmodk(fabric)
+        tables.switch_out[0, 5] = -1
+        back = loads_lft(dumps_lft(tables), fabric)
+        assert back.switch_out[0, 5] == -1
+
+    def test_host_up_preserved(self, fabric):
+        tables = route_dmodk(fabric)
+        host_up = np.arange(16 * 16, dtype=np.int32).reshape(16, 16) % 1
+        from repro.fabric import ForwardingTables
+
+        t2 = ForwardingTables(fabric=fabric,
+                              switch_out=tables.switch_out,
+                              host_up=host_up)
+        back = loads_lft(dumps_lft(t2), fabric)
+        assert np.array_equal(back.host_up, host_up)
+
+
+class TestErrors:
+    def test_unknown_switch(self, fabric):
+        with pytest.raises(LftFileError, match="unknown switch"):
+            loads_lft("switch NOPE\n  0 : 1\n", fabric)
+
+    def test_entry_before_switch(self, fabric):
+        with pytest.raises(LftFileError, match="before switch"):
+            loads_lft("  0 : 1\n", fabric)
+
+    def test_port_out_of_range(self, fabric):
+        name = fabric.node_names[fabric.num_endports]
+        with pytest.raises(LftFileError, match="out of range"):
+            loads_lft(f"switch {name}\n  0 : 99\n", fabric)
+
+    def test_garbage_line(self, fabric):
+        with pytest.raises(LftFileError, match="cannot parse"):
+            loads_lft("switch-ahoy\n", fabric)
+
+    def test_host_name_rejected(self, fabric):
+        with pytest.raises(LftFileError, match="not a switch"):
+            loads_lft("switch H0000\n  0 : 0\n", fabric)
+
+
+class TestCliRoute:
+    def test_route_subcommand(self, tmp_path, capsys):
+        from repro.fabric import save
+        from repro.fabric.cli import main
+
+        topo = tmp_path / "f.topo"
+        save(build_fabric(pgft(2, [4, 4], [1, 2], [1, 2])), topo)
+        out = tmp_path / "f.lft"
+        assert main(["route", str(topo), str(out)]) == 0
+        assert "dmodk" in capsys.readouterr().out
+        # And the file parses back against the same fabric.
+        fab = build_fabric(pgft(2, [4, 4], [1, 2], [1, 2]))
+        tables = load_lft(out, fab)
+        assert (tables.switch_out >= 0).all()

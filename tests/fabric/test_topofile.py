@@ -1,0 +1,82 @@
+"""Topology file parse/serialise round-trips and error reporting."""
+
+import numpy as np
+import pytest
+
+from repro.fabric import TopoFileError, build_fabric, dumps, load, loads, save
+from repro.topology import pgft
+
+
+class TestRoundTrip:
+    def test_wiring_preserved(self, any_spec):
+        fab = build_fabric(any_spec)
+        fab2 = loads(dumps(fab))
+        assert np.array_equal(fab.port_peer, fab2.port_peer)
+        assert np.array_equal(fab.port_start, fab2.port_start)
+        assert np.array_equal(fab.node_level, fab2.node_level)
+        assert fab.num_endports == fab2.num_endports
+
+    def test_spec_preserved(self):
+        fab = build_fabric(pgft(2, [4, 4], [1, 2], [1, 2]))
+        fab2 = loads(dumps(fab))
+        assert fab2.spec == fab.spec
+
+    def test_file_roundtrip(self, tmp_path):
+        fab = build_fabric(pgft(2, [3, 4], [1, 3], [1, 1]))
+        path = tmp_path / "fabric.topo"
+        save(fab, path)
+        fab2 = load(path)
+        assert np.array_equal(fab.port_peer, fab2.port_peer)
+
+    def test_double_roundtrip_stable(self):
+        fab = build_fabric(pgft(2, [4, 4], [1, 2], [1, 2]))
+        text1 = dumps(fab)
+        text2 = dumps(loads(text1))
+        assert text1 == text2
+
+
+class TestParsing:
+    def test_comments_and_blanks_ignored(self):
+        fab = loads(
+            """
+            # a fabric
+            hca H0 ports=1
+
+            switch S ports=1 level=1  # trailing comment
+            link H0[0] S[0]
+            """
+        )
+        assert fab.num_endports == 1
+        assert fab.num_switches == 1
+
+    def test_levels_inferred_when_missing(self):
+        fab = loads(
+            "hca H0 ports=1\nhca H1 ports=1\n"
+            "switch S ports=2\n"
+            "link H0[0] S[0]\nlink H1[0] S[1]\n"
+        )
+        assert list(fab.node_level) == [0, 0, 1]
+
+    def test_unknown_directive(self):
+        with pytest.raises(TopoFileError, match="unknown directive"):
+            loads("router R ports=3\n")
+
+    def test_bad_link_syntax(self):
+        with pytest.raises(TopoFileError, match="line 2"):
+            loads("hca H0 ports=1\nlink H0[0] -> H0[0]\n")
+
+    def test_unknown_node_in_link(self):
+        with pytest.raises(TopoFileError, match="unknown node"):
+            loads("hca H0 ports=1\nlink H0[0] NOPE[0]\n")
+
+    def test_port_out_of_range(self):
+        with pytest.raises(TopoFileError, match="out of range"):
+            loads("hca H0 ports=1\nhca H1 ports=1\nlink H0[5] H1[0]\n")
+
+    def test_duplicate_names(self):
+        with pytest.raises(TopoFileError, match="duplicate"):
+            loads("hca X ports=1\nswitch X ports=2\n")
+
+    def test_bad_pgft_line(self):
+        with pytest.raises(TopoFileError, match="pgft"):
+            loads("pgft 2; 4,4; 1,2\n")

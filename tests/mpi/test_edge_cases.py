@@ -1,0 +1,62 @@
+"""Mini-MPI edge cases: tiny communicators, scalar payloads."""
+
+import numpy as np
+import pytest
+
+from repro.fabric import build_fabric
+from repro.mpi import Communicator
+from repro.routing import route_dmodk
+from repro.topology import rlft_max
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return route_dmodk(build_fabric(rlft_max(3, 2)))  # 18 end-ports
+
+
+class TestTinyCommunicators:
+    def test_single_rank(self, tables):
+        comm = Communicator(tables, placement=np.array([4]))
+        res = comm.allreduce([np.array([7.0])])
+        assert np.allclose(res.values[0], [7.0])
+        b = comm.broadcast(np.array([1.0, 2.0]))
+        assert np.allclose(b.values[0], [1.0, 2.0])
+        assert comm.barrier().num_stages == 0
+
+    def test_two_ranks(self, tables):
+        comm = Communicator(tables, placement=np.array([0, 9]))
+        data = [np.array([1.0, 2.0]), np.array([10.0, 20.0])]
+        r = comm.allreduce(data, algorithm="recursive-doubling")
+        assert all(np.allclose(v, [11.0, 22.0]) for v in r.values)
+        g = comm.allgather(data)
+        assert all(np.allclose(v, [1, 2, 10, 20]) for v in g.values)
+
+    def test_scalar_payload_promoted(self, tables):
+        comm = Communicator(tables, placement=np.arange(4))
+        r = comm.allreduce([1.0, 2.0, 3.0, 4.0])
+        assert all(np.allclose(v, [10.0]) for v in r.values)
+
+
+class TestValidation:
+    def test_wrong_buffer_count(self, tables):
+        comm = Communicator(tables, placement=np.arange(4))
+        with pytest.raises(ValueError, match="buffer per rank"):
+            comm.allreduce([np.zeros(2)] * 3)
+        with pytest.raises(ValueError, match="buffer per rank"):
+            comm.allgather([np.zeros(2)] * 5)
+
+    def test_unknown_allreduce_algorithm(self, tables):
+        comm = Communicator(tables, placement=np.arange(4))
+        with pytest.raises(ValueError, match="algorithm"):
+            comm.allreduce([np.zeros(2)] * 4, algorithm="sorcery")
+
+
+class TestCrossPlacementInvariance:
+    def test_values_independent_of_placement(self, tables):
+        # Any placement of the same ranks yields identical numerics.
+        data = [np.arange(4.0) + r for r in range(6)]
+        want = np.sum(data, axis=0)
+        for placement in (np.arange(6), np.array([17, 3, 8, 0, 12, 5])):
+            comm = Communicator(tables, placement=placement)
+            res = comm.allreduce(data, algorithm="rabenseifner")
+            assert all(np.allclose(v, want) for v in res.values)

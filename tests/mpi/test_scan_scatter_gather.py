@@ -1,0 +1,69 @@
+"""Scan, scatter and gather collectives."""
+
+import numpy as np
+import pytest
+
+from repro.fabric import build_fabric
+from repro.mpi import Communicator
+from repro.routing import route_dmodk
+from repro.topology import rlft_max
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return route_dmodk(build_fabric(rlft_max(4, 2)))
+
+
+@pytest.mark.parametrize("n", [1, 2, 8, 13, 32])
+class TestScan:
+    def test_inclusive_prefix_sum(self, tables, n):
+        comm = Communicator(tables, placement=np.arange(n))
+        data = [np.full(4, float(r + 1)) for r in range(n)]
+        res = comm.scan(data)
+        for r in range(n):
+            want = np.full(4, sum(range(1, r + 2)))
+            assert np.allclose(res.values[r], want), r
+
+    def test_stage_count_logarithmic(self, tables, n):
+        comm = Communicator(tables, placement=np.arange(n))
+        res = comm.scan([np.zeros(2)] * n)
+        import math
+
+        assert res.num_stages == (math.ceil(math.log2(n)) if n > 1 else 0)
+
+
+@pytest.mark.parametrize("n,root", [(8, 0), (8, 3), (13, 7), (32, 31)])
+class TestScatterGather:
+    def test_scatter_delivers_personal_chunks(self, tables, n, root):
+        comm = Communicator(tables, placement=np.arange(n))
+        data = [np.full(3, float(r)) for r in range(n)]
+        res = comm.scatter(data, root=root)
+        for r in range(n):
+            assert np.allclose(res.values[r], np.full(3, float(r))), r
+
+    def test_gather_is_inverse(self, tables, n, root):
+        comm = Communicator(tables, placement=np.arange(n))
+        data = [np.full(2, float(r)) for r in range(n)]
+        res = comm.gather(data, root=root)
+        want = np.concatenate(data)
+        assert np.allclose(res.values[root], want)
+        assert all(v is None for r, v in enumerate(res.values) if r != root)
+
+    def test_scatter_halves_traffic_vs_broadcast(self, tables, n, root):
+        # Scatter moves each byte O(1) times; broadcast of the full
+        # concatenation moves it to everyone.
+        comm = Communicator(tables, placement=np.arange(n))
+        data = [np.full(256, float(r)) for r in range(n)]
+        sc = comm.scatter(data, root=root)
+        bc = comm.broadcast(np.concatenate(data), root=root)
+        assert sc.bytes_on_wire < bc.bytes_on_wire
+
+
+class TestScanOp:
+    def test_max_scan(self, tables):
+        comm = Communicator(tables, placement=np.arange(6))
+        data = [np.array([float(v)]) for v in (3, 1, 4, 1, 5, 9)]
+        res = comm.scan(data, op=np.maximum)
+        want = [3, 3, 4, 4, 5, 9]
+        for r, w in enumerate(want):
+            assert np.allclose(res.values[r], [w])

@@ -1,0 +1,78 @@
+"""Placement generators."""
+
+import numpy as np
+import pytest
+
+from repro.ordering import (
+    invert_placement,
+    physical_placement,
+    random_order,
+    random_subset,
+    topology_order,
+    topology_subset,
+)
+
+
+class TestTopologyOrder:
+    def test_identity(self):
+        assert np.array_equal(topology_order(8), np.arange(8))
+
+    def test_partial(self):
+        assert np.array_equal(topology_order(8, 5), np.arange(5))
+
+    def test_too_many_ranks(self):
+        with pytest.raises(ValueError):
+            topology_order(4, 5)
+
+
+class TestRandomOrder:
+    def test_is_permutation(self):
+        order = random_order(32, seed=1)
+        assert sorted(order) == list(range(32))
+
+    def test_partial_has_unique_ports(self):
+        order = random_order(32, 10, seed=2)
+        assert len(np.unique(order)) == 10
+
+    def test_seed_determinism(self):
+        assert np.array_equal(random_order(16, seed=9), random_order(16, seed=9))
+        assert not np.array_equal(random_order(16, seed=9),
+                                  random_order(16, seed=10))
+
+
+class TestSubsets:
+    def test_random_subset_size(self):
+        order = random_subset(32, excluded=5, seed=0)
+        assert len(order) == 27
+        assert len(np.unique(order)) == 27
+
+    def test_topology_subset_sorted(self):
+        order = topology_subset(32, excluded=5, seed=0)
+        assert (np.diff(order) > 0).all()
+        assert len(order) == 27
+
+    def test_same_seed_same_exclusions(self):
+        a = random_subset(32, 5, seed=3)
+        b = topology_subset(32, 5, seed=3)
+        assert set(a) == set(b)
+
+
+class TestPhysicalPlacement:
+    def test_slots(self):
+        slots = physical_placement(np.array([1, 3]), 5)
+        assert list(slots) == [-1, 1, -1, 3, -1]
+
+    def test_full_is_identity(self):
+        slots = physical_placement(np.arange(6), 6)
+        assert np.array_equal(slots, np.arange(6))
+
+
+class TestInvert:
+    def test_roundtrip(self):
+        r2p = random_order(16, seed=4)
+        p2r = invert_placement(r2p, 16)
+        assert np.array_equal(r2p[p2r], np.arange(16))
+
+    def test_idle_ports_minus_one(self):
+        p2r = invert_placement(np.array([2, 0]), 4)
+        assert list(p2r) == [1, -1, 0, -1]

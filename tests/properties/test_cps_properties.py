@@ -1,0 +1,96 @@
+"""Property-based tests: the CPS algebra over arbitrary rank counts."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives import (
+    CPS_NAMES,
+    by_name,
+    classify,
+    has_constant_displacement,
+    is_shift_subset,
+    pow2_floor,
+    with_proxy_stages,
+)
+
+ranks = st.integers(2, 200)
+names = st.sampled_from(sorted(CPS_NAMES))
+
+
+class TestUniversalInvariants:
+    @given(names, ranks)
+    @settings(max_examples=120, deadline=None)
+    def test_constant_displacement_everywhere(self, name, n):
+        cps = by_name(name, n)
+        for stage in cps:
+            assert has_constant_displacement(stage, n), (name, n, stage.label)
+
+    @given(names, ranks)
+    @settings(max_examples=120, deadline=None)
+    def test_ranks_in_range(self, name, n):
+        cps = by_name(name, n)
+        pairs = cps.all_pairs()
+        if len(pairs):
+            assert pairs.min() >= 0
+            assert pairs.max() < n
+
+    @given(names, ranks)
+    @settings(max_examples=120, deadline=None)
+    def test_never_mixed(self, name, n):
+        # Observation 2: every CPS is unidirectional or bidirectional.
+        assert classify(by_name(name, n)) != "mixed"
+
+    @given(names, ranks)
+    @settings(max_examples=80, deadline=None)
+    def test_stages_are_partial_permutations(self, name, n):
+        for stage in by_name(name, n):
+            assert stage.is_permutation(), (name, n, stage.label)
+
+
+class TestShiftSuperset:
+    @given(st.sampled_from(["shift", "ring", "binomial", "tournament",
+                            "dissemination", "pairwise-exchange"]), ranks)
+    @settings(max_examples=100, deadline=None)
+    def test_unidirectional_contained_in_shift(self, name, n):
+        assert is_shift_subset(by_name(name, n))
+
+
+class TestProxyStages:
+    @given(st.integers(2, 500))
+    @settings(max_examples=100, deadline=None)
+    def test_pow2_floor_bounds(self, n):
+        p = pow2_floor(n)
+        assert p <= n < 2 * p
+        assert p & (p - 1) == 0
+
+    @given(st.integers(3, 200))
+    @settings(max_examples=80, deadline=None)
+    def test_proxy_covers_all_ranks(self, n):
+        cps = with_proxy_stages(n)
+        assert set(np.unique(cps.all_pairs())) == set(range(n))
+
+    @given(st.integers(3, 200))
+    @settings(max_examples=80, deadline=None)
+    def test_proxy_pre_post_are_inverses(self, n):
+        cps = with_proxy_stages(n)
+        if pow2_floor(n) == n:
+            return
+        pre, post = cps.stages[0], cps.stages[-1]
+        assert np.array_equal(pre.pairs, post.pairs[:, ::-1])
+
+
+class TestDissemination:
+    @given(ranks)
+    @settings(max_examples=80, deadline=None)
+    def test_stage_count_is_ceil_log2(self, n):
+        import math
+
+        cps = by_name("dissemination", n)
+        assert len(cps) == max(1, math.ceil(math.log2(n)))
+
+    @given(ranks)
+    @settings(max_examples=80, deadline=None)
+    def test_every_stage_is_full_permutation(self, n):
+        for stage in by_name("dissemination", n):
+            assert len(stage) == n

@@ -1,0 +1,51 @@
+"""Property-based tests: fabric wiring and topology-file round-trips."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fabric import build_fabric, dumps, loads
+from repro.sim import EventQueue
+
+from .test_topology_properties import pgft_specs
+
+
+class TestFabricInvariants:
+    @given(pgft_specs())
+    @settings(max_examples=40, deadline=None)
+    def test_peer_involution(self, spec):
+        fab = build_fabric(spec)
+        gp = np.arange(fab.num_ports)
+        connected = fab.port_peer >= 0
+        assert connected.all()
+        assert np.array_equal(fab.port_peer[fab.port_peer], gp)
+
+    @given(pgft_specs())
+    @settings(max_examples=40, deadline=None)
+    def test_total_ports_even(self, spec):
+        fab = build_fabric(spec)
+        assert fab.num_ports % 2 == 0
+
+    @given(pgft_specs())
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_exact(self, spec):
+        fab = build_fabric(spec)
+        fab2 = loads(dumps(fab))
+        assert np.array_equal(fab.port_peer, fab2.port_peer)
+        assert np.array_equal(fab.port_start, fab2.port_start)
+        assert fab.node_names == fab2.node_names
+        assert fab2.spec == spec
+
+
+class TestEventQueueProperties:
+    @given(st.lists(st.floats(0, 1000, allow_nan=False), min_size=1,
+                    max_size=50))
+    @settings(max_examples=60, deadline=None)
+    def test_events_always_fire_in_order(self, times):
+        q = EventQueue()
+        fired = []
+        for t in times:
+            q.schedule(t, fired.append, t)
+        q.run()
+        assert fired == sorted(times)
+        assert len(fired) == len(times)

@@ -1,0 +1,75 @@
+"""Property-based tests: repair and discovery under random damage."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fabric import build_fabric
+from repro.routing import check_reachability, route_dmodk
+from repro.routing.repair import repair_tables
+from repro.topology import DiscoveryError, discover_pgft, rlft_max
+
+from .test_topology_properties import cbb_specs
+
+SPEC = rlft_max(4, 2)
+FAB = build_fabric(SPEC)
+BASE = route_dmodk(FAB)
+UPLINKS = np.flatnonzero(FAB.port_goes_up()
+                         & (FAB.port_owner >= FAB.num_endports))
+
+
+class TestRepairProperties:
+    @given(st.sets(st.integers(0, len(UPLINKS) - 1), min_size=1, max_size=5))
+    @settings(max_examples=40, deadline=None)
+    def test_reachability_after_any_small_failure_set(self, picks):
+        dead = UPLINKS[sorted(picks)]
+        degraded = FAB.with_failed_cables(dead)
+        rep = repair_tables(BASE, degraded)
+        if rep.ok:
+            check_reachability(rep.tables)
+        # Fabrics with enough redundancy always survive <= 3 failures
+        # of distinct leaves' links; assert ok for the single-failure case.
+        if len(picks) == 1:
+            assert rep.ok
+
+    @given(st.sets(st.integers(0, len(UPLINKS) - 1), min_size=1, max_size=4))
+    @settings(max_examples=30, deadline=None)
+    def test_repaired_entries_avoid_dead_ports(self, picks):
+        dead = UPLINKS[sorted(picks)]
+        degraded = FAB.with_failed_cables(dead)
+        rep = repair_tables(BASE, degraded)
+        live_entries = rep.tables.switch_out[rep.tables.switch_out >= 0]
+        assert not np.isin(live_entries, degraded.dead_ports()).any()
+
+
+class TestDiscoveryProperties:
+    @given(cbb_specs())
+    @settings(max_examples=25, deadline=None)
+    def test_every_generated_cbb_spec_recognised(self, spec):
+        if spec.num_endports > 200:
+            return
+        fab = build_fabric(spec)
+        fab.spec = None
+        assert discover_pgft(fab) == spec
+
+    @given(cbb_specs(), st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_damaged_fabric_rejected(self, spec, seed):
+        # Removing one switch-level cable breaks the complete-bipartite
+        # block structure (or strands a node): discovery must not
+        # silently return a spec for it.
+        if spec.num_endports > 200 or spec.h < 2:
+            return
+        fab = build_fabric(spec)
+        rng = np.random.default_rng(seed)
+        ups = np.flatnonzero(fab.port_goes_up()
+                             & (fab.port_owner >= fab.num_endports))
+        if not len(ups):
+            return
+        degraded = fab.with_failed_cables([int(rng.choice(ups))])
+        degraded.spec = None
+        try:
+            got = discover_pgft(degraded)
+        except DiscoveryError:
+            return  # correctly rejected
+        raise AssertionError(f"damaged {spec} mis-recognised as {got}")

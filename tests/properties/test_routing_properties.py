@@ -1,0 +1,102 @@
+"""Property-based tests: the paper's theorems over random RLFT-class
+fabrics -- D-Mod-K stays congestion-free on Shift for *any* valid
+constant-CBB tree, not just the hand-picked evaluation topologies."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    down_port_destination_counts,
+    sequence_hsd,
+    stage_max_hsd,
+)
+from repro.collectives import hierarchical_recursive_doubling, shift
+from repro.fabric import build_fabric
+from repro.ordering import physical_placement, topology_order
+from repro.routing import route_dmodk, route_minhop
+from repro.topology import pgft
+
+from .test_topology_properties import cbb_specs
+
+
+def _small(spec, limit=120):
+    return spec.num_endports <= limit and spec.num_endports >= 2
+
+
+class TestTheorem1:
+    @given(cbb_specs())
+    @settings(max_examples=30, deadline=None)
+    def test_shift_hsd_one(self, spec):
+        if not _small(spec):
+            return
+        tables = route_dmodk(build_fabric(spec))
+        n = spec.num_endports
+        rep = sequence_hsd(tables, shift(n), topology_order(n))
+        assert rep.congestion_free, spec
+
+    @given(cbb_specs(), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_single_stage_permutation_hsd_one(self, spec, data):
+        # Any constant-displacement permutation (not only the Shift
+        # stages we enumerate) is clean: draw a random displacement.
+        if not _small(spec):
+            return
+        n = spec.num_endports
+        s = data.draw(st.integers(1, n - 1))
+        tables = route_dmodk(build_fabric(spec))
+        src = np.arange(n)
+        assert stage_max_hsd(tables, src, (src + s) % n) == 1
+
+
+class TestTheorem2:
+    @given(cbb_specs())
+    @settings(max_examples=15, deadline=None)
+    def test_one_destination_per_down_port(self, spec):
+        if not _small(spec, limit=60):
+            return
+        tables = route_dmodk(build_fabric(spec))
+        assert down_port_destination_counts(tables).max() <= 1
+
+
+class TestTheorem3:
+    @given(cbb_specs())
+    @settings(max_examples=25, deadline=None)
+    def test_hierarchical_rd_hsd_one(self, spec):
+        if not _small(spec):
+            return
+        tables = route_dmodk(build_fabric(spec))
+        n = spec.num_endports
+        cps = hierarchical_recursive_doubling(spec)
+        rep = sequence_hsd(tables, cps, topology_order(n))
+        assert rep.congestion_free, spec
+
+
+class TestPartialPopulations:
+    @given(cbb_specs(), st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_skip_semantics_hsd_one(self, spec, data):
+        if not _small(spec):
+            return
+        n = spec.num_endports
+        if n < 4:
+            return
+        excluded = data.draw(st.integers(1, n // 2))
+        rng = np.random.default_rng(data.draw(st.integers(0, 1000)))
+        active = np.sort(rng.permutation(n)[: n - excluded])
+        tables = route_dmodk(build_fabric(spec))
+        slots = physical_placement(active, n)
+        rep = sequence_hsd(tables, shift(n), slots)
+        assert rep.congestion_free, spec
+
+
+class TestGenericRouters:
+    @given(cbb_specs())
+    @settings(max_examples=15, deadline=None)
+    def test_minhop_reaches_everything(self, spec):
+        if not _small(spec, limit=80):
+            return
+        tables = route_minhop(build_fabric(spec))
+        hops = tables.paths_matrix()
+        assert (hops >= 0).all()
+        assert hops.max() <= 2 * spec.h + 1

@@ -1,0 +1,110 @@
+"""Property-based tests: topology digit arithmetic over random PGFTs."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import PGFT, endport_digits, endport_index, pgft
+
+
+@st.composite
+def pgft_specs(draw, max_levels=3, max_digit=5):
+    """Random small-but-structurally-diverse PGFT tuples."""
+    h = draw(st.integers(1, max_levels))
+    m = [draw(st.integers(1, max_digit)) for _ in range(h)]
+    w = [1] + [draw(st.integers(1, max_digit)) for _ in range(h - 1)]
+    p = [1] + [draw(st.integers(1, 3)) for _ in range(h - 1)]
+    return pgft(h, m, w, p)
+
+
+@st.composite
+def cbb_specs(draw, max_levels=3):
+    """Random constant-CBB, single-rail PGFTs (the paper's class)."""
+    h = draw(st.integers(2, max_levels))
+    m = [draw(st.integers(2, 6)) for _ in range(h)]
+    w, p = [1], [1]
+    for level in range(1, h):
+        need = m[level - 1] * p[level - 1]
+        divisors = [d for d in range(1, need + 1) if need % d == 0]
+        w_l = draw(st.sampled_from(divisors))
+        w.append(w_l)
+        p.append(need // w_l)
+    return pgft(h, m, w, p)
+
+
+class TestDigitArithmetic:
+    @given(pgft_specs())
+    @settings(max_examples=60, deadline=None)
+    def test_endport_digits_bijective(self, spec):
+        j = np.arange(spec.num_endports)
+        assert np.array_equal(endport_index(spec, endport_digits(spec, j)), j)
+
+    @given(pgft_specs())
+    @settings(max_examples=60, deadline=None)
+    def test_node_index_bijective_all_levels(self, spec):
+        tree = PGFT(spec)
+        for level in range(spec.h + 1):
+            idx = np.arange(tree.num_nodes_at(level))
+            back = tree.node_index(level, tree.node_digits(level, idx))
+            assert np.array_equal(back, idx)
+
+    @given(pgft_specs())
+    @settings(max_examples=40, deadline=None)
+    def test_structural_validation_passes(self, spec):
+        PGFT(spec).validate()
+
+
+class TestCounting:
+    @given(pgft_specs())
+    @settings(max_examples=60, deadline=None)
+    def test_switch_count_formula(self, spec):
+        # switches_at(l) == prod(m[l:]) * prod(w[:l])
+        import math
+
+        for level in spec.iter_levels():
+            expect = math.prod(spec.m[level:]) * math.prod(spec.w[:level])
+            assert spec.switches_at(level) == expect
+
+    @given(cbb_specs())
+    @settings(max_examples=40, deadline=None)
+    def test_cbb_specs_have_constant_cbb(self, spec):
+        assert spec.has_constant_cbb()
+        assert spec.is_single_rail()
+
+    @given(pgft_specs())
+    @settings(max_examples=40, deadline=None)
+    def test_cable_conservation(self, spec):
+        # Up cables leaving level l-1 == down cables entering level l.
+        tree = PGFT(spec)
+        for level in spec.iter_levels():
+            lower_n = tree.num_nodes_at(level - 1)
+            upper_n = tree.num_nodes_at(level)
+            assert (lower_n * spec.up_ports_at(level - 1)
+                    == upper_n * spec.down_ports_at(level))
+
+
+class TestAncestry:
+    @given(cbb_specs(), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_every_endport_has_one_leaf_ancestor(self, spec, data):
+        tree = PGFT(spec)
+        j = data.draw(st.integers(0, spec.num_endports - 1))
+        leaves = np.arange(tree.num_nodes_at(1))
+        mask = tree.ancestor_mask(1, leaves, np.full_like(leaves, j))
+        assert mask.sum() == 1
+
+    @given(cbb_specs(), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_ancestor_transitivity(self, spec, data):
+        # Parent of an ancestor (along j's digits) is an ancestor.
+        if spec.h < 2:
+            return
+        tree = PGFT(spec)
+        j = data.draw(st.integers(0, spec.num_endports - 1))
+        leaf = int(tree.leaf_of_endport(j))
+        for parent in np.atleast_1d(tree.parents_of(1, leaf)):
+            # At least one parent must be an ancestor of j at level 2.
+            pass
+        parents = np.atleast_1d(tree.parents_of(1, leaf))
+        anc = tree.ancestor_mask(2, parents, np.full(len(parents), j))
+        assert anc.all()  # all parents of j's leaf are ancestors of j

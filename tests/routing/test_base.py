@@ -1,0 +1,72 @@
+"""Shared PGFT routing scaffolding (build_pgft_tables)."""
+
+import numpy as np
+import pytest
+
+from repro.fabric import Fabric, build_fabric
+from repro.routing import check_reachability
+from repro.routing.base import build_pgft_tables, require_spec
+from repro.topology import pgft
+
+
+@pytest.fixture
+def fabric():
+    return build_fabric(pgft(2, [3, 4], [1, 3], [1, 1]))
+
+
+def test_require_spec_rejects_generic():
+    fab = Fabric.from_links(1, [1, 1], [(0, 0, 1, 0)])
+    with pytest.raises(ValueError, match="PGFT"):
+        require_spec(fab)
+
+
+def test_scalar_callbacks_broadcast(fabric):
+    # Callbacks may return scalars; the builder broadcasts them.
+    spec = fabric.spec
+
+    def up_choice(level, sw, dest):
+        return np.asarray(dest) % spec.up_ports_at(level)
+
+    def down_parallel(level, sw, dest):
+        return 0
+
+    tables = build_pgft_tables(fabric, up_choice, down_parallel)
+    check_reachability(tables)
+
+
+def test_host_up_generated_for_multirail():
+    spec = pgft(2, [4, 4], [2, 4], [1, 2])  # hosts with 2 rails
+    fab = build_fabric(spec)
+
+    def up_choice(level, sw, dest):
+        return np.asarray(dest) % spec.up_ports_at(level)
+
+    def down_parallel(level, sw, dest):
+        return np.asarray(dest) % spec.p[level - 1]
+
+    def host_choice(dest):
+        return dest % spec.up_ports_at(0)
+
+    tables = build_pgft_tables(fab, up_choice, down_parallel, host_choice)
+    assert tables.host_up is not None
+    assert tables.host_up.shape == (16, 16)
+
+
+def test_single_rail_host_up_is_none(fabric):
+    def up_choice(level, sw, dest):
+        return np.asarray(dest) % fabric.spec.up_ports_at(level)
+
+    tables = build_pgft_tables(fabric, up_choice, lambda l, s, d: 0)
+    assert tables.host_up is None
+
+
+def test_tables_reference_owned_ports(fabric):
+    def up_choice(level, sw, dest):
+        return np.asarray(dest) % fabric.spec.up_ports_at(level)
+
+    tables = build_pgft_tables(fabric, up_choice, lambda l, s, d: 0)
+    for row in range(fabric.num_switches):
+        node = fabric.num_endports + row
+        lo, hi = fabric.port_start[node], fabric.port_start[node + 1]
+        gp = tables.switch_out[row]
+        assert (gp >= lo).all() and (gp < hi).all()

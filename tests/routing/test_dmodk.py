@@ -1,0 +1,138 @@
+"""D-Mod-K: closed form, theorems 1 & 2, job-aware partial routing."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import down_port_destination_counts, sequence_hsd
+from repro.collectives import hierarchical_recursive_doubling, shift
+from repro.fabric import build_fabric
+from repro.ordering import physical_placement, topology_order
+from repro.routing import (
+    check_reachability,
+    check_up_down,
+    dense_ranks,
+    down_parallel_k,
+    q_up,
+    route_dmodk,
+)
+from repro.topology import pgft, rlft_max
+
+
+class TestClosedForm:
+    def test_q_up_level1_is_mod(self):
+        spec = pgft(2, [4, 4], [1, 2], [1, 2])
+        j = np.arange(16)
+        # At hosts/leaves, Q_1(j) = j mod (w_1 p_1) = 0 (single rail).
+        assert (q_up(spec, 1, j) == 0).all()
+        # At leaves, Q_2(j) = j mod (w_2 p_2) = j mod 4.
+        assert np.array_equal(q_up(spec, 2, j), j % 4)
+
+    def test_q_up_three_level(self):
+        spec = rlft_max(2, 3)  # PGFT(3; 2,2,4; 1,2,2; 1,1,1)
+        j = np.arange(16)
+        assert np.array_equal(q_up(spec, 2, j), j % 2)
+        assert np.array_equal(q_up(spec, 3, j), (j // 2) % 2)
+
+    def test_down_parallel_spreads_over_cables(self):
+        spec = pgft(2, [4, 4], [1, 2], [1, 2])
+        j = np.arange(16)
+        k = down_parallel_k(spec, 2, j)
+        assert set(np.unique(k)) == {0, 1}
+        # Q_2 = j mod 4; k = Q_2 // w_2: destinations 0,1 cable 0; 2,3 cable 1.
+        assert np.array_equal(k, (j % 4) // 2)
+
+    def test_dense_ranks_identity(self):
+        assert np.array_equal(dense_ranks(5, None), np.arange(5))
+
+    def test_dense_ranks_subset(self):
+        r = dense_ranks(6, np.array([1, 3, 4]))
+        # ports:  0 1 2 3 4 5 -> searchsorted ranks 0 0 1 1 2 3
+        assert list(r) == [0, 0, 1, 1, 2, 3]
+        # Active ports get consecutive ranks.
+        assert list(r[[1, 3, 4]]) == [0, 1, 2]
+
+    def test_dense_ranks_validation(self):
+        with pytest.raises(ValueError):
+            dense_ranks(4, np.array([], dtype=int))
+        with pytest.raises(ValueError):
+            dense_ranks(4, np.array([5]))
+
+
+class TestCorrectness:
+    def test_reachability_and_shape(self, any_spec):
+        tables = route_dmodk(build_fabric(any_spec))
+        check_reachability(tables)
+        check_up_down(tables, sample=128)
+
+    def test_needs_spec(self):
+        from repro.fabric import Fabric
+
+        fab = Fabric.from_links(1, [1, 1], [(0, 0, 1, 0)])
+        with pytest.raises(ValueError, match="PGFT"):
+            route_dmodk(fab)
+
+
+class TestTheorem1:
+    """No up-port carries two flows in any Shift stage (complete RLFT)."""
+
+    def test_shift_congestion_free(self, any_spec):
+        N = any_spec.num_endports
+        tables = route_dmodk(build_fabric(any_spec))
+        rep = sequence_hsd(tables, shift(N), topology_order(N))
+        assert rep.congestion_free
+        assert rep.avg_max == 1.0
+
+    def test_shift_congestion_free_648(self):
+        spec = rlft_max(18, 2)
+        tables = route_dmodk(build_fabric(spec))
+        N = spec.num_endports
+        cps = shift(N, displacements=range(1, N, 13))
+        assert sequence_hsd(tables, cps, topology_order(N)).congestion_free
+
+
+class TestTheorem2:
+    """Each down-going directed link serves exactly one destination."""
+
+    def test_single_destination_per_down_port(self, any_spec):
+        tables = route_dmodk(build_fabric(any_spec))
+        counts = down_port_destination_counts(tables)
+        assert counts.max() <= 1
+
+    def test_matches_reference_walker(self, fig1_tables):
+        from repro.routing import down_port_destinations
+
+        ref = down_port_destinations(fig1_tables)
+        vec = down_port_destination_counts(fig1_tables)
+        assert np.array_equal(ref, vec)
+
+
+class TestPartialPopulation:
+    def test_physical_skip_semantics_hsd1(self):
+        spec = pgft(2, [6, 6], [1, 6], [1, 1])
+        N = spec.num_endports
+        tables = route_dmodk(build_fabric(spec))
+        rng = np.random.default_rng(0)
+        active = np.sort(rng.permutation(N)[: N - 7])
+        slots = physical_placement(active, N)
+        assert sequence_hsd(tables, shift(N), slots).congestion_free
+        assert sequence_hsd(
+            tables, hierarchical_recursive_doubling(spec), slots
+        ).congestion_free
+
+    def test_job_aware_dense_routing_reduces_hsd(self):
+        # Dense re-ranked shift on a random subset: job-aware routing must
+        # do at least as well as oblivious routing, and all non-wrapping
+        # stages must be perfectly clean.
+        spec = pgft(2, [6, 6], [1, 6], [1, 1])
+        N = spec.num_endports
+        fab = build_fabric(spec)
+        rng = np.random.default_rng(1)
+        active = np.sort(rng.permutation(N)[: N - 7])
+        n = len(active)
+        aware = route_dmodk(fab, active=active)
+        oblivious = route_dmodk(fab)
+        cps = shift(n)
+        rep_aware = sequence_hsd(aware, cps, active)
+        rep_obliv = sequence_hsd(oblivious, cps, active)
+        assert rep_aware.avg_max <= rep_obliv.avg_max
+        assert rep_aware.worst <= 2  # only wrap stages may collide

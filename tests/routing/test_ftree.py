@@ -1,0 +1,98 @@
+"""Counting-based ftree engine: coincidence with and divergence from
+D-Mod-K."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import sequence_hsd
+from repro.collectives import shift
+from repro.fabric import build_fabric
+from repro.ordering import topology_order
+from repro.routing import (
+    FTreeRouter,
+    check_reachability,
+    check_up_down,
+    route_dmodk,
+    route_ftree,
+)
+from repro.topology import pgft, rlft_max
+
+
+class TestCorrectness:
+    def test_reachability_all_specs(self, any_spec):
+        tables = route_ftree(build_fabric(any_spec))
+        check_reachability(tables)
+        check_up_down(tables, sample=100)
+
+    def test_shuffled_still_correct(self, any_spec):
+        tables = route_ftree(build_fabric(any_spec), shuffle=True, seed=3)
+        check_reachability(tables)
+
+
+class TestCoincidenceWithDmodk:
+    @pytest.mark.parametrize("spec", [
+        rlft_max(4, 2),
+        rlft_max(18, 2),
+        pgft(2, [4, 4], [1, 4], [1, 1]),
+    ], ids=str)
+    def test_identical_tables_on_two_level_single_cable(self, spec):
+        fab = build_fabric(spec)
+        ft = route_ftree(fab)
+        dm = route_dmodk(fab)
+        assert np.array_equal(ft.switch_out, dm.switch_out)
+
+    def test_congestion_free_on_odd_stride_parallel(self):
+        # n324: 2 parallel cables but stride 9 (odd) keeps cables apart.
+        spec = pgft(2, [18, 18], [1, 9], [1, 2])
+        tables = route_ftree(build_fabric(spec))
+        n = spec.num_endports
+        cps = shift(n, displacements=range(1, 40))
+        assert sequence_hsd(tables, cps, topology_order(n)).congestion_free
+
+
+class TestDivergence:
+    def test_three_level_counters_congest(self):
+        # Above the leaves D-Mod-K groups destinations by floor(j/W_l);
+        # a per-destination counter breaks that grouping.  The same
+        # failure hits min-hop round-robin (see ablation bench).
+        spec = rlft_max(3, 3)
+        fab = build_fabric(spec)
+        n = spec.num_endports
+        ft = sequence_hsd(route_ftree(fab), shift(n), topology_order(n))
+        dm = sequence_hsd(route_dmodk(fab), shift(n), topology_order(n))
+        assert dm.congestion_free
+        assert ft.worst >= 3
+
+    def test_even_parallel_stride_breaks_counting(self):
+        # The paper's 16-node PGFT: perfectly balanced counters, yet a
+        # Shift stage doubles up on a down cable (counts != structure).
+        spec = pgft(2, [4, 4], [1, 2], [1, 2])
+        fab = build_fabric(spec)
+        ft = sequence_hsd(route_ftree(fab), shift(16), topology_order(16))
+        dm = sequence_hsd(route_dmodk(fab), shift(16), topology_order(16))
+        assert dm.congestion_free
+        assert ft.worst == 2
+
+    def test_shuffled_order_congests(self):
+        spec = rlft_max(6, 2)
+        fab = build_fabric(spec)
+        n = spec.num_endports
+        cps = shift(n, displacements=range(1, 30))
+        ordered = sequence_hsd(route_ftree(fab), cps, topology_order(n))
+        shuffled = sequence_hsd(route_ftree(fab, shuffle=True, seed=1),
+                                cps, topology_order(n))
+        assert ordered.congestion_free
+        assert shuffled.worst >= 3
+
+    def test_shuffle_deterministic_per_seed(self):
+        fab = build_fabric(rlft_max(3, 2))
+        a = route_ftree(fab, shuffle=True, seed=5)
+        b = route_ftree(fab, shuffle=True, seed=5)
+        c = route_ftree(fab, shuffle=True, seed=6)
+        assert np.array_equal(a.switch_out, b.switch_out)
+        assert not np.array_equal(a.switch_out, c.switch_out)
+
+
+def test_router_object_names():
+    assert FTreeRouter().name == "ftree"
+    assert FTreeRouter(shuffle=True).name == "ftree-shuffled"

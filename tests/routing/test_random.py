@@ -1,0 +1,55 @@
+"""Randomised up-port routing baseline."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import sequence_hsd
+from repro.collectives import shift
+from repro.fabric import Fabric, build_fabric
+from repro.ordering import topology_order
+from repro.routing import (
+    RandomRouter,
+    check_reachability,
+    check_up_down,
+    route_random,
+)
+
+
+def test_reachability(any_spec):
+    tables = route_random(build_fabric(any_spec), seed=0)
+    check_reachability(tables)
+    check_up_down(tables, sample=100)
+
+
+def test_seed_reproducible(fig1_fabric):
+    a = route_random(fig1_fabric, seed=42)
+    b = route_random(fig1_fabric, seed=42)
+    assert np.array_equal(a.switch_out, b.switch_out)
+
+
+def test_seeds_differ(fig1_fabric):
+    a = route_random(fig1_fabric, seed=1)
+    b = route_random(fig1_fabric, seed=2)
+    assert not np.array_equal(a.switch_out, b.switch_out)
+
+
+def test_random_routing_congests_shift(fig1_fabric):
+    # The whole point of the baseline: even with the topology-aware node
+    # order, random routing produces hot spots for Shift traffic.
+    N = fig1_fabric.num_endports
+    tables = route_random(fig1_fabric, seed=3)
+    rep = sequence_hsd(tables, shift(N), topology_order(N))
+    assert rep.worst >= 2
+
+
+def test_requires_spec():
+    fab = Fabric.from_links(1, [1, 1], [(0, 0, 1, 0)])
+    with pytest.raises(ValueError):
+        route_random(fab)
+
+
+def test_router_object(fig1_fabric):
+    router = RandomRouter(seed=7)
+    assert router.name == "random"
+    t1, t2 = router(fig1_fabric), router(fig1_fabric)
+    assert np.array_equal(t1.switch_out, t2.switch_out)

@@ -1,0 +1,121 @@
+"""Failure injection and forwarding-table repair."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import sequence_hsd
+from repro.collectives import shift
+from repro.fabric import build_fabric
+from repro.ordering import topology_order
+from repro.routing import (
+    assert_deadlock_free,
+    check_reachability,
+    route_dmodk,
+)
+from repro.routing.repair import repair_tables
+from repro.topology import rlft_max
+
+
+@pytest.fixture(scope="module")
+def healthy():
+    spec = rlft_max(4, 2)  # 32 end-ports
+    fab = build_fabric(spec)
+    return spec, fab, route_dmodk(fab)
+
+
+def _switch_uplinks(fab):
+    return np.flatnonzero(fab.port_goes_up()
+                          & (fab.port_owner >= fab.num_endports))
+
+
+class TestFailureInjection:
+    def test_both_ends_die(self, healthy):
+        _, fab, _ = healthy
+        gp = int(_switch_uplinks(fab)[0])
+        peer = int(fab.port_peer[gp])
+        degraded = fab.with_failed_cables([gp])
+        assert degraded.port_peer[gp] == -1
+        assert degraded.port_peer[peer] == -1
+
+    def test_original_untouched(self, healthy):
+        _, fab, _ = healthy
+        gp = int(_switch_uplinks(fab)[0])
+        fab.with_failed_cables([gp])
+        assert fab.port_peer[gp] >= 0
+
+    def test_idempotent(self, healthy):
+        _, fab, _ = healthy
+        gp = int(_switch_uplinks(fab)[0])
+        d1 = fab.with_failed_cables([gp])
+        d2 = d1.with_failed_cables([gp])
+        assert np.array_equal(d1.port_peer, d2.port_peer)
+
+    def test_dead_ports_listed(self, healthy):
+        _, fab, _ = healthy
+        gp = int(_switch_uplinks(fab)[0])
+        degraded = fab.with_failed_cables([gp])
+        dead = set(degraded.dead_ports())
+        assert gp in dead and int(fab.port_peer[gp]) in dead
+
+
+class TestRepair:
+    def test_no_failures_is_noop(self, healthy):
+        _, fab, base = healthy
+        rep = repair_tables(base, fab)
+        assert rep.repaired_entries == 0
+        assert rep.ok
+        assert np.array_equal(rep.tables.switch_out, base.switch_out)
+
+    @pytest.mark.parametrize("nfail", [1, 2, 4])
+    def test_repair_restores_reachability(self, healthy, nfail):
+        spec, fab, base = healthy
+        rng = np.random.default_rng(nfail)
+        dead = rng.choice(_switch_uplinks(fab), size=nfail, replace=False)
+        degraded = fab.with_failed_cables(dead)
+        rep = repair_tables(base, degraded)
+        assert rep.ok
+        check_reachability(rep.tables)
+
+    def test_repaired_tables_stay_deadlock_free(self, healthy):
+        _, fab, base = healthy
+        dead = _switch_uplinks(fab)[[0, 7]]
+        degraded = fab.with_failed_cables(dead)
+        rep = repair_tables(base, degraded)
+        assert_deadlock_free(rep.tables)
+
+    def test_degradation_is_local(self, healthy):
+        # One failed cable: HSD worst grows to exactly 2 (the detour
+        # shares one live link), not fabric-wide.
+        spec, fab, base = healthy
+        n = spec.num_endports
+        dead = [int(_switch_uplinks(fab)[0])]
+        rep = repair_tables(base, fab.with_failed_cables(dead))
+        hsd = sequence_hsd(rep.tables, shift(n), topology_order(n))
+        assert hsd.worst == 2
+
+    def test_degradation_monotone(self, healthy):
+        spec, fab, base = healthy
+        n = spec.num_endports
+        rng = np.random.default_rng(9)
+        ups = _switch_uplinks(fab)
+        picked = rng.permutation(ups)
+        prev = 1.0
+        for nfail in (1, 4, 8):
+            rep = repair_tables(base, fab.with_failed_cables(picked[:nfail]))
+            assert rep.ok
+            hsd = sequence_hsd(rep.tables, shift(n), topology_order(n))
+            assert hsd.avg_max >= prev - 1e-9
+            prev = hsd.avg_max
+
+    def test_lost_host_reported(self, healthy):
+        _, fab, base = healthy
+        host_port = int(fab.port_start[3])
+        rep = repair_tables(base, fab.with_failed_cables([host_port]))
+        assert 3 in rep.unreachable
+        assert not rep.ok
+
+    def test_fabric_mismatch_rejected(self, healthy):
+        _, fab, base = healthy
+        other = build_fabric(rlft_max(3, 2))
+        with pytest.raises(ValueError, match="match"):
+            repair_tables(base, other)

@@ -1,0 +1,41 @@
+"""Calibration constants and derived timings."""
+
+import pytest
+
+from repro.sim import DDR_PCIE_GEN1, EDR_PCIE_GEN3, QDR_PCIE_GEN2, LinkCalibration
+
+
+def test_paper_numbers():
+    # Section II: QDR 4000 MB/s links, PCIe Gen2 x8 hosts at 3250 MB/s.
+    assert QDR_PCIE_GEN2.link_bandwidth == 4000.0
+    assert QDR_PCIE_GEN2.host_bandwidth == 3250.0
+    assert QDR_PCIE_GEN2.mtu == 2048
+
+
+def test_min_bandwidth_is_bottleneck():
+    assert QDR_PCIE_GEN2.min_bandwidth == 3250.0
+    assert EDR_PCIE_GEN3.min_bandwidth == 12000.0  # wire-bound generation
+
+
+def test_wire_and_host_time():
+    assert QDR_PCIE_GEN2.wire_time(4000) == pytest.approx(1.0)
+    assert QDR_PCIE_GEN2.host_time(3250) == pytest.approx(1.0)
+
+
+def test_zero_load_latency_monotone_in_hops_and_size():
+    small = QDR_PCIE_GEN2.zero_load_latency(2048, hops=2)
+    more_hops = QDR_PCIE_GEN2.zero_load_latency(2048, hops=6)
+    bigger = QDR_PCIE_GEN2.zero_load_latency(1 << 20, hops=2)
+    assert small < more_hops < bigger
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        LinkCalibration("bad", link_bandwidth=0, host_bandwidth=1)
+    with pytest.raises(ValueError):
+        LinkCalibration("bad", link_bandwidth=1, host_bandwidth=1, mtu=0)
+
+
+def test_generations_ordered():
+    assert DDR_PCIE_GEN1.min_bandwidth < QDR_PCIE_GEN2.min_bandwidth \
+        < EDR_PCIE_GEN3.min_bandwidth

@@ -1,0 +1,46 @@
+"""Derived metrics: ideal baselines and HSD-implied bandwidth bounds."""
+
+import pytest
+
+from repro.sim import (
+    QDR_PCIE_GEN2,
+    bandwidth_lower_bound,
+    efficiency,
+    ideal_sequence_time,
+)
+
+
+def test_ideal_time_is_slowest_port():
+    seqs = [
+        [(1, 3250.0)],                   # 1 us + overhead
+        [(0, 3250.0), (2, 3250.0)],      # 2 us + 2 overheads
+        [],
+    ]
+    t = ideal_sequence_time(seqs, QDR_PCIE_GEN2)
+    assert t == pytest.approx(2 * (1.0 + 1.0))
+
+
+def test_efficiency_of_ideal_run_is_one():
+    seqs = [[(1, 3250.0)]]
+    ideal = ideal_sequence_time(seqs, QDR_PCIE_GEN2)
+    assert efficiency(ideal, seqs, QDR_PCIE_GEN2) == pytest.approx(1.0)
+
+
+def test_efficiency_decreases_with_slowdown():
+    seqs = [[(1, 3250.0)]]
+    ideal = ideal_sequence_time(seqs, QDR_PCIE_GEN2)
+    assert efficiency(2 * ideal, seqs, QDR_PCIE_GEN2) == pytest.approx(0.5)
+
+
+def test_bandwidth_lower_bound_ring_adversary():
+    # The paper's arithmetic: oversubscription 18 -> 4000/18 = 222 MB/s,
+    # i.e. ~6.8 % of the 3250 MB/s PCIe bandwidth (the paper rounds the
+    # measured 231.5 MB/s to 7.1 %).
+    bound = bandwidth_lower_bound(18, QDR_PCIE_GEN2)
+    assert bound == pytest.approx(4000 / 18 / 3250, rel=1e-9)
+    assert 0.06 < bound < 0.08
+
+
+def test_bandwidth_lower_bound_no_contention():
+    assert bandwidth_lower_bound(1, QDR_PCIE_GEN2) == 1.0
+    assert bandwidth_lower_bound(0, QDR_PCIE_GEN2) == 1.0

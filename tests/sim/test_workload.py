@@ -1,0 +1,63 @@
+"""Workload builders."""
+
+import numpy as np
+import pytest
+
+from repro.collectives import recursive_halving, ring, shift
+from repro.ordering import topology_order
+from repro.sim import (
+    cps_workload,
+    permutation_workload,
+    uniform_random_workload,
+)
+
+
+class TestCpsWorkload:
+    def test_uniform_size(self):
+        wl = cps_workload(shift(4), topology_order(4), 4, 1024.0)
+        assert all(len(seq) == 3 for seq in wl)
+        assert all(size == 1024.0 for seq in wl for _, size in seq)
+
+    def test_per_stage_sizes(self):
+        cps = recursive_halving(8)
+        sizes = [4096.0, 2048.0, 1024.0]
+        wl = cps_workload(cps, topology_order(8), 8, sizes)
+        assert [s for _, s in wl[0]] == sizes
+
+    def test_size_count_mismatch(self):
+        with pytest.raises(ValueError, match="sizes"):
+            cps_workload(shift(4), topology_order(4), 4, [1.0, 2.0])
+
+    def test_idle_ports_have_empty_sequences(self):
+        wl = cps_workload(ring(3), np.array([0, 2, 4]), 6, 10.0)
+        assert wl[1] == [] and wl[5] == []
+
+
+class TestPermutationWorkload:
+    def test_repeats(self):
+        wl = permutation_workload([0, 1], [1, 0], 4, 100.0, repeats=3)
+        assert wl[0] == [(1, 100.0)] * 3
+        assert wl[2] == []
+
+    def test_self_flows_skipped(self):
+        wl = permutation_workload([0, 1], [0, 0], 4, 100.0)
+        assert wl[0] == []
+        assert wl[1] == [(0, 100.0)]
+
+
+class TestUniformRandom:
+    def test_no_self_messages(self):
+        wl = uniform_random_workload(10, 50, 1.0, seed=3)
+        for p, seq in enumerate(wl):
+            assert all(d != p for d, _ in seq)
+
+    def test_shapes_and_determinism(self):
+        a = uniform_random_workload(8, 5, 2.0, seed=1)
+        b = uniform_random_workload(8, 5, 2.0, seed=1)
+        assert a == b
+        assert all(len(seq) == 5 for seq in a)
+
+    def test_destination_range(self):
+        wl = uniform_random_workload(6, 100, 1.0, seed=0)
+        dests = {d for seq in wl for d, _ in seq}
+        assert dests <= set(range(6))

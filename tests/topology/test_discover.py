@@ -1,0 +1,93 @@
+"""PGFT discovery: recognition of valid wirings, rejection of miswired."""
+
+import numpy as np
+import pytest
+
+from repro.fabric import Fabric, build_fabric, dumps, loads
+from repro.topology import DiscoveryError, discover_pgft, paper_topologies, pgft
+
+
+def _strip_spec(fab):
+    """Round-trip through the text format with the spec line removed."""
+    text = "\n".join(
+        line for line in dumps(fab).splitlines()
+        if not line.startswith("pgft")
+    )
+    out = loads(text)
+    assert out.spec is None
+    return out
+
+
+class TestRecognition:
+    def test_all_small_paper_topologies(self):
+        for name, spec in paper_topologies().items():
+            if spec.num_endports > 700:
+                continue
+            got = discover_pgft(_strip_spec(build_fabric(spec)))
+            assert got == spec, name
+
+    def test_three_level(self):
+        spec = pgft(3, [2, 3, 4], [1, 2, 3], [1, 1, 1])
+        got = discover_pgft(_strip_spec(build_fabric(spec)))
+        assert got == spec
+
+    def test_parallel_ports_recovered(self):
+        spec = pgft(2, [6, 4], [1, 2], [1, 3])
+        got = discover_pgft(_strip_spec(build_fabric(spec)))
+        assert got == spec
+
+    def test_works_with_declared_levels_absent(self):
+        # Levels inferred by BFS when the file carries none.
+        spec = pgft(2, [4, 4], [1, 2], [1, 2])
+        fab = _strip_spec(build_fabric(spec))
+        fab.node_level = np.full(fab.num_nodes, -1, dtype=np.int32)
+        assert discover_pgft(fab) == spec
+
+
+class TestRejection:
+    def test_miswired_cable_detected(self):
+        # Swap two leaf-spine cables so two leaves see unequal spines.
+        fab = build_fabric(pgft(2, [4, 4], [1, 4], [1, 1]))
+        text = dumps(fab)
+        lines = [l for l in text.splitlines() if not l.startswith("pgft")]
+        swaps = [i for i, l in enumerate(lines) if l.startswith("link SW1-")]
+        # Exchange the far ends of two up-cables from different leaves.
+        a, b = lines[swaps[0]], lines[swaps[5]]
+        a_head, a_tail = a.rsplit(" ", 1)
+        b_head, b_tail = b.rsplit(" ", 1)
+        if a_tail == b_tail:
+            pytest.skip("picked cables to the same spine; adjust indices")
+        lines[swaps[0]] = f"{a_head} {b_tail}"
+        lines[swaps[5]] = f"{b_head} {a_tail}"
+        broken = loads("\n".join(lines))
+        with pytest.raises(DiscoveryError):
+            discover_pgft(broken)
+
+    def test_host_without_uplink(self):
+        fab = Fabric.from_links(
+            num_endports=2,
+            port_counts=[1, 1, 3],
+            links=[(0, 0, 2, 0)],  # host 1 dangling
+            node_level=np.array([0, 0, 1]),
+        )
+        with pytest.raises(DiscoveryError, match="no up-links|level"):
+            discover_pgft(fab)
+
+    def test_no_switches(self):
+        fab = Fabric.from_links(
+            num_endports=2, port_counts=[1, 1],
+            links=[(0, 0, 1, 0)], node_level=np.array([0, 0]),
+        )
+        with pytest.raises(DiscoveryError):
+            discover_pgft(fab)
+
+    def test_non_uniform_parents(self):
+        # 3 hosts on one switch, 1 host double-railed to it: w differs.
+        fab = Fabric.from_links(
+            num_endports=2,
+            port_counts=[1, 2, 4],
+            links=[(0, 0, 2, 0), (1, 0, 2, 1), (1, 1, 2, 2)],
+            node_level=np.array([0, 0, 1]),
+        )
+        with pytest.raises(DiscoveryError, match="parallel-cable|parents"):
+            discover_pgft(fab)

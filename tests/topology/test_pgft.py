@@ -1,0 +1,127 @@
+"""PGFT digit arithmetic, addressing and connection rules."""
+
+import numpy as np
+import pytest
+
+from repro.topology import PGFT, endport_digits, endport_index, pgft
+from repro.topology.spec import TopologyError
+
+
+class TestDigits:
+    def test_endport_digits_roundtrip(self, any_spec):
+        j = np.arange(any_spec.num_endports)
+        digits = endport_digits(any_spec, j)
+        assert np.array_equal(endport_index(any_spec, digits), j)
+
+    def test_endport_digits_are_mixed_radix(self):
+        spec = pgft(2, [3, 4], [1, 3], [1, 1])
+        d = endport_digits(spec, 7)  # 7 = 1 + 2*3
+        assert list(d) == [1, 2]
+
+    def test_scalar_and_array_shapes(self, any_spec):
+        assert endport_digits(any_spec, 0).shape == (any_spec.h,)
+        assert endport_digits(any_spec, np.arange(5)).shape == (5, any_spec.h)
+
+    def test_node_digit_roundtrip_every_level(self, any_spec):
+        tree = PGFT(any_spec)
+        for level in range(any_spec.h + 1):
+            n = tree.num_nodes_at(level)
+            idx = np.arange(n)
+            digits = tree.node_digits(level, idx)
+            assert np.array_equal(tree.node_index(level, digits), idx)
+
+    def test_digit_ranges(self, any_spec):
+        tree = PGFT(any_spec)
+        for level in range(any_spec.h + 1):
+            digits = tree.node_digits(level, np.arange(tree.num_nodes_at(level)))
+            for pos in range(any_spec.h):
+                hi = (any_spec.w[pos] if pos < level else any_spec.m[pos])
+                assert digits[:, pos].min() >= 0
+                assert digits[:, pos].max() < hi
+
+
+class TestRelations:
+    def test_parent_child_inverse(self, multi_level_spec):
+        tree = PGFT(multi_level_spec)
+        for level in range(1, multi_level_spec.h):
+            nodes = np.arange(tree.num_nodes_at(level))
+            parents = tree.parents_of(level, nodes)  # (n, w_{l+1})
+            for v in nodes[: min(len(nodes), 8)]:
+                for parent in parents[v]:
+                    kids = tree.children_of(level + 1, parent)
+                    assert v in kids
+
+    def test_ancestor_mask_top_covers_all(self, any_spec):
+        tree = PGFT(any_spec)
+        h = any_spec.h
+        tops = np.arange(tree.num_nodes_at(h))
+        eps = np.arange(any_spec.num_endports)
+        mask = tree.ancestor_mask(h, tops[:, None], eps[None, :])
+        assert mask.all()
+
+    def test_ancestor_mask_leaf_matches_subtree(self, multi_level_spec):
+        tree = PGFT(multi_level_spec)
+        spec = multi_level_spec
+        eps = np.arange(spec.num_endports)
+        leaves = tree.leaf_of_endport(eps)
+        mask = tree.ancestor_mask(1, leaves, eps)
+        assert mask.all()
+        # A leaf is ancestor of exactly m_1 end-ports.
+        for leaf in range(tree.num_nodes_at(1)):
+            cnt = tree.ancestor_mask(1, np.full_like(eps, leaf), eps).sum()
+            assert cnt == spec.m[0]
+
+    def test_parents_of_top_raises(self, any_spec):
+        tree = PGFT(any_spec)
+        with pytest.raises(TopologyError):
+            tree.parents_of(any_spec.h, 0)
+
+    def test_children_of_endport_raises(self, any_spec):
+        tree = PGFT(any_spec)
+        with pytest.raises(TopologyError):
+            tree.children_of(0, 0)
+
+
+class TestCables:
+    def test_validate_all_specs(self, any_spec):
+        PGFT(any_spec).validate()
+
+    def test_cable_count_matches_spec(self, any_spec):
+        tree = PGFT(any_spec)
+        for level, lower, up_port, upper, down_port in tree.iter_level_cables():
+            expect = (
+                tree.num_nodes_at(level)
+                * any_spec.m[level - 1]
+                * any_spec.p[level - 1]
+            )
+            assert len(lower) == expect
+
+    def test_parallel_cable_port_arithmetic(self):
+        # Fig. 5: k-th cable joins up-port b + k*w with down-port a + k*m.
+        spec = pgft(2, [4, 4], [1, 2], [1, 2])
+        tree = PGFT(spec)
+        lower, up_port, upper, down_port = tree.level_cables(2)
+        w2, m2 = spec.w[1], spec.m[1]
+        b = tree.node_digits(2, upper)[:, 1]
+        a = tree.node_digits(1, lower)[:, 1]
+        k_up = up_port // w2
+        k_dn = down_port // m2
+        assert np.array_equal(k_up, k_dn)
+        assert np.array_equal(up_port % w2, b)
+        assert np.array_equal(down_port % m2, a)
+
+    def test_connection_only_differs_at_one_digit(self, multi_level_spec):
+        tree = PGFT(multi_level_spec)
+        for level, lower, _, upper, _ in tree.iter_level_cables():
+            ld = tree.node_digits(level - 1, lower)
+            ud = tree.node_digits(level, upper)
+            same = ld == ud
+            same[:, level - 1] = True  # the free position
+            assert same.all()
+
+    def test_level_out_of_range(self, any_spec):
+        tree = PGFT(any_spec)
+        with pytest.raises(TopologyError):
+            tree.level_cables(0)
+        with pytest.raises(TopologyError):
+            tree.level_cables(any_spec.h + 1)

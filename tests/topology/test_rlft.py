@@ -1,0 +1,124 @@
+"""RLFT factories, paper topologies and design search."""
+
+import math
+
+import pytest
+
+from repro.topology import (
+    TopologyError,
+    design_pgfts,
+    paper_topologies,
+    rlft_max,
+    three_level,
+    two_level,
+)
+
+
+class TestFactories:
+    def test_rlft_max_node_count(self):
+        for arity, levels in [(2, 2), (4, 2), (18, 2), (18, 3), (4, 4)]:
+            spec = rlft_max(arity, levels)
+            assert spec.num_endports == 2 * arity**levels
+
+    def test_rlft_max_single_level(self):
+        spec = rlft_max(3, 1)
+        assert spec.num_endports == 6
+        assert spec.num_switches == 1
+
+    def test_rlft_max_rejects_bad_args(self):
+        with pytest.raises(TopologyError):
+            rlft_max(0, 2)
+        with pytest.raises(TopologyError):
+            rlft_max(2, 0)
+
+    def test_two_level_cbb_enforced(self):
+        with pytest.raises(TopologyError):
+            two_level(18, 18, 5, 2)  # 18 != 10
+
+    def test_two_level_paper_324(self):
+        spec = two_level(18, 18, 9, 2)
+        assert spec.num_endports == 324
+        assert spec.has_constant_cbb()
+        assert spec.down_ports_at(2) == 36  # spines fully populated
+
+    def test_three_level_cbb_enforced(self):
+        with pytest.raises(TopologyError):
+            three_level(4, 4, 4, 2, 2)  # m1=4 != w2*p2=2
+
+
+class TestPaperTopologies:
+    def test_sizes_match_paper(self):
+        sizes = {name: spec.num_endports
+                 for name, spec in paper_topologies().items()}
+        assert sizes["n16-pgft"] == 16
+        assert sizes["n16-xgft"] == 16
+        assert sizes["n128"] == 128
+        assert sizes["n324"] == 324
+        assert sizes["n1728"] == 1728
+        assert sizes["n1944"] == 1944
+        assert sizes["rlft2-max36"] == 648
+        assert sizes["rlft3-max36"] == 11664
+
+    def test_all_constant_cbb(self):
+        for name, spec in paper_topologies().items():
+            assert spec.has_constant_cbb(), name
+
+    def test_all_single_rail(self):
+        for name, spec in paper_topologies().items():
+            assert spec.is_single_rail(), name
+
+    def test_radix_bounds(self):
+        # Every topology uses realistic switch radixes (<= 36 ports).
+        for name, spec in paper_topologies().items():
+            for level in spec.iter_levels():
+                assert spec.ports_at(level) <= 36, (name, level)
+
+
+class TestDesignSearch:
+    def test_finds_fig4b(self):
+        specs = design_pgfts(16, radix=8, levels=2)
+        assert any(str(s) == "PGFT(2; 4,4; 1,2; 1,2)" for s in specs)
+
+    def test_all_results_valid(self):
+        for s in design_pgfts(64, radix=16, levels=2):
+            assert s.num_endports == 64
+            assert s.has_constant_cbb()
+            assert all(s.ports_at(l) <= 16 for l in s.iter_levels())
+
+    def test_results_sorted_by_cost(self):
+        specs = design_pgfts(36, radix=12, levels=2)
+        costs = [s.num_switches for s in specs]
+        assert costs == sorted(costs)
+
+    def test_impossible_design_is_empty(self):
+        # 128 nodes on 4-port switches in 2 levels cannot keep CBB.
+        assert design_pgfts(128, radix=4, levels=2) == []
+
+    def test_max_results_cap(self):
+        specs = design_pgfts(144, radix=36, levels=2, max_results=3)
+        assert len(specs) <= 3
+
+
+class TestMath:
+    def test_sub_allocation_example(self):
+        # Section V: the maximal 3-level RLFT has 36 sub-allocations of 324.
+        spec = rlft_max(18, 3)
+        W = spec.W(3)
+        assert W == 324
+        assert spec.num_endports // W == 36
+
+    def test_arity_halves_ports(self):
+        spec = rlft_max(18, 3)
+        assert spec.arity == 18
+        assert spec.ports_at(1) == 36
+
+    def test_switch_count_formula(self):
+        spec = rlft_max(18, 3)
+        total = sum(spec.switches_at(l) for l in spec.iter_levels())
+        assert total == spec.num_switches
+        # Leaves host all endports.
+        assert spec.switches_at(1) * spec.m[0] == spec.num_endports
+
+    def test_log_relation(self):
+        spec = rlft_max(16, 2)
+        assert math.log2(spec.num_endports) == math.log2(2 * 16**2)

@@ -1,0 +1,106 @@
+"""PGFTSpec: tuple validation and derived constants."""
+
+import pytest
+
+from repro.topology import PGFTSpec, TopologyError, pgft, rlft_max
+
+
+class TestValidation:
+    def test_rejects_zero_levels(self):
+        with pytest.raises(TopologyError):
+            pgft(0, [], [], [])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(TopologyError):
+            pgft(2, [4], [1, 2], [1, 2])
+
+    def test_rejects_nonpositive_entries(self):
+        with pytest.raises(TopologyError):
+            pgft(2, [4, 0], [1, 2], [1, 2])
+
+    def test_switch_counts_always_integral(self):
+        # switches_at(l) = prod(m[l:]) * prod(w[:l]) -- integral for any
+        # positive tuple, including "odd" ones.
+        spec = pgft(2, [4, 3], [1, 5], [1, 1])
+        assert spec.switches_at(1) == 3
+        assert spec.switches_at(2) == 5
+
+    def test_frozen(self):
+        spec = pgft(2, [4, 4], [1, 2], [1, 2])
+        with pytest.raises(AttributeError):
+            spec.h = 3
+
+
+class TestDerived:
+    def test_fig4b_counts(self):
+        spec = pgft(2, [4, 4], [1, 2], [1, 2])
+        assert spec.num_endports == 16
+        assert spec.switches_at(1) == 4
+        assert spec.switches_at(2) == 2
+        assert spec.num_switches == 6
+        assert spec.down_ports_at(1) == 4
+        assert spec.up_ports_at(1) == 4
+        assert spec.down_ports_at(2) == 8  # 4 leaves x 2 parallel
+        assert spec.up_ports_at(2) == 0
+
+    def test_maximal_3level_rlft(self):
+        spec = rlft_max(18, 3)
+        assert str(spec) == "PGFT(3; 18,18,36; 1,18,18; 1,1,1)"
+        assert spec.num_endports == 11664  # 2 * 18**3, the paper's example
+        assert spec.arity == 18
+        assert spec.is_rlft()
+
+    def test_cumulative_products(self):
+        spec = pgft(3, [2, 3, 4], [1, 2, 3], [1, 1, 2])
+        assert [spec.M(i) for i in range(4)] == [1, 2, 6, 24]
+        assert [spec.W(i) for i in range(4)] == [1, 1, 2, 6]
+
+    def test_num_links_counts_cables_once(self):
+        spec = pgft(2, [4, 4], [1, 2], [1, 2])
+        # 16 host cables + 4 leaves * 4 up cables
+        assert spec.num_links == 16 + 16
+
+    def test_level_range_checks(self):
+        spec = pgft(2, [4, 4], [1, 2], [1, 2])
+        with pytest.raises(TopologyError):
+            spec.switches_at(0)
+        with pytest.raises(TopologyError):
+            spec.switches_at(3)
+        with pytest.raises(TopologyError):
+            spec.up_ports_at(-1)
+
+    def test_describe_mentions_all_levels(self):
+        spec = pgft(2, [4, 4], [1, 2], [1, 2])
+        text = spec.describe()
+        assert "level 1" in text and "level 2" in text
+        assert "16" in text
+
+
+class TestPredicates:
+    def test_constant_cbb_fig4b(self):
+        assert pgft(2, [4, 4], [1, 2], [1, 2]).has_constant_cbb()
+
+    def test_non_constant_cbb_detected(self):
+        # leaf: 4 down but only 2 up (oversubscribed 2:1)
+        assert not pgft(2, [4, 4], [1, 2], [1, 1]).has_constant_cbb()
+
+    def test_single_rail(self):
+        assert pgft(2, [4, 4], [1, 2], [1, 2]).is_single_rail()
+        assert not pgft(2, [4, 4], [2, 2], [1, 2]).is_single_rail()
+
+    def test_rlft_requires_full_top(self):
+        # 324-node tree with 18 of 36 top ports used is not a strict RLFT.
+        spec = pgft(2, [18, 18], [1, 18], [1, 1])
+        assert spec.has_constant_cbb()
+        assert not spec.is_rlft(radix=36)
+
+    def test_rlft_max_is_rlft_all_sizes(self):
+        for arity in (2, 3, 18):
+            for levels in (2, 3):
+                assert rlft_max(arity, levels).is_rlft()
+
+    def test_equality_and_hash(self):
+        a = pgft(2, [4, 4], [1, 2], [1, 2])
+        b = PGFTSpec(2, (4, 4), (1, 2), (1, 2))
+        assert a == b
+        assert hash(a) == hash(b)

@@ -1,0 +1,55 @@
+"""XGFT / k-ary-n-tree conveniences."""
+
+import pytest
+
+from repro.topology import (
+    TopologyError,
+    is_k_ary_n_tree,
+    is_xgft,
+    k_ary_n_tree,
+    pgft,
+    xgft,
+)
+
+
+def test_xgft_has_no_parallel_ports():
+    spec = xgft(2, [4, 4], [1, 4])
+    assert all(v == 1 for v in spec.p)
+    assert is_xgft(spec)
+
+
+def test_pgft_with_parallel_is_not_xgft():
+    assert not is_xgft(pgft(2, [4, 4], [1, 2], [1, 2]))
+
+
+def test_k_ary_n_tree_structure():
+    spec = k_ary_n_tree(4, 3)
+    assert spec.num_endports == 64
+    assert spec.h == 3
+    assert is_k_ary_n_tree(spec)
+    assert is_xgft(spec)
+
+
+def test_k_ary_n_tree_switch_counts():
+    # A k-ary-n-tree has n * k^(n-1) switches.
+    spec = k_ary_n_tree(2, 3)
+    assert spec.num_switches == 3 * 2**2
+
+
+def test_is_k_ary_n_tree_rejects_asymmetric():
+    assert not is_k_ary_n_tree(xgft(2, [3, 4], [1, 3]))
+
+
+def test_k_ary_n_tree_validates_args():
+    with pytest.raises(TopologyError):
+        k_ary_n_tree(0, 2)
+    with pytest.raises(TopologyError):
+        k_ary_n_tree(2, 0)
+
+
+def test_fig4a_is_xgft():
+    # The paper's Fig. 4(a): 16 nodes via 4 spines, no parallel cables.
+    spec = xgft(2, [4, 4], [1, 4])
+    assert spec.num_endports == 16
+    assert spec.switches_at(2) == 4
+    assert spec.has_constant_cbb()
