@@ -33,7 +33,10 @@ Quick taste::
 """
 
 from .analysis import (
+    BatchedHSDReport,
     HSDReport,
+    batched_sequence_hsd,
+    random_order_sweep,
     sequence_hsd,
     stage_link_loads,
     stage_max_hsd,
@@ -61,7 +64,14 @@ from .ordering import (
     topology_order,
 )
 from .routing import route_dmodk, route_minhop, route_random
-from .sim import FluidSimulator, PacketSimulator, QDR_PCIE_GEN2, cps_workload
+from .runtime import ParallelSweeper, ResultCache, parallel_order_sweep
+from .sim import (
+    FluidSimulator,
+    PacketSimulator,
+    QDR_PCIE_GEN2,
+    cps_workload,
+    merge_sequences,
+)
 from .topology import (
     PGFT,
     PGFTSpec,
@@ -77,6 +87,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "CPS",
+    "BatchedHSDReport",
     "CollectiveResult",
     "Communicator",
     "Fabric",
@@ -86,20 +97,26 @@ __all__ = [
     "PGFT",
     "PGFTSpec",
     "PacketSimulator",
+    "ParallelSweeper",
     "QDR_PCIE_GEN2",
+    "ResultCache",
     "Stage",
     "adversarial_ring_order",
+    "batched_sequence_hsd",
     "binomial",
     "build_fabric",
     "cps_workload",
     "dissemination",
     "hierarchical_recursive_doubling",
     "k_ary_n_tree",
+    "merge_sequences",
     "pairwise_exchange",
     "paper_topologies",
+    "parallel_order_sweep",
     "pgft",
     "physical_placement",
     "random_order",
+    "random_order_sweep",
     "recursive_doubling",
     "recursive_halving",
     "ring",

@@ -18,7 +18,12 @@ from ..fabric.lft import ForwardingTables
 from ..ordering.orders import random_order
 from .hsd import sequence_hsd
 
-__all__ = ["fixed_shift_pattern", "OrderSweepResult", "random_order_sweep"]
+__all__ = [
+    "fixed_shift_pattern",
+    "OrderSweepResult",
+    "random_order_sweep",
+    "sweep_placements",
+]
 
 
 def fixed_shift_pattern(n: int, k: int,
@@ -55,6 +60,25 @@ class OrderSweepResult:
         return float(self.avg_max.max())
 
 
+def sweep_placements(
+    num_endports: int,
+    num_ranks: int,
+    num_orders: int,
+    seed: int = 0,
+) -> np.ndarray:
+    """The sweep's ``(num_orders, num_ranks)`` placement matrix.
+
+    Row ``t`` is ``random_order(num_endports, num_ranks, seed=seed + t)``
+    -- the single source of truth shared by the serial reference path
+    below and the parallel engine in :mod:`repro.runtime`, so both
+    evaluate the exact same placements for a given seed range.
+    """
+    return np.stack([
+        random_order(num_endports, num_ranks, seed=seed + t)
+        for t in range(num_orders)
+    ])
+
+
 def random_order_sweep(
     tables: ForwardingTables,
     cps_factory,
@@ -67,14 +91,16 @@ def random_order_sweep(
     max HSD; summarised over ``num_orders`` seeds.
 
     ``cps_factory(num_ranks)`` builds the CPS for the job size (so each
-    sweep can size the sequence to the rank count).
+    sweep can size the sequence to the rank count).  This is the serial
+    reference implementation; :class:`repro.runtime.ParallelSweeper`
+    produces bit-identical results from the batched/parallel path.
     """
     N = tables.fabric.num_endports
     n = num_ranks if num_ranks is not None else N
-    cps: CPS = cps_factory(n)
+    cps: CPS = cps_factory(n) if callable(cps_factory) else cps_factory
+    placements = sweep_placements(N, n, num_orders, seed=seed)
     vals = np.empty(num_orders, dtype=np.float64)
     for t in range(num_orders):
-        placement = random_order(N, n, seed=seed + t)
-        rep = sequence_hsd(tables, cps, placement, switch_links_only)
+        rep = sequence_hsd(tables, cps, placements[t], switch_links_only)
         vals[t] = rep.avg_max
     return OrderSweepResult(cps_name=cps.name, num_orders=num_orders, avg_max=vals)

@@ -49,7 +49,13 @@ from .cps import (
 from .hierarchical import group_stage_plan, hierarchical_recursive_doubling
 from .nonpow2 import post_stage, pow2_floor, pre_stage, with_proxy_stages
 from .schedule import port_sequences, stage_flows, validate_placement
-from .usage import TABLE1, AlgorithmUsage, collectives_covered, distinct_cps
+from .usage import (
+    TABLE1,
+    AlgorithmUsage,
+    collectives_covered,
+    distinct_cps,
+    render_matrix,
+)
 
 __all__ = [
     "CPS",
@@ -80,6 +86,7 @@ __all__ = [
     "rabenseifner_reduce",
     "recursive_doubling",
     "recursive_halving",
+    "render_matrix",
     "ring",
     "run_dataflow",
     "scatter_allgather_bcast",

@@ -22,7 +22,8 @@ import numpy as np
 
 from .cps import CPS, Stage
 
-__all__ = ["stage_flows", "port_sequences", "validate_placement"]
+__all__ = ["stage_flows", "stage_flows_batch", "port_sequences",
+           "validate_placement"]
 
 
 def validate_placement(rank_to_port: np.ndarray, num_endports: int,
@@ -56,6 +57,34 @@ def stage_flows(stage: Stage, rank_to_port: np.ndarray) -> tuple[np.ndarray, np.
     # Slots marked -1 (physical placements of partial jobs) do not exist.
     drop = (src == dst) | (src < 0) | (dst < 0)
     return src[~drop], dst[~drop]
+
+
+def stage_flows_batch(
+    stage: Stage, placements: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """:func:`stage_flows` over a whole ``(num_orders, L)`` placement matrix.
+
+    Returns flattened ``(src_ports, dst_ports, order_idx)`` arrays: the
+    flows of every placement row concatenated, with ``order_idx[i]``
+    naming the row flow ``i`` came from.  Row ``t``'s flows equal
+    ``stage_flows(stage, placements[t])`` exactly (same drop rules, same
+    within-row order), which is what lets the batched HSD path reproduce
+    the serial results bit for bit.
+    """
+    placements = np.asarray(placements, dtype=np.int64)
+    if placements.ndim != 2:
+        raise ValueError("placements must be (num_orders, L)")
+    num_orders, L = placements.shape
+    pairs = stage.pairs
+    keep = (pairs[:, 0] < L) & (pairs[:, 1] < L)
+    p = pairs[keep]
+    src = placements[:, p[:, 0]]
+    dst = placements[:, p[:, 1]]
+    order = np.broadcast_to(
+        np.arange(num_orders, dtype=np.int64)[:, None], src.shape
+    )
+    ok = ~((src == dst) | (src < 0) | (dst < 0))
+    return src[ok], dst[ok], order[ok]
 
 
 def port_sequences(cps: CPS, rank_to_port: np.ndarray,

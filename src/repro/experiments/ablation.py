@@ -28,12 +28,53 @@ from ..fabric import build_fabric
 from ..ordering import random_order, topology_order
 from ..routing import route_dmodk, route_ftree, route_minhop, route_random
 from ..topology import rlft_max
-from .common import get_topology, make_parser, sampled_shift
+from .common import (
+    add_runtime_args,
+    get_topology,
+    make_parser,
+    make_sweeper,
+    runtime_summary,
+    sampled_shift,
+)
 
 __all__ = ["run", "main"]
 
+ROUTER_COMPARISON = (
+    "dmodk",
+    "minhop-roundrobin",
+    "minhop-random",
+    "minhop-first",
+    "ftree-counting",
+    "ftree-shuffled",
+    "random-router",
+)
 
-def run(topo: str = "n324", seed: int = 0, max_shift_stages: int = 32) -> str:
+
+def _build_router(fab, name: str, seed: int):
+    """Route ``fab`` with the named engine (module-level so the router
+    comparison can fan out over worker processes)."""
+    builders = {
+        "dmodk": lambda: route_dmodk(fab),
+        "minhop-roundrobin": lambda: route_minhop(fab, "roundrobin"),
+        "minhop-random": lambda: route_minhop(fab, "random", seed=seed),
+        "minhop-first": lambda: route_minhop(fab, "first"),
+        "ftree-counting": lambda: route_ftree(fab),
+        "ftree-shuffled": lambda: route_ftree(fab, shuffle=True, seed=seed),
+        "random-router": lambda: route_random(fab, seed=seed),
+    }
+    return builders[name]()
+
+
+def _router_cell(fab, r_name, cps, order, seed):
+    """One router-comparison row: build tables, evaluate the sequence."""
+    tables = _build_router(fab, r_name, seed)
+    rep = sequence_hsd(tables, cps, order)
+    return (r_name, round(rep.avg_max, 3), rep.worst)
+
+
+def run(topo: str = "n324", seed: int = 0, max_shift_stages: int = 32,
+        jobs: int | None = 1, use_cache: bool = False, cache_dir=None) -> str:
+    sweeper = make_sweeper(jobs=jobs, use_cache=use_cache, cache_dir=cache_dir)
     spec = get_topology(topo)
     fab = build_fabric(spec)
     n = spec.num_endports
@@ -60,19 +101,13 @@ def run(topo: str = "n324", seed: int = 0, max_shift_stages: int = 32) -> str:
         grid_rows,
         title=f"Ablation 1 | routing x ordering for Shift on {spec}"))
 
-    # 2. router comparison under the topology order
-    router_rows = []
-    for r_name, tables in (
-        ("dmodk", route_dmodk(fab)),
-        ("minhop-roundrobin", route_minhop(fab, "roundrobin")),
-        ("minhop-random", route_minhop(fab, "random", seed=seed)),
-        ("minhop-first", route_minhop(fab, "first")),
-        ("ftree-counting", route_ftree(fab)),
-        ("ftree-shuffled", route_ftree(fab, shuffle=True, seed=seed)),
-        ("random-router", route_random(fab, seed=seed)),
-    ):
-        rep = sequence_hsd(tables, cps, orders["ordered"])
-        router_rows.append((r_name, round(rep.avg_max, 3), rep.worst))
+    # 2. router comparison under the topology order (one routing run +
+    # sequence evaluation per engine -- fanned out over --jobs workers)
+    router_rows = sweeper.starmap(
+        _router_cell,
+        [(fab, r_name, cps, orders["ordered"], seed)
+         for r_name in ROUTER_COMPARISON],
+    )
     sections.append(render_table(
         ["routing engine", "avg max HSD", "worst"],
         router_rows,
@@ -116,16 +151,19 @@ def run(topo: str = "n324", seed: int = 0, max_shift_stages: int = 32) -> str:
         title=("Ablation 4 | round-robin heuristics match D-Mod-K at 2"
                " levels, congest at 3 (the floor(j/W) grouping)")))
 
+    sections.append(runtime_summary(sweeper))
     return "\n\n".join(sections)
 
 
 def main(argv=None) -> None:
-    parser = make_parser(__doc__)
+    parser = add_runtime_args(make_parser(__doc__))
     parser.add_argument("--topo", default="n324")
     parser.add_argument("--max-shift-stages", type=int, default=32)
     args = parser.parse_args(argv)
     print(run(topo=args.topo, seed=args.seed,
-              max_shift_stages=args.max_shift_stages))
+              max_shift_stages=args.max_shift_stages,
+              jobs=args.jobs, use_cache=not args.no_cache,
+              cache_dir=args.cache_dir))
 
 
 if __name__ == "__main__":

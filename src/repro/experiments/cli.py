@@ -4,7 +4,16 @@ Usage::
 
     repro-experiments list
     repro-experiments fig3 --orders 25
+    repro-experiments fig3 --jobs 4           # parallel sweep engine
+    repro-experiments fig3 --no-cache         # skip the result cache
     repro-experiments all          # run everything with default params
+
+The sweep-heavy drivers (``fig3``, ``table3``, ``ablation``) accept
+``--jobs N`` (worker processes; 0 = one per core), ``--no-cache`` and
+``--cache-dir DIR``: results are cached on disk keyed by a content
+digest of (topology, routing tables, CPS, seed range), so a warm
+re-run recomputes nothing -- the trailing ``runtime |`` summary line
+reports the hit/miss counters.
 """
 
 from __future__ import annotations

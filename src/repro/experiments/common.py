@@ -26,6 +26,7 @@ from ..collectives import (
 from ..fabric import build_fabric
 from ..fabric.model import Fabric
 from ..routing import route_dmodk
+from ..runtime import ParallelSweeper, ResultCache, resolve_jobs
 from ..topology import paper_topologies
 from ..topology.spec import PGFTSpec
 
@@ -34,6 +35,9 @@ __all__ = [
     "figure3_cps_factories",
     "sampled_shift",
     "make_parser",
+    "add_runtime_args",
+    "make_sweeper",
+    "runtime_summary",
     "DEFAULT_SEED",
 ]
 
@@ -78,3 +82,40 @@ def make_parser(description: str) -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED,
                         help="base RNG seed (default: %(default)s)")
     return parser
+
+
+def add_runtime_args(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
+    """The sweep-engine flag surface shared by the sweep-heavy drivers."""
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for sweeps (0 = one per core; default: 1,"
+             " which still uses the batched fast path inline)")
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the content-addressed sweep result cache")
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache directory (default: $REPRO_CACHE_DIR or"
+             " ~/.cache/repro/sweeps)")
+    return parser
+
+
+def make_sweeper(jobs: int | None = 1, use_cache: bool = False,
+                 cache_dir=None) -> ParallelSweeper:
+    """Build the sweep engine a driver was asked for."""
+    cache = None
+    if use_cache:
+        cache = ResultCache(root=cache_dir) if cache_dir else ResultCache()
+    return ParallelSweeper(jobs=jobs, cache=cache)
+
+
+def runtime_summary(sweeper: ParallelSweeper) -> str:
+    """One-line run summary: worker count and cache hit/miss counters."""
+    if sweeper.jobs in (None, 0):
+        jobs = "auto"
+    else:
+        jobs = resolve_jobs(sweeper.jobs)  # e.g. clamp negatives to 1
+    if sweeper.cache is None:
+        return f"runtime | jobs={jobs} cache=off"
+    return (f"runtime | jobs={jobs} cache=on {sweeper.cache.stats}"
+            f" dir={sweeper.cache.root}")

@@ -10,10 +10,17 @@ steeply with cluster size -- the scalability problem the paper solves.
 
 from __future__ import annotations
 
-from ..analysis import random_order_sweep, render_table
+from ..analysis import render_table
 from ..fabric import build_fabric
 from ..routing import route_dmodk
-from .common import figure3_cps_factories, get_topology, make_parser
+from .common import (
+    add_runtime_args,
+    figure3_cps_factories,
+    get_topology,
+    make_parser,
+    make_sweeper,
+    runtime_summary,
+)
 
 __all__ = ["run", "main"]
 
@@ -25,21 +32,25 @@ def run(
     num_orders: int = 25,
     max_shift_stages: int = 64,
     seed: int = 0,
+    jobs: int | None = 1,
+    use_cache: bool = False,
+    cache_dir=None,
 ) -> str:
+    sweeper = make_sweeper(jobs=jobs, use_cache=use_cache, cache_dir=cache_dir)
     factories = figure3_cps_factories(max_shift_stages)
     rows = []
     for name in topos:
         spec = get_topology(name)
         tables = route_dmodk(build_fabric(spec))
         for cps_name, factory in factories.items():
-            res = random_order_sweep(
+            res = sweeper.order_sweep(
                 tables, factory, num_orders=num_orders, seed=seed
             )
             rows.append((
                 name, spec.num_endports, cps_name,
                 round(res.mean, 3), round(res.min, 3), round(res.max, 3),
             ))
-    return render_table(
+    table = render_table(
         ["topology", "nodes", "collective", "avg max HSD", "min", "max"],
         rows,
         title=("Figure 3 | average of per-stage max HSD over "
@@ -47,16 +58,19 @@ def run(
                "(paper: ring/shift/butterfly grow with size; HSD 1 means"
                " congestion-free)"),
     )
+    return table + "\n\n" + runtime_summary(sweeper)
 
 
 def main(argv=None) -> None:
-    parser = make_parser(__doc__)
+    parser = add_runtime_args(make_parser(__doc__))
     parser.add_argument("--topos", nargs="+", default=list(DEFAULT_TOPOS))
     parser.add_argument("--orders", type=int, default=25)
     parser.add_argument("--max-shift-stages", type=int, default=64)
     args = parser.parse_args(argv)
     print(run(topos=args.topos, num_orders=args.orders,
-              max_shift_stages=args.max_shift_stages, seed=args.seed))
+              max_shift_stages=args.max_shift_stages, seed=args.seed,
+              jobs=args.jobs, use_cache=not args.no_cache,
+              cache_dir=args.cache_dir))
 
 
 if __name__ == "__main__":

@@ -20,7 +20,7 @@ from ..collectives.schedule import stage_flows
 from ..fabric import build_fabric
 from ..jobs import SubAllocator
 from ..routing import route_dmodk
-from ..sim import FluidSimulator, cps_workload
+from ..sim import FluidSimulator, cps_workload, merge_sequences
 from .common import get_topology, make_parser
 
 __all__ = ["run", "main"]
@@ -36,16 +36,16 @@ def run(topo: str = "rlft2-max36", job_units=(6, 12, 9),
     rows = []
     sim = FluidSimulator(tables)
     size = message_kb * 1024.0
-    all_seqs = [[] for _ in range(spec.num_endports)]
+    workloads = []
     for job in jobs:
         cps = shift(job.num_ranks, displacements=range(1, 17))
         rep = sequence_hsd(tables, cps, job.placement)
         wl = cps_workload(cps, job.placement, spec.num_endports, size)
         solo = sim.run_sequences(wl)
-        for p, seq in enumerate(wl):
-            all_seqs[p].extend(seq)
+        workloads.append(wl)
         rows.append((f"job {job.job_id}", len(job.units), job.num_ranks,
                      rep.worst, round(solo.normalized_bandwidth, 3)))
+    all_seqs = merge_sequences(*workloads)
 
     # All jobs together: combined per-stage HSD and combined bandwidth.
     combined_worst = 0

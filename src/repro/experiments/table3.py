@@ -23,9 +23,16 @@ import numpy as np
 from ..analysis import render_table, sequence_hsd
 from ..collectives import hierarchical_recursive_doubling
 from ..fabric import build_fabric
-from ..ordering import physical_placement, random_order, topology_order
+from ..ordering import physical_placement, topology_order
 from ..routing import route_dmodk
-from .common import get_topology, make_parser, sampled_shift
+from .common import (
+    add_runtime_args,
+    get_topology,
+    make_parser,
+    make_sweeper,
+    runtime_summary,
+    sampled_shift,
+)
 
 __all__ = ["run", "main"]
 
@@ -44,7 +51,11 @@ def run(
     num_random_orders: int = 5,
     max_shift_stages: int = 48,
     seed: int = 0,
+    jobs: int | None = 1,
+    use_cache: bool = False,
+    cache_dir=None,
 ) -> str:
+    sweeper = make_sweeper(jobs=jobs, use_cache=use_cache, cache_dir=cache_dir)
     rows = []
     rng = np.random.default_rng(seed)
     for topo_name, excluded in cases:
@@ -63,13 +74,11 @@ def run(
             ("recdbl-hier", hierarchical_recursive_doubling(spec)),
         ):
             proposed = sequence_hsd(tables, cps, slots)
-            rand_vals = []
-            for t in range(num_random_orders):
-                order = random_order(n_full, n_job, seed=seed + 1000 + t)
-                rand_vals.append(
-                    sequence_hsd(tables, cps, order).avg_max
-                )
-            rand_avg = float(np.mean(rand_vals))
+            rand = sweeper.order_sweep(
+                tables, cps, num_orders=num_random_orders,
+                num_ranks=n_job, seed=seed + 1000,
+            )
+            rand_avg = rand.mean
             label = "full" if not excluded else f"Cont.-{excluded}"
             rows.append((
                 topo_name, label, n_job, cps_name,
@@ -77,7 +86,7 @@ def run(
                 round(rand_avg, 3),
                 round(rand_avg / max(proposed.avg_max, 1e-12), 2),
             ))
-    return render_table(
+    table = render_table(
         ["topology", "population", "job size", "CPS",
          "proposed avg HSD", "worst", "random avg HSD", "improvement"],
         rows,
@@ -85,15 +94,18 @@ def run(
                "(paper: proposed HSD = 1 everywhere; improvements up to"
                " 5.2x)"),
     )
+    return table + "\n\n" + runtime_summary(sweeper)
 
 
 def main(argv=None) -> None:
-    parser = make_parser(__doc__)
+    parser = add_runtime_args(make_parser(__doc__))
     parser.add_argument("--orders", type=int, default=5)
     parser.add_argument("--max-shift-stages", type=int, default=48)
     args = parser.parse_args(argv)
     print(run(num_random_orders=args.orders,
-              max_shift_stages=args.max_shift_stages, seed=args.seed))
+              max_shift_stages=args.max_shift_stages, seed=args.seed,
+              jobs=args.jobs, use_cache=not args.no_cache,
+              cache_dir=args.cache_dir))
 
 
 if __name__ == "__main__":

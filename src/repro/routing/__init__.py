@@ -16,6 +16,7 @@ from .dmodk import DModKRouter, dense_ranks, down_parallel_k, q_up, route_dmodk
 from .ftree import FTreeRouter, route_ftree
 from .minhop import MinHopRouter, bfs_distances, route_minhop
 from .random_router import RandomRouter, route_random
+from .repair import RepairReport, repair_tables
 from .validate import (
     RoutingError,
     check_reachability,
@@ -29,6 +30,7 @@ __all__ = [
     "FTreeRouter",
     "MinHopRouter",
     "RandomRouter",
+    "RepairReport",
     "Router",
     "RoutingError",
     "assert_deadlock_free",
@@ -42,6 +44,7 @@ __all__ = [
     "down_parallel_k",
     "down_port_destinations",
     "q_up",
+    "repair_tables",
     "route_dmodk",
     "route_ftree",
     "route_minhop",

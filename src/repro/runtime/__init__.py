@@ -1,0 +1,45 @@
+"""Execution runtime: parallel sweep engine + content-addressed caching.
+
+The paper's headline statistics are Monte-Carlo sweeps over many random
+node orders.  This package makes them fast and re-runnable:
+
+* :class:`ParallelSweeper` / :func:`parallel_order_sweep` -- shard a
+  sweep's seed range over worker processes, evaluate each shard through
+  the batched HSD fast path, and merge deterministically (bit-identical
+  to the serial reference);
+* :class:`ResultCache` -- a disk cache keyed by SHA-256 content digests
+  of *(fabric wiring, forwarding tables, CPS stages, seed range)*, so
+  repeated ``repro-experiments`` invocations skip completed cells;
+* :func:`sweep_digest` / :func:`tables_digest` / :func:`cps_digest` --
+  the stable digest recipe, reusable for other memoised analyses.
+"""
+
+from .cache import (
+    CACHE_VERSION,
+    CacheStats,
+    ResultCache,
+    cps_digest,
+    default_cache_dir,
+    sweep_digest,
+    tables_digest,
+)
+from .sweep import (
+    ParallelSweeper,
+    chunk_ranges,
+    parallel_order_sweep,
+    resolve_jobs,
+)
+
+__all__ = [
+    "CACHE_VERSION",
+    "CacheStats",
+    "ParallelSweeper",
+    "ResultCache",
+    "chunk_ranges",
+    "cps_digest",
+    "default_cache_dir",
+    "parallel_order_sweep",
+    "resolve_jobs",
+    "sweep_digest",
+    "tables_digest",
+]

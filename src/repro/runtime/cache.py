@@ -1,0 +1,193 @@
+"""Content-addressed disk cache for sweep results.
+
+Monte-Carlo sweeps (Figure 3, Table 3, the ablations) are pure
+functions of *(topology, routing tables, CPS, placement seed range)*.
+This module derives a stable SHA-256 digest of exactly those inputs and
+stores the resulting ``avg_max`` arrays on disk keyed by it, so a
+re-run of ``repro-experiments fig3`` with unchanged parameters skips
+every HSD recomputation.
+
+The digest is *content-addressed*: it hashes the fabric wiring arrays
+and the forwarding-table contents themselves (not engine names), so any
+change to the topology spec, the routing engine, or its parameters
+changes ``switch_out``/``host_up`` bytes and therefore the key -- stale
+hits are structurally impossible.  CPS identity likewise hashes the
+actual per-stage ``(src, dst)`` pairs, covering knobs like
+``max_shift_stages`` sampling.
+
+Layout: one ``<digest>.npy`` per entry under the cache root (default
+``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro/sweeps``, else
+``~/.cache/repro/sweeps``) plus a human-readable ``<digest>.json``
+sidecar recording what produced it.  Writes are atomic
+(temp-file + rename), so concurrent sweeps sharing a cache directory
+are safe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..collectives.cps import CPS
+from ..fabric.lft import ForwardingTables
+
+__all__ = [
+    "CACHE_VERSION",
+    "CacheStats",
+    "ResultCache",
+    "cps_digest",
+    "default_cache_dir",
+    "sweep_digest",
+    "tables_digest",
+]
+
+#: Bump when the stored payload layout or digest recipe changes; part of
+#: every key, so old entries are simply never hit again.
+CACHE_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` > ``$XDG_CACHE_HOME/repro/sweeps`` >
+    ``~/.cache/repro/sweeps``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro" / "sweeps"
+
+
+def _update_array(h, arr: np.ndarray) -> None:
+    arr = np.ascontiguousarray(arr)
+    h.update(str(arr.dtype).encode())
+    h.update(str(arr.shape).encode())
+    h.update(arr.tobytes())
+
+
+def tables_digest(tables: ForwardingTables) -> str:
+    """SHA-256 of the fabric wiring plus the forwarding-table contents.
+
+    Covers both the topology (wiring arrays) and the routing decision
+    (``switch_out``/``host_up``), so it changes whenever either does.
+    """
+    h = hashlib.sha256(b"repro-tables-v1")
+    fab = tables.fabric
+    h.update(str(fab.num_endports).encode())
+    _update_array(h, fab.node_level)
+    _update_array(h, fab.port_start)
+    _update_array(h, fab.port_peer)
+    _update_array(h, tables.switch_out)
+    if tables.host_up is None:
+        h.update(b"host_up:none")
+    else:
+        _update_array(h, tables.host_up)
+    return h.hexdigest()
+
+
+def cps_digest(cps: CPS) -> str:
+    """SHA-256 of a CPS: name, rank count and every stage's pairs."""
+    h = hashlib.sha256(b"repro-cps-v1")
+    h.update(cps.name.encode())
+    h.update(str(cps.num_ranks).encode())
+    for st in cps:
+        _update_array(h, st.pairs)
+    return h.hexdigest()
+
+
+def sweep_digest(
+    tables: ForwardingTables,
+    cps: CPS,
+    *,
+    num_orders: int,
+    seed: int,
+    num_ranks: int,
+    switch_links_only: bool = False,
+) -> str:
+    """The cache key of one ``random_order``-sweep cell."""
+    h = hashlib.sha256(f"repro-sweep-v{CACHE_VERSION}".encode())
+    h.update(tables_digest(tables).encode())
+    h.update(cps_digest(cps).encode())
+    h.update(
+        f"orders={num_orders};seed={seed};ranks={num_ranks};"
+        f"switch_only={switch_links_only}".encode()
+    )
+    return h.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters, surfaced in experiment run summaries."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    def __str__(self) -> str:
+        return f"hits={self.hits} misses={self.misses} stores={self.stores}"
+
+
+@dataclass
+class ResultCache:
+    """Disk-backed array store keyed by content digests."""
+
+    root: Path = field(default_factory=default_cache_dir)
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.npy"
+
+    def load_array(self, key: str) -> np.ndarray | None:
+        """Return the cached array for ``key`` or None (counts hit/miss)."""
+        path = self.path_for(key)
+        try:
+            arr = np.load(path)
+        except (OSError, ValueError):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return arr
+
+    def store_array(
+        self, key: str, arr: np.ndarray, meta: dict | None = None
+    ) -> Path:
+        """Atomically persist ``arr`` (and an optional JSON sidecar)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(key)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".npy.tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                np.save(fh, np.ascontiguousarray(arr))
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        if meta is not None:
+            side = path.with_suffix(".json")
+            side.write_text(json.dumps(meta, indent=2, sort_keys=True))
+        self.stats.stores += 1
+        return path
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.npy"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.npy"):
+                path.unlink(missing_ok=True)
+                path.with_suffix(".json").unlink(missing_ok=True)
+                removed += 1
+        return removed

@@ -17,7 +17,13 @@ from .metrics import (
     utilization_report,
 )
 from .packet import PacketResult, PacketSimulator
-from .workload import cps_workload, permutation_workload, uniform_random_workload
+from .workload import (
+    cps_workload,
+    merge_sequences,
+    permutation_workload,
+    shard_workload,
+    uniform_random_workload,
+)
 
 __all__ = [
     "DDR_PCIE_GEN1",
@@ -36,7 +42,9 @@ __all__ = [
     "efficiency",
     "ideal_sequence_time",
     "link_byte_loads",
+    "merge_sequences",
     "permutation_workload",
+    "shard_workload",
     "utilization_report",
     "uniform_random_workload",
 ]

@@ -13,7 +13,13 @@ import numpy as np
 from ..collectives.cps import CPS
 from ..collectives.schedule import stage_flows
 
-__all__ = ["cps_workload", "permutation_workload", "uniform_random_workload"]
+__all__ = [
+    "cps_workload",
+    "merge_sequences",
+    "permutation_workload",
+    "shard_workload",
+    "uniform_random_workload",
+]
 
 
 def cps_workload(
@@ -58,6 +64,46 @@ def permutation_workload(
             continue
         seqs[s].extend([(d, float(message_size))] * repeats)
     return seqs
+
+
+def merge_sequences(*workloads: list[list]) -> list[list]:
+    """Combine several per-port workloads into one.
+
+    Each port's sequences are concatenated in argument order -- the
+    multi-tenant case (every job keeps its own intra-port message order,
+    jobs interleave only through the simulator's asynchronous
+    progression) and the inverse of :func:`shard_workload`.
+    """
+    if not workloads:
+        return []
+    num_ports = len(workloads[0])
+    for wl in workloads[1:]:
+        if len(wl) != num_ports:
+            raise ValueError(
+                f"workloads cover different fabrics: {len(wl)} vs {num_ports} ports"
+            )
+    return [
+        [msg for wl in workloads for msg in wl[p]]
+        for p in range(num_ports)
+    ]
+
+
+def shard_workload(seqs: list[list], num_shards: int) -> list[list[list]]:
+    """Split a workload into ``num_shards`` prefix-contiguous shards.
+
+    Every port's sequence is cut into ``num_shards`` consecutive spans
+    (some possibly empty), so ``merge_sequences(*shards)`` reproduces
+    the original workload exactly.  Used to fan long simulator runs out
+    over workers while keeping per-port message order.
+    """
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    shards: list[list[list]] = [[] for _ in range(num_shards)]
+    for seq in seqs:
+        bounds = np.linspace(0, len(seq), num_shards + 1).astype(int)
+        for k in range(num_shards):
+            shards[k].append(list(seq[bounds[k]:bounds[k + 1]]))
+    return shards
 
 
 def uniform_random_workload(

@@ -1,0 +1,97 @@
+"""Batched HSD fast path vs the one-placement-at-a-time reference."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import batched_sequence_hsd, sequence_hsd
+from repro.analysis.traffic import sweep_placements
+from repro.collectives import (
+    binomial,
+    recursive_doubling,
+    ring,
+    shift,
+    tournament,
+)
+from repro.fabric import build_fabric
+from repro.ordering import physical_placement, random_order
+from repro.routing import route_dmodk, route_minhop
+from repro.topology import pgft
+
+CPS_FACTORIES = [shift, ring, binomial, tournament, recursive_doubling]
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return route_dmodk(build_fabric(pgft(2, [4, 4], [1, 2], [1, 2])))
+
+
+@pytest.mark.parametrize("factory", CPS_FACTORIES,
+                         ids=[f.__name__ for f in CPS_FACTORIES])
+def test_matches_serial_per_row(tables, factory):
+    n = tables.fabric.num_endports
+    cps = factory(n)
+    placements = sweep_placements(n, n, 7, seed=42)
+    batched = batched_sequence_hsd(tables, cps, placements)
+    for t in range(7):
+        ref = sequence_hsd(tables, cps, placements[t])
+        got = batched.report(t)
+        assert np.array_equal(ref.stage_max, got.stage_max)
+        assert batched.avg_max[t] == ref.avg_max
+
+
+def test_single_row_input(tables):
+    n = tables.fabric.num_endports
+    cps = shift(n)
+    placement = random_order(n, seed=9)
+    ref = sequence_hsd(tables, cps, placement)
+    batched = batched_sequence_hsd(tables, cps, placement)
+    assert batched.num_orders == 1
+    assert batched.avg_max[0] == ref.avg_max
+
+
+def test_switch_links_only(tables):
+    n = tables.fabric.num_endports
+    cps = shift(n)
+    placements = sweep_placements(n, n, 5, seed=0)
+    batched = batched_sequence_hsd(tables, cps, placements,
+                                   switch_links_only=True)
+    for t in range(5):
+        ref = sequence_hsd(tables, cps, placements[t],
+                           switch_links_only=True)
+        assert batched.avg_max[t] == ref.avg_max
+
+
+def test_partial_placements_with_skipped_stages(tables):
+    """Physical-slot placements (-1 entries) can leave some stages with
+    no flows for some rows; the batched path must skip exactly the same
+    stages the serial path skips."""
+    n = tables.fabric.num_endports
+    cps = binomial(n)
+    rows = []
+    for t in range(4):
+        active = np.sort(random_order(n, n - 6, seed=100 + t))
+        rows.append(physical_placement(active, n))
+    placements = np.stack(rows)
+    batched = batched_sequence_hsd(tables, cps, placements)
+    for t in range(4):
+        ref = sequence_hsd(tables, cps, placements[t])
+        assert np.array_equal(ref.stage_max, batched.report(t).stage_max)
+        assert batched.avg_max[t] == ref.avg_max
+
+
+def test_other_routing_engine(tables):
+    fab = tables.fabric
+    other = route_minhop(fab, "random", seed=3)
+    n = fab.num_endports
+    cps = shift(n)
+    placements = sweep_placements(n, n, 4, seed=7)
+    batched = batched_sequence_hsd(other, cps, placements)
+    for t in range(4):
+        assert batched.avg_max[t] == sequence_hsd(other, cps,
+                                                  placements[t]).avg_max
+
+
+def test_rejects_bad_shapes(tables):
+    cps = shift(tables.fabric.num_endports)
+    with pytest.raises(ValueError):
+        batched_sequence_hsd(tables, cps, np.zeros((2, 2, 2), dtype=np.int64))

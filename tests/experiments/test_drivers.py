@@ -55,6 +55,29 @@ class TestFig3:
         assert vals["ring"] > vals["binomial"]
         assert vals["shift"] > vals["tournament"]
 
+    def test_runtime_summary_line(self):
+        out = fig3.run(topos=("n128",), num_orders=2, max_shift_stages=8)
+        assert out.splitlines()[-1].startswith("runtime | jobs=1 cache=off")
+
+    def test_warm_cache_recomputes_nothing(self, tmp_path):
+        kwargs = dict(topos=("n128",), num_orders=2, max_shift_stages=8,
+                      use_cache=True, cache_dir=tmp_path)
+        cold = fig3.run(**kwargs)
+        warm = fig3.run(**kwargs)
+        assert "hits=0 misses=6 stores=6" in cold.splitlines()[-1]
+        assert "hits=6 misses=0 stores=0" in warm.splitlines()[-1]
+        # Identical rows either way.
+        strip = lambda s: s.split("runtime |")[0]  # noqa: E731
+        assert strip(cold) == strip(warm)
+
+    @pytest.mark.slow
+    def test_jobs_flag_matches_serial(self, tmp_path):
+        a = fig3.run(topos=("n128",), num_orders=3, max_shift_stages=8)
+        b = fig3.run(topos=("n128",), num_orders=3, max_shift_stages=8,
+                     jobs=2)
+        strip = lambda s: s.split("runtime |")[0]  # noqa: E731
+        assert strip(a) == strip(b)
+
 
 class TestTables:
     def test_table1(self):
@@ -70,6 +93,16 @@ class TestTables:
         assert rows
         for row in rows:
             assert "1.000" in row  # proposed avg HSD column
+
+    def test_table3_cache_roundtrip(self, tmp_path):
+        kwargs = dict(cases=(("n16-pgft", 0),), num_random_orders=2,
+                      max_shift_stages=8, use_cache=True,
+                      cache_dir=tmp_path)
+        cold = table3.run(**kwargs)
+        warm = table3.run(**kwargs)
+        assert "misses=0" in warm.splitlines()[-1]
+        strip = lambda s: s.split("runtime |")[0]  # noqa: E731
+        assert strip(cold) == strip(warm)
 
 
 class TestRingAdversarial:
@@ -101,6 +134,13 @@ class TestAblation:
         assert "dmodk" in out and "random-router" in out
         assert "ftree-counting" in out
         assert "3-level" in out
+
+    @pytest.mark.slow
+    def test_jobs_flag_matches_serial(self):
+        a = ablation.run(topo="n16-pgft", max_shift_stages=8)
+        b = ablation.run(topo="n16-pgft", max_shift_stages=8, jobs=2)
+        strip = lambda s: s.split("runtime |")[0]  # noqa: E731
+        assert strip(a) == strip(b)
 
 
 class TestFailures:

@@ -1,0 +1,88 @@
+"""Result cache: digest stability, hit/miss counters, invalidation."""
+
+import numpy as np
+import pytest
+
+from repro.collectives import recursive_doubling, shift
+from repro.fabric import build_fabric
+from repro.routing import route_dmodk, route_minhop
+from repro.runtime import (
+    ResultCache,
+    cps_digest,
+    default_cache_dir,
+    sweep_digest,
+    tables_digest,
+)
+from repro.topology import pgft
+
+
+@pytest.fixture
+def tables():
+    return route_dmodk(build_fabric(pgft(2, [4, 4], [1, 4], [1, 1])))
+
+
+class TestDigests:
+    def test_tables_digest_stable(self, tables):
+        assert tables_digest(tables) == tables_digest(tables)
+
+    def test_digest_changes_with_routing_engine(self):
+        fab = build_fabric(pgft(2, [4, 4], [1, 4], [1, 1]))
+        assert tables_digest(route_dmodk(fab)) != tables_digest(
+            route_minhop(fab, "random", seed=7)
+        )
+
+    def test_digest_changes_with_topology(self, tables):
+        other = route_dmodk(build_fabric(pgft(2, [4, 4], [1, 2], [1, 2])))
+        assert tables_digest(tables) != tables_digest(other)
+
+    def test_cps_digest_sees_stage_sampling(self):
+        full = shift(16)
+        sampled = shift(16, displacements=range(1, 16, 3))
+        assert cps_digest(full) != cps_digest(sampled)
+        assert cps_digest(full) == cps_digest(shift(16))
+
+    def test_cps_digest_distinguishes_collectives(self):
+        assert cps_digest(shift(8)) != cps_digest(recursive_doubling(8))
+
+    def test_sweep_digest_covers_every_param(self, tables):
+        cps = shift(16)
+        base = dict(num_orders=5, seed=0, num_ranks=16,
+                    switch_links_only=False)
+        ref = sweep_digest(tables, cps, **base)
+        assert sweep_digest(tables, cps, **base) == ref
+        for change in (dict(num_orders=6), dict(seed=1),
+                       dict(num_ranks=12), dict(switch_links_only=True)):
+            assert sweep_digest(tables, cps, **{**base, **change}) != ref
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        arr = np.array([1.0, 2.5, 3.0])
+        assert cache.load_array("k1") is None
+        cache.store_array("k1", arr, meta={"why": "test"})
+        got = cache.load_array("k1")
+        assert np.array_equal(got, arr)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.stores == 1
+        assert (tmp_path / "k1.json").is_file()
+
+    def test_len_and_clear(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        for k in ("a", "b"):
+            cache.store_array(k, np.zeros(2))
+        assert len(cache) == 2
+        assert cache.clear() == 2
+        assert len(cache) == 0
+        assert cache.load_array("a") is None
+
+    def test_empty_dir_counts_zero(self, tmp_path):
+        assert len(ResultCache(root=tmp_path / "nonexistent")) == 0
+
+    def test_default_dir_honours_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
+        assert default_cache_dir() == tmp_path / "custom"
+        monkeypatch.delenv("REPRO_CACHE_DIR")
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert default_cache_dir() == tmp_path / "xdg" / "repro" / "sweeps"

@@ -1,0 +1,139 @@
+"""Parallel sweep engine: serial equivalence, sharding, cache wiring."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import random_order_sweep
+from repro.collectives import recursive_doubling, shift
+from repro.fabric import build_fabric
+from repro.routing import route_dmodk
+from repro.runtime import (
+    ParallelSweeper,
+    ResultCache,
+    chunk_ranges,
+    parallel_order_sweep,
+    resolve_jobs,
+)
+from repro.topology import pgft
+
+
+@pytest.fixture(scope="module")
+def tables():
+    # 16 end-ports, 2 levels: big enough for interesting sweeps, small
+    # enough that process fan-out stays test-friendly.
+    return route_dmodk(build_fabric(pgft(2, [4, 4], [1, 4], [1, 1])))
+
+
+class TestChunking:
+    def test_covers_range_exactly(self):
+        for n in (1, 2, 7, 25, 100):
+            for c in (1, 2, 3, 8, 200):
+                spans = chunk_ranges(n, c)
+                flat = [i for a, b in spans for i in range(a, b)]
+                assert flat == list(range(n))
+
+    def test_empty(self):
+        assert chunk_ranges(0, 4) == []
+
+    def test_resolve_jobs(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(None) >= 1
+        assert resolve_jobs(0) >= 1
+        assert resolve_jobs(-5) == 1
+
+
+class TestSerialEquivalence:
+    def test_inline_bit_identical(self, tables):
+        serial = random_order_sweep(tables, shift, num_orders=8, seed=3)
+        par = ParallelSweeper(jobs=1).order_sweep(
+            tables, shift, num_orders=8, seed=3
+        )
+        assert np.array_equal(serial.avg_max, par.avg_max)
+        assert serial.cps_name == par.cps_name
+
+    @pytest.mark.slow
+    def test_process_pool_bit_identical(self, tables):
+        serial = random_order_sweep(tables, shift, num_orders=9, seed=11)
+        par = ParallelSweeper(jobs=2).order_sweep(
+            tables, shift, num_orders=9, seed=11
+        )
+        assert np.array_equal(serial.avg_max, par.avg_max)
+
+    def test_partial_job_and_switch_links_only(self, tables):
+        serial = random_order_sweep(
+            tables, shift, num_orders=6, num_ranks=10, seed=5,
+            switch_links_only=True,
+        )
+        par = ParallelSweeper(jobs=1).order_sweep(
+            tables, shift, num_orders=6, num_ranks=10, seed=5,
+            switch_links_only=True,
+        )
+        assert np.array_equal(serial.avg_max, par.avg_max)
+
+    def test_prebuilt_cps_accepted(self, tables):
+        cps = recursive_doubling(16)
+        serial = random_order_sweep(tables, lambda n: cps, num_orders=4, seed=2)
+        par = ParallelSweeper(jobs=1).order_sweep(
+            tables, cps, num_orders=4, seed=2
+        )
+        assert np.array_equal(serial.avg_max, par.avg_max)
+
+    def test_functional_wrapper(self, tables):
+        a = parallel_order_sweep(tables, shift, num_orders=3, seed=0)
+        b = random_order_sweep(tables, shift, num_orders=3, seed=0)
+        assert np.array_equal(a.avg_max, b.avg_max)
+
+
+class TestCacheIntegration:
+    def test_second_call_hits(self, tables, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        sweeper = ParallelSweeper(jobs=1, cache=cache)
+        r1 = sweeper.order_sweep(tables, shift, num_orders=5, seed=1)
+        assert cache.stats == type(cache.stats)(hits=0, misses=1, stores=1)
+        r2 = sweeper.order_sweep(tables, shift, num_orders=5, seed=1)
+        assert cache.stats.hits == 1
+        assert cache.stats.stores == 1
+        assert np.array_equal(r1.avg_max, r2.avg_max)
+
+    def test_cached_equals_fresh(self, tables, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        sweeper = ParallelSweeper(jobs=1, cache=cache)
+        warm = sweeper.order_sweep(tables, shift, num_orders=5, seed=1)
+        cold = ParallelSweeper(jobs=1).order_sweep(
+            tables, shift, num_orders=5, seed=1
+        )
+        assert np.array_equal(warm.avg_max, cold.avg_max)
+
+    def test_param_change_misses(self, tables, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        sweeper = ParallelSweeper(jobs=1, cache=cache)
+        sweeper.order_sweep(tables, shift, num_orders=5, seed=1)
+        sweeper.order_sweep(tables, shift, num_orders=5, seed=2)
+        sweeper.order_sweep(tables, shift, num_orders=4, seed=1)
+        assert cache.stats.hits == 0
+        assert cache.stats.misses == 3
+
+    def test_routing_change_invalidates(self, tmp_path):
+        from repro.routing import route_minhop
+
+        fab = build_fabric(pgft(2, [4, 4], [1, 4], [1, 1]))
+        cache = ResultCache(root=tmp_path)
+        sweeper = ParallelSweeper(jobs=1, cache=cache)
+        sweeper.order_sweep(route_dmodk(fab), shift, num_orders=3, seed=0)
+        sweeper.order_sweep(
+            route_minhop(fab, "random", seed=9), shift, num_orders=3, seed=0
+        )
+        assert cache.stats.hits == 0
+        assert cache.stats.misses == 2
+
+
+class TestStarmap:
+    def test_inline_order_preserved(self):
+        out = ParallelSweeper(jobs=1).starmap(divmod, [(7, 3), (9, 2), (5, 5)])
+        assert out == [divmod(7, 3), divmod(9, 2), divmod(5, 5)]
+
+    @pytest.mark.slow
+    def test_pool_order_preserved(self):
+        out = ParallelSweeper(jobs=2).starmap(divmod, [(7, 3), (9, 2), (5, 5)])
+        assert out == [divmod(7, 3), divmod(9, 2), divmod(5, 5)]

@@ -7,7 +7,9 @@ from repro.collectives import recursive_halving, ring, shift
 from repro.ordering import topology_order
 from repro.sim import (
     cps_workload,
+    merge_sequences,
     permutation_workload,
+    shard_workload,
     uniform_random_workload,
 )
 
@@ -61,3 +63,33 @@ class TestUniformRandom:
         wl = uniform_random_workload(6, 100, 1.0, seed=0)
         dests = {d for seq in wl for d, _ in seq}
         assert dests <= set(range(6))
+
+
+class TestMergeAndShard:
+    def test_merge_concatenates_per_port(self):
+        a = cps_workload(shift(4), topology_order(4), 6, 64.0)
+        b = cps_workload(ring(4), topology_order(4), 6, 32.0)
+        merged = merge_sequences(a, b)
+        for p in range(6):
+            assert merged[p] == a[p] + b[p]
+
+    def test_merge_empty_and_mismatch(self):
+        assert merge_sequences() == []
+        with pytest.raises(ValueError):
+            merge_sequences([[], []], [[]])
+
+    def test_shard_roundtrip(self):
+        wl = uniform_random_workload(6, 13, 1.0, seed=4)
+        for num_shards in (1, 2, 3, 5, 20):
+            shards = shard_workload(wl, num_shards)
+            assert len(shards) == num_shards
+            assert merge_sequences(*shards) == wl
+
+    def test_shard_preserves_port_count(self):
+        wl = uniform_random_workload(5, 4, 1.0, seed=0)
+        for shard in shard_workload(wl, 3):
+            assert len(shard) == 5
+
+    def test_shard_rejects_bad_count(self):
+        with pytest.raises(ValueError):
+            shard_workload([[]], 0)

@@ -1,0 +1,87 @@
+"""Docs stay true: API.md modules import, TUTORIAL.md runs top to bottom.
+
+This is the lightweight docs check wired into the tier-1 run -- it
+fails whenever documentation references a module that no longer exists
+or a tutorial snippet stops executing against the current API.
+"""
+
+import importlib
+import re
+from pathlib import Path
+
+import pytest
+
+DOCS = Path(__file__).resolve().parent.parent / "docs"
+
+MODULE_RE = re.compile(r"`(repro(?:\.[a-z_][a-z0-9_]*)+)`")
+
+
+def _doc_modules(text: str) -> list[str]:
+    """Dotted ``repro.*`` references that name modules (not attributes)."""
+    found = set()
+    for name in MODULE_RE.findall(text):
+        # Trim trailing attribute segments until the name imports; the
+        # *module* prefix must import cleanly and own the final symbol.
+        found.add(name)
+    return sorted(found)
+
+
+def test_api_md_modules_import():
+    text = (DOCS / "API.md").read_text()
+    names = _doc_modules(text)
+    assert names, "API.md no longer references any repro modules?"
+    for name in names:
+        parts = name.split(".")
+        # Find the longest importable module prefix...
+        mod = None
+        for cut in range(len(parts), 0, -1):
+            try:
+                mod = importlib.import_module(".".join(parts[:cut]))
+            except ModuleNotFoundError:
+                continue
+            break
+        assert mod is not None, f"API.md references unimportable {name!r}"
+        # ...and require any remaining segments to resolve as attributes.
+        obj = mod
+        for attr in parts[cut:]:
+            assert hasattr(obj, attr), (
+                f"API.md references {name!r} but {obj.__name__!r} has no"
+                f" attribute {attr!r}"
+            )
+            obj = getattr(obj, attr)
+
+
+def test_api_md_covers_every_package():
+    """Every repro subpackage gets a section (no silent API.md rot)."""
+    import repro
+
+    text = (DOCS / "API.md").read_text()
+    src = Path(repro.__file__).parent
+    packages = sorted(
+        p.parent.name for p in src.glob("*/__init__.py")
+        if not p.parent.name.startswith("_")
+    )
+    for pkg in packages:
+        assert f"repro.{pkg}" in text, f"API.md has no section for repro.{pkg}"
+
+
+PYTHON_BLOCK_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def _tutorial_snippets() -> list[str]:
+    text = (DOCS / "TUTORIAL.md").read_text()
+    blocks = PYTHON_BLOCK_RE.findall(text)
+    assert blocks, "TUTORIAL.md has no python snippets?"
+    return blocks
+
+
+def test_tutorial_snippets_execute():
+    """TUTORIAL.md is runnable top to bottom, one shared namespace."""
+    namespace: dict = {}
+    for i, block in enumerate(_tutorial_snippets()):
+        try:
+            exec(compile(block, f"TUTORIAL.md[block {i}]", "exec"), namespace)
+        except Exception as exc:  # pragma: no cover - failure reporting
+            pytest.fail(
+                f"TUTORIAL.md block {i} failed: {exc!r}\n---\n{block}"
+            )
