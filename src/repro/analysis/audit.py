@@ -13,18 +13,19 @@ operator would want before trusting a fabric with collective traffic:
   leftovers).
 
 The audit powers ``repro-fabric validate --audit`` and is exercised as
-a regression net over every routing engine in the test suite.
+a regression net over every routing engine in the test suite.  Since
+the ``repro.check`` analyzer grew passes for each of these properties,
+:func:`audit_tables` is a thin wrapper assembling the summary from the
+passes' artifacts (``up_balance_worst``, ``theorem2_violations``,
+``non_minimal_entries``, ``unreachable_entries``) -- one implementation
+per invariant.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from ..fabric.lft import ForwardingTables
-from ..routing.minhop import bfs_distances
-from .hsd import down_port_destination_counts
 
 __all__ = ["audit_tables", "TableAudit"]
 
@@ -62,48 +63,28 @@ def audit_tables(tables: ForwardingTables,
                  check_theorem2: bool = True) -> TableAudit:
     """Run the full audit.  ``check_theorem2=False`` skips the O(N^2)
     all-pairs walk on large fabrics."""
-    fab = tables.fabric
-    N = fab.num_endports
-    sw_out = tables.switch_out
-    unreachable = int((sw_out < 0).sum())
+    # Imported lazily: repro.check pulls in analysis primitives at
+    # module level, so the reverse edge must not exist at import time.
+    from ..check.diagnostics import DiagnosticReport
+    from ..check.passes import CheckContext
+    from ..check.routing_lint import (
+        DownPortBalancePass,
+        MinimalityPass,
+        UpPortBalancePass,
+    )
 
-    # Up-port balance: per switch, count destinations per up-going port.
-    goes_up = fab.port_goes_up()
-    worst_skew = 0.0
-    for row in range(fab.num_switches):
-        node = N + row
-        ports = fab.ports_of(node)
-        up_ports = ports[goes_up[ports]]
-        if len(up_ports) == 0:
-            continue
-        entries = sw_out[row]
-        entries = entries[entries >= 0]
-        counts = np.array([(entries == gp).sum() for gp in up_ports],
-                          dtype=np.float64)
-        if counts.sum() == 0:
-            continue
-        skew = (counts.max() - counts.min()) / max(counts.mean(), 1e-12)
-        worst_skew = max(worst_skew, float(skew))
-
-    # Non-minimal entries against BFS distances.
-    dists = bfs_distances(fab, np.arange(N))
-    nodes = N + np.arange(fab.num_switches)
-    valid = sw_out >= 0
-    next_node = np.where(valid, fab.peer_node[np.where(valid, sw_out, 0)], -1)
-    d_here = dists[np.arange(N)[None, :], nodes[:, None]]
-    d_next = np.where(next_node >= 0,
-                      dists[np.arange(N)[None, :], next_node], -2)
-    non_minimal = int((valid & (d_next != d_here - 1)).sum())
-
-    t2 = 0
+    ctx = CheckContext.for_tables(tables)
+    report = DiagnosticReport()
+    passes = [UpPortBalancePass(), MinimalityPass()]
     if check_theorem2:
-        counts = down_port_destination_counts(tables)
-        t2 = int((counts > 1).sum())
+        passes.append(DownPortBalancePass())
+    for p in passes:
+        p.run(ctx, report)
 
     return TableAudit(
-        num_switches=fab.num_switches,
-        up_balance_worst=worst_skew,
-        theorem2_violations=t2,
-        non_minimal_entries=non_minimal,
-        unreachable_entries=unreachable,
+        num_switches=tables.fabric.num_switches,
+        up_balance_worst=float(ctx.artifacts["up_balance_worst"]),
+        theorem2_violations=int(ctx.artifacts.get("theorem2_violations", 0)),
+        non_minimal_entries=int(ctx.artifacts["non_minimal_entries"]),
+        unreachable_entries=int(ctx.artifacts["unreachable_entries"]),
     )

@@ -72,6 +72,9 @@ def walk_flow_links(
     ports.append(gp)
     cur = fab.peer_node[gp].astype(np.int64)
     tgt = dst[idx]
+    if (cur < 0).any():
+        bad = idx[cur < 0][0]
+        raise ValueError(f"flow {bad} walked into a dead cable")
 
     for _ in range(_max_hops(tables)):
         moving = cur != tgt
@@ -87,6 +90,9 @@ def walk_flow_links(
         flows_idx.append(idx)
         ports.append(gp)
         cur = fab.peer_node[gp].astype(np.int64)
+        if (cur < 0).any():
+            bad = idx[cur < 0][0]
+            raise ValueError(f"flow {bad} walked into a dead cable")
     else:
         if (cur != tgt).any():
             raise ValueError("routing loop: flows did not terminate")

@@ -1,0 +1,159 @@
+"""``repro.check`` -- pass-based static fabric analyzer.
+
+One diagnostics-producing subsystem for everything that used to be
+scattered ad-hoc validators: wiring lint (``FAB0xx``), forwarding-table
+lint (``RTE0xx``), collective-schedule lint (``SCH0xx``) and the
+contention-freedom certifier (``CFC0xx``) that either emits a
+machine-readable certificate or a minimal counterexample -- all without
+running the simulator.
+
+Typical use::
+
+    from repro.check import CheckContext, ScheduleCase, run_check
+
+    ctx = CheckContext.for_tables(tables, routing_name="dmodk",
+                                  schedule=[ScheduleCase(cps, order)])
+    result = run_check(ctx)
+    print(result.report.render_text())
+    result.certificates        # [] unless every stage has link load <= 1
+
+or from the command line::
+
+    python -m repro.check --topo n324 --routing dmodk --cps shift
+
+See ``docs/CHECKS.md`` for the diagnostic-code catalogue.
+"""
+
+from __future__ import annotations
+
+from ..fabric.lft import ForwardingTables
+from .certify import ContentionCertifierPass, placement_digest
+from .diagnostics import (
+    CODES,
+    Diagnostic,
+    DiagnosticReport,
+    Loc,
+    Severity,
+    describe_code,
+)
+from .passes import CheckContext, CheckPass, CheckResult, Pipeline, ScheduleCase
+from .routing_lint import (
+    CdgCyclePass,
+    DmodkConformancePass,
+    DownPortBalancePass,
+    MinimalityPass,
+    ReachabilityPass,
+    UpDownPass,
+    UpPortBalancePass,
+)
+from .schedule_lint import PlacementLintPass, StageLintPass
+from .wiring import SpecConformancePass, WiringLintPass
+
+__all__ = [
+    "CODES",
+    "CdgCyclePass",
+    "CheckContext",
+    "CheckPass",
+    "CheckResult",
+    "ContentionCertifierPass",
+    "Diagnostic",
+    "DiagnosticReport",
+    "DmodkConformancePass",
+    "DownPortBalancePass",
+    "Loc",
+    "MinimalityPass",
+    "Pipeline",
+    "PlacementLintPass",
+    "ReachabilityPass",
+    "ScheduleCase",
+    "Severity",
+    "SpecConformancePass",
+    "StageLintPass",
+    "UpDownPass",
+    "UpPortBalancePass",
+    "WiringLintPass",
+    "default_pipeline",
+    "describe_code",
+    "placement_digest",
+    "precheck_tables",
+    "run_check",
+]
+
+#: pass names in canonical pipeline order (CLI ``--passes`` accepts these)
+PASS_ORDER = (
+    "wiring",
+    "spec-conformance",
+    "reachability",
+    "up-down",
+    "cdg",
+    "dmodk-conformance",
+    "down-balance",
+    "up-balance",
+    "minimality",
+    "placement",
+    "stage",
+    "certify",
+)
+
+
+def default_pipeline(
+    only: set[str] | None = None,
+    updown_sample: int | None = 250_000,
+    certify: bool = True,
+) -> Pipeline:
+    """The canonical full pipeline, optionally restricted to ``only``.
+
+    Passes whose inputs are absent from the context skip themselves, so
+    this single pipeline serves bare-fabric lint, table lint and full
+    certification alike.
+    """
+    passes: list[CheckPass] = [
+        WiringLintPass(),
+        SpecConformancePass(),
+        ReachabilityPass(),
+        UpDownPass(sample=updown_sample),
+        CdgCyclePass(),
+        DmodkConformancePass(),
+        DownPortBalancePass(),
+        UpPortBalancePass(),
+        MinimalityPass(),
+        PlacementLintPass(),
+        StageLintPass(),
+    ]
+    if certify:
+        passes.append(ContentionCertifierPass())
+    if only is not None:
+        unknown = only - set(PASS_ORDER)
+        if unknown:
+            raise ValueError(f"unknown pass name(s): {sorted(unknown)}; "
+                             f"known: {list(PASS_ORDER)}")
+        passes = [p for p in passes if p.name in only]
+    return Pipeline(passes)
+
+
+def run_check(ctx: CheckContext,
+              only: set[str] | None = None,
+              updown_sample: int | None = 250_000,
+              certify: bool = True,
+              max_diags_per_code: int = 25) -> CheckResult:
+    """Run the default pipeline over a prepared context."""
+    pipeline = default_pipeline(only=only, updown_sample=updown_sample,
+                                certify=certify)
+    return pipeline.run(ctx, max_diags_per_code=max_diags_per_code)
+
+
+def precheck_tables(tables: ForwardingTables,
+                    routing_name: str = "",
+                    updown_sample: int | None = 50_000,
+                    ) -> CheckResult:
+    """Fast input gate for the experiment drivers (``--check``).
+
+    Lints the wiring and the forwarding tables (no schedule passes, no
+    certification) with a bounded up*/down* sample, so even the
+    1944-port sweeps can afford it before committing hours of compute.
+    """
+    ctx = CheckContext.for_tables(tables, routing_name=routing_name)
+    only = {"wiring", "spec-conformance", "reachability", "up-down", "cdg",
+            "dmodk-conformance", "down-balance"}
+    return run_check(ctx, only=only, updown_sample=updown_sample,
+                     certify=False)

@@ -1,0 +1,234 @@
+"""``python -m repro.check``: the static analyzer's command line.
+
+Input is a topology -- by paper name (``--topo n324``), PGFT tuple
+(``--spec "2; 18,18; 1,9; 1,2"``) or topology file (``--topofile``) --
+optionally routed (``--routing``) and scheduled (``--cps``/``--order``).
+Output is the diagnostic report (text, or ``--json`` for machines) plus
+any contention-freedom certificates; the exit code reflects the worst
+severity found (0 clean, 1 warnings, 2 errors).
+
+Examples::
+
+    # certify the paper's headline configuration (exit 0, certificate)
+    python -m repro.check --topo n324 --routing dmodk --cps shift
+
+    # refute random routing with a named stage+link counterexample
+    python -m repro.check --topo n324 --routing random --cps shift
+
+    # lint a topology file, no routing
+    python -m repro.check --topofile cluster.topo --routing none
+
+    # the catalogue of diagnostic codes
+    python -m repro.check --list-codes
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from ..collectives import by_name, hierarchical_recursive_doubling, shift
+from ..fabric import build_fabric
+from ..fabric.topofile import load as load_topofile
+from ..ordering import random_order, topology_order
+from ..ordering.adversarial import adversarial_ring_order
+from ..routing import route_dmodk, route_ftree, route_minhop, route_random
+from ..topology import paper_topologies, pgft
+from . import CODES, PASS_ORDER, CheckContext, ScheduleCase, run_check
+
+__all__ = ["main"]
+
+ROUTERS = ("dmodk", "random", "minhop", "ftree", "none")
+ORDERS = ("topology", "reversed", "random", "adversarial")
+
+
+def _parse_spec(text: str):
+    parts = [seg.strip() for seg in text.split(";")]
+    if len(parts) != 4:
+        raise SystemExit("--spec must be 'h; m1,..; w1,..; p1,..'")
+    vec = lambda s: [int(x) for x in s.split(",")]  # noqa: E731
+    return pgft(int(parts[0]), vec(parts[1]), vec(parts[2]), vec(parts[3]))
+
+
+def _load_fabric(args):
+    given = [x is not None for x in (args.topo, args.spec, args.topofile)]
+    if sum(given) != 1:
+        raise SystemExit("give exactly one of --topo / --spec / --topofile")
+    if args.topofile is not None:
+        return load_topofile(args.topofile)
+    if args.spec is not None:
+        return build_fabric(_parse_spec(args.spec))
+    topos = paper_topologies()
+    if args.topo not in topos:
+        raise SystemExit(f"unknown topology {args.topo!r}; available: "
+                         f"{', '.join(sorted(topos))}")
+    return build_fabric(topos[args.topo])
+
+
+def _route(fabric, args):
+    name = args.routing
+    if name == "none":
+        return None, ""
+    if name == "dmodk":
+        return route_dmodk(fabric), "dmodk"
+    if name == "random":
+        return route_random(fabric, seed=args.routing_seed), "random"
+    if name == "ftree":
+        return route_ftree(fabric), "ftree"
+    if name == "minhop":
+        return route_minhop(fabric, "roundrobin"), "minhop"
+    raise SystemExit(f"unknown routing engine {name!r}")  # pragma: no cover
+
+
+def _sampled_shift(n: int, max_stages: int):
+    if n - 1 <= max_stages:
+        return shift(n)
+    step = (n - 1) // max_stages
+    return shift(n, displacements=range(1, n, step))
+
+
+def _make_cps(name: str, fabric, args):
+    n = fabric.num_endports
+    if name == "recdbl-hier":
+        if fabric.spec is None:
+            raise SystemExit("recdbl-hier needs a PGFT spec")
+        return hierarchical_recursive_doubling(fabric.spec)
+    if name == "shift":
+        return _sampled_shift(n, args.max_shift_stages)
+    try:
+        return by_name(name, n)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+
+
+def _make_order(fabric, args) -> np.ndarray:
+    n = fabric.num_endports
+    if args.order == "topology":
+        return topology_order(n)
+    if args.order == "reversed":
+        return topology_order(n)[::-1].copy()
+    if args.order == "random":
+        return random_order(n, seed=args.order_seed)
+    if args.order == "adversarial":
+        if fabric.spec is None:
+            raise SystemExit("adversarial order needs a PGFT spec")
+        return adversarial_ring_order(fabric.spec)
+    raise SystemExit(f"unknown order {args.order!r}")  # pragma: no cover
+
+
+def _list_codes() -> None:
+    for code, (sev, desc) in sorted(CODES.items()):
+        print(f"{code}  {str(sev):7s} {desc}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.check",
+        description="static fabric analyzer: wiring/routing/schedule lint "
+                    "and contention-freedom certification",
+    )
+    src = parser.add_argument_group("input")
+    src.add_argument("--topo", metavar="NAME",
+                     help="paper topology name (e.g. n324)")
+    src.add_argument("--spec", metavar="TUPLE",
+                     help="PGFT tuple 'h; m1,..; w1,..; p1,..'")
+    src.add_argument("--topofile", metavar="FILE",
+                     help="topology file (repro.fabric.topofile format)")
+
+    rt = parser.add_argument_group("routing")
+    rt.add_argument("--routing", choices=ROUTERS, default="dmodk",
+                    help="engine producing the tables under test "
+                         "('none' = wiring lint only; default: %(default)s)")
+    rt.add_argument("--routing-seed", type=int, default=0)
+
+    sched = parser.add_argument_group("schedule")
+    sched.add_argument("--cps", metavar="NAME[,NAME..]", default=None,
+                       help="collective(s) to certify (Table-2 names or "
+                            "'recdbl-hier'); omit to skip certification")
+    sched.add_argument("--order", choices=ORDERS, default="topology",
+                       help="rank placement (default: %(default)s)")
+    sched.add_argument("--order-seed", type=int, default=0)
+    sched.add_argument("--max-shift-stages", type=int, default=64,
+                       help="sample the Shift CPS down to this many stages")
+
+    out = parser.add_argument_group("output")
+    out.add_argument("--json", action="store_true",
+                     help="machine-readable report on stdout")
+    out.add_argument("--cert-out", metavar="FILE", default=None,
+                     help="write certificates (JSON list) to FILE")
+    out.add_argument("--max-diags", type=int, default=25, metavar="N",
+                     help="findings stored per code (default: %(default)s)")
+
+    sel = parser.add_argument_group("pass selection")
+    sel.add_argument("--passes", metavar="NAME[,NAME..]", default=None,
+                     help=f"run only these passes; known: {', '.join(PASS_ORDER)}")
+    sel.add_argument("--no-certify", action="store_true",
+                     help="skip the contention-freedom certifier")
+    sel.add_argument("--updown-sample", type=int, default=250_000,
+                     help="max (src,dst) pairs for the up*/down* pass")
+
+    parser.add_argument("--list-codes", action="store_true",
+                        help="print the diagnostic-code catalogue and exit")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_codes:
+        _list_codes()
+        return 0
+
+    fabric = _load_fabric(args)
+    tables, routing_name = _route(fabric, args)
+
+    schedule = []
+    if args.cps:
+        if tables is None:
+            raise SystemExit("--cps needs routed tables (--routing != none)")
+        order = _make_order(fabric, args)
+        for name in args.cps.split(","):
+            name = name.strip()
+            schedule.append(ScheduleCase(
+                cps=_make_cps(name, fabric, args),
+                placement=order,
+                label=f"{name}/{args.order}",
+            ))
+
+    ctx = CheckContext(fabric=fabric, tables=tables, schedule=schedule,
+                       routing_name=routing_name)
+    only = None
+    if args.passes:
+        only = {p.strip() for p in args.passes.split(",")}
+    result = run_check(ctx, only=only, updown_sample=args.updown_sample,
+                       certify=not args.no_certify,
+                       max_diags_per_code=args.max_diags)
+
+    if args.cert_out:
+        Path(args.cert_out).write_text(
+            json.dumps(result.certificates, indent=2) + "\n")
+
+    if args.json:
+        print(json.dumps(result.to_json(), indent=2))
+    else:
+        print(result.report.render_text())
+        summary = result.report.summary()
+        print(f"\ncheck | passes: {', '.join(result.passes_run)}")
+        print(f"check | errors={summary['errors']} "
+              f"warnings={summary['warnings']} info={summary['info']}")
+        for cert in result.certificates:
+            print(f"check | CERTIFIED contention-free: {cert['case']} on "
+                  f"{cert['topology']} via {cert['routing']} "
+                  f"(max link load {cert['max_link_load']}, "
+                  f"{cert['num_flows']} flows over {cert['num_stages']} "
+                  "stages)")
+        if args.cert_out:
+            print(f"check | certificates written to {args.cert_out}")
+    return result.exit_code()
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

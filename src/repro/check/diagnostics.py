@@ -1,0 +1,286 @@
+"""Diagnostic framework for the static fabric analyzer.
+
+Every finding of :mod:`repro.check` is a :class:`Diagnostic`: a stable
+code, a severity, a human-readable message and a structured source
+location (switch / port / destination LID / schedule stage).  Codes are
+grouped by subsystem:
+
+* ``FAB0xx`` -- wiring lint (cables, levels, names),
+* ``RTE0xx`` -- forwarding-table lint (reachability, up*/down*, CDG,
+  D-Mod-K conformance, balance),
+* ``SCH0xx`` -- collective-schedule lint (placements, permutation
+  stages, displacement structure),
+* ``CFC0xx`` -- contention-freedom certification counterexamples.
+
+The full catalogue lives in :data:`CODES` (rendered into
+``docs/CHECKS.md``); every diagnostic emitted anywhere in the analyzer
+must use a registered code -- the test suite enforces this.
+
+Reports aggregate diagnostics and render as text (one line per finding,
+compiler style) or JSON (machine-readable, used by CI and the
+certificate tooling).  The process exit code of the CLI derives from
+:meth:`DiagnosticReport.exit_code`: 0 clean, 1 warnings only, 2 errors.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+__all__ = [
+    "Severity",
+    "Loc",
+    "Diagnostic",
+    "DiagnosticReport",
+    "CODES",
+    "describe_code",
+]
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity; ordering matters (``ERROR > WARNING > INFO``)."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:  # "error", not "Severity.ERROR"
+        return self.name.lower()
+
+
+#: code -> (default severity, one-line cause/fix description).
+#: ``docs/CHECKS.md`` is generated from this table; keep the two in sync
+#: via ``tests/check/test_diagnostics.py``.
+CODES: dict[str, tuple[Severity, str]] = {
+    # -- FAB0xx: wiring ------------------------------------------------------
+    "FAB001": (Severity.ERROR,
+               "Asymmetric cable: port_peer[port_peer[x]] != x. The wiring "
+               "arrays were edited by hand; rebuild via Fabric.from_links."),
+    "FAB002": (Severity.ERROR,
+               "Duplicate node name (GUID). Rename the node in the topology "
+               "file; names are the node identity for LFT dumps."),
+    "FAB003": (Severity.ERROR,
+               "Cable spans non-adjacent levels (level skip or same-level "
+               "link). Fat-tree cables must connect level l to l+1."),
+    "FAB004": (Severity.WARNING,
+               "Dangling switch port (no cable). Expected on degraded or "
+               "sub-allocated fabrics; an error when a PGFT spec declares "
+               "the port should be wired."),
+    "FAB005": (Severity.ERROR,
+               "Wiring violates the declared PGFT tuple (parallel-port "
+               "connection rule). Re-generate the fabric or fix the spec "
+               "line of the topology file."),
+    "FAB006": (Severity.ERROR,
+               "End-port has no cable: the host is unreachable by "
+               "construction. Remove it from the file or wire it up."),
+    # -- RTE0xx: routing -----------------------------------------------------
+    "RTE001": (Severity.ERROR,
+               "Unreachable destination: some (src, dst) pair dead-ends "
+               "(a -1 LFT entry on the route). Re-route or repair the "
+               "tables (repro.routing.repair)."),
+    "RTE002": (Severity.ERROR,
+               "Forwarding loop: a route exceeds the tree diameter without "
+               "reaching its destination."),
+    "RTE010": (Severity.ERROR,
+               "up*/down* violation: a route ascends after descending (a "
+               "valley). Deadlock-prone; fix the offending LFT entries."),
+    "RTE020": (Severity.ERROR,
+               "Channel-dependency cycle: the routed fabric can deadlock "
+               "under credit flow control. The message names one cycle."),
+    "RTE030": (Severity.ERROR,
+               "D-Mod-K conformance mismatch: an LFT entry differs from the "
+               "closed form of eq. (1). The tables are not the D-Mod-K "
+               "tables they claim to be."),
+    "RTE040": (Severity.WARNING,
+               "Down-going link serves more than one destination (theorem-2 "
+               "violation on RLFTs): a symptom of contention-prone routing."),
+    "RTE041": (Severity.WARNING,
+               "Up-port destination imbalance: destinations spread unevenly "
+               "over a switch's up ports (D-Mod-K is perfectly even)."),
+    "RTE050": (Severity.WARNING,
+               "Non-minimal forwarding entry: a next hop fails to reduce "
+               "the BFS distance (detour or repair leftover)."),
+    # -- SCH0xx: schedules ---------------------------------------------------
+    "SCH001": (Severity.ERROR,
+               "Placement maps two ranks to the same end-port. Fix the "
+               "rank_to_port vector."),
+    "SCH002": (Severity.ERROR,
+               "Placement references an end-port outside the fabric."),
+    "SCH010": (Severity.WARNING,
+               "Stage is not a partial permutation: a rank sends (or "
+               "receives) twice in one stage, guaranteeing injection/"
+               "ejection contention."),
+    "SCH020": (Severity.WARNING,
+               "Stage displacement is not constant (paper observation 1 "
+               "violated): contention freedom under D-Mod-K is no longer "
+               "guaranteed by the theorems."),
+    # -- CFC0xx: certification ----------------------------------------------
+    "CFC001": (Severity.ERROR,
+               "Contention counterexample: a stage places two or more "
+               "concurrent flows on one directed link. The location names "
+               "the stage and link; data lists the colliding pairs."),
+    "CFC002": (Severity.INFO,
+               "Vacuous certificate: the schedule produced no flows (empty "
+               "stages or ranks all on one port)."),
+}
+
+
+def describe_code(code: str) -> str:
+    """One-line cause/fix description of a registered code."""
+    return CODES[code][1]
+
+
+@dataclass(frozen=True)
+class Loc:
+    """Structured source location of a finding.
+
+    All fields are optional; ``render()`` prints only the set ones, in a
+    stable order.  ``switch``/``port`` identify a directed link (global
+    port id ``gport`` owned by ``switch`` at local ``port``), ``lid`` is
+    a destination end-port index, ``stage`` indexes into a CPS.
+    """
+
+    switch: str | None = None
+    port: int | None = None
+    gport: int | None = None
+    lid: int | None = None
+    stage: int | None = None
+    level: int | None = None
+    node: str | None = None
+
+    def render(self) -> str:
+        parts = []
+        for name in ("node", "switch", "port", "gport", "lid", "stage",
+                     "level"):
+            val = getattr(self, name)
+            if val is not None:
+                parts.append(f"{name}={val}")
+        return " ".join(parts)
+
+    def to_json(self) -> dict[str, Any]:
+        return {k: v for k, v in self.__dict__.items() if v is not None}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a registered code, severity, message and location."""
+
+    code: str
+    message: str
+    severity: Severity | None = None
+    loc: Loc = field(default_factory=Loc)
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.code not in CODES:
+            raise ValueError(f"unregistered diagnostic code {self.code!r}")
+        if self.severity is None:
+            object.__setattr__(self, "severity", CODES[self.code][0])
+
+    def render(self) -> str:
+        where = self.loc.render()
+        where = f" [{where}]" if where else ""
+        return f"{self.code} {self.severity}:{where} {self.message}"
+
+    def to_json(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "code": self.code,
+            "severity": str(self.severity),
+            "message": self.message,
+        }
+        loc = self.loc.to_json()
+        if loc:
+            out["loc"] = loc
+        if self.data:
+            out["data"] = self.data
+        return out
+
+
+class DiagnosticReport:
+    """An ordered collection of diagnostics with emitters.
+
+    Passes append via :meth:`add`; ``max_diags_per_code`` caps how many
+    findings of one code are *stored* (the counter keeps the true
+    total, so summaries stay exact on badly broken fabrics).
+    """
+
+    def __init__(self, max_diags_per_code: int = 25):
+        self.max_diags_per_code = max_diags_per_code
+        self.diagnostics: list[Diagnostic] = []
+        self.counts: dict[str, int] = {}
+
+    def add(self, diag: Diagnostic) -> None:
+        n = self.counts.get(diag.code, 0)
+        self.counts[diag.code] = n + 1
+        if n < self.max_diags_per_code:
+            self.diagnostics.append(diag)
+
+    def extend(self, diags: Iterable[Diagnostic]) -> None:
+        for d in diags:
+            self.add(d)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return sum(self.counts.values())
+
+    def by_code(self, code: str) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.code == code]
+
+    def codes(self) -> list[str]:
+        """Distinct codes present, sorted."""
+        return sorted(self.counts)
+
+    def count(self, severity: Severity) -> int:
+        return sum(1 for d in self.diagnostics if d.severity == severity)
+
+    @property
+    def max_severity(self) -> Severity | None:
+        if not self.diagnostics:
+            return None
+        return max(d.severity for d in self.diagnostics)
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity >= Severity.ERROR for d in self.diagnostics)
+
+    def exit_code(self) -> int:
+        """0 clean/info, 1 warnings only, 2 any error."""
+        worst = self.max_severity
+        if worst is None or worst <= Severity.INFO:
+            return 0
+        return 2 if worst >= Severity.ERROR else 1
+
+    # -- emitters ----------------------------------------------------------
+    def render_text(self) -> str:
+        lines = [d.render() for d in self.diagnostics]
+        for code in self.codes():
+            hidden = self.counts[code] - len(self.by_code(code))
+            if hidden > 0:
+                lines.append(f"{code} note: {hidden} further finding(s) "
+                             "suppressed (--max-diags)")
+        if not lines:
+            return "no findings"
+        return "\n".join(lines)
+
+    def to_json(self) -> list[dict[str, Any]]:
+        return [d.to_json() for d in self.diagnostics]
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "total": len(self),
+            "errors": self.count(Severity.ERROR),
+            "warnings": self.count(Severity.WARNING),
+            "info": self.count(Severity.INFO),
+            "codes": {c: self.counts[c] for c in self.codes()},
+            "exit_code": self.exit_code(),
+        }
+
+    def dumps(self) -> str:
+        return json.dumps(
+            {"diagnostics": self.to_json(), "summary": self.summary()},
+            indent=2,
+        )

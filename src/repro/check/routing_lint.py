@@ -1,0 +1,348 @@
+"""Forwarding-table lint (``RTE0xx``).
+
+All passes read the :class:`~repro.fabric.lft.ForwardingTables` of the
+context; none mutate it.  The heavy passes walk every (src, dst) pair
+through the tables with the vectorised path walker, so even the
+all-pairs checks stay a few NumPy calls:
+
+* ``RTE001``/``RTE002`` reachability (dead ends, loops),
+* ``RTE010`` up*/down* shape (no valleys) -- segmented-scan over the
+  all-pairs link walk,
+* ``RTE020`` channel-dependency-graph cycles (deadlock), reusing
+  :func:`repro.routing.deadlock.find_cycle`,
+* ``RTE030`` D-Mod-K conformance against the closed form of eq. (1),
+* ``RTE040`` theorem-2 down-port destination counts,
+* ``RTE041`` up-port destination balance,
+* ``RTE050`` non-minimal entries vs BFS distances.
+
+Artifacts published: ``hops`` (the hop matrix), ``cdg_dependencies``
+(count), ``down_port_counts``, ``theorem2_violations``,
+``up_balance_worst``, ``non_minimal_entries``, ``unreachable_entries``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.hsd import down_port_destination_counts, walk_flow_links
+from ..routing.deadlock import channel_dependencies, find_cycle
+from ..routing.minhop import bfs_distances
+from .diagnostics import Diagnostic, DiagnosticReport, Loc
+from .passes import CheckContext, CheckPass
+
+__all__ = [
+    "ReachabilityPass",
+    "UpDownPass",
+    "CdgCyclePass",
+    "DmodkConformancePass",
+    "DownPortBalancePass",
+    "UpPortBalancePass",
+    "MinimalityPass",
+    "sample_pairs",
+]
+
+
+def sample_pairs(n: int, sample: int | None, seed: int = 0
+                 ) -> tuple[np.ndarray, np.ndarray]:
+    """All (src, dst), src != dst, or a deterministic random subset."""
+    src = np.repeat(np.arange(n, dtype=np.int64), n)
+    dst = np.tile(np.arange(n, dtype=np.int64), n)
+    keep = src != dst
+    src, dst = src[keep], dst[keep]
+    if sample is not None and sample < len(src):
+        rng = np.random.default_rng(seed)
+        idx = rng.choice(len(src), size=sample, replace=False)
+        idx.sort()
+        src, dst = src[idx], dst[idx]
+    return src, dst
+
+
+def _link_loc(fab, gp: int, **extra) -> Loc:
+    owner = int(fab.port_owner[gp])
+    return Loc(switch=fab.node_names[owner], gport=int(gp),
+               port=int(fab.local_port(gp)), **extra)
+
+
+class ReachabilityPass(CheckPass):
+    """RTE001 dead ends / RTE002 loops, from the all-pairs hop matrix."""
+
+    name = "reachability"
+    needs_tables = True
+
+    def run(self, ctx: CheckContext, report: DiagnosticReport) -> None:
+        tables = ctx.tables
+        fab = ctx.fabric
+        hops = tables.paths_matrix()
+        ctx.artifacts["hops"] = hops
+        bad = np.argwhere(hops < 0)
+        for s, d in bad.tolist():
+            code, msg = self._classify(tables, int(s), int(d))
+            report.add(Diagnostic(code=code, message=msg,
+                                  loc=Loc(lid=int(d))))
+
+    @staticmethod
+    def _classify(tables, src: int, dst: int) -> tuple[str, str]:
+        """Re-trace one failing pair scalar-ly to name the failure."""
+        fab = tables.fabric
+        limit = 2 * (int(fab.node_level.max()) + 1) + 2
+        cur = int(fab.peer_node[int(tables.host_out_port(src, dst))])
+        for _ in range(limit):
+            if cur == dst:
+                break
+            if cur < 0:
+                return "RTE001", (
+                    f"route {src}->{dst} walks into a dead cable"
+                    " (stale tables on a degraded fabric?)")
+            gp = int(tables.out_port(cur, dst))
+            if gp < 0:
+                return "RTE001", (
+                    f"route {src}->{dst} dead-ends at {fab.node_names[cur]}"
+                    " (-1 LFT entry)")
+            cur = int(fab.peer_node[gp])
+        else:
+            return "RTE002", (
+                f"route {src}->{dst} exceeds {limit} hops without arriving"
+                " (forwarding loop)")
+        return "RTE001", f"route {src}->{dst} failed"   # pragma: no cover
+
+
+class UpDownPass(CheckPass):
+    """RTE010: every route must ascend then descend (no valleys).
+
+    Implemented as a segmented scan over the vectorised all-pairs link
+    walk: a hop that increases the level after any earlier decrease
+    within the same flow is a violation.
+    """
+
+    name = "up-down"
+    needs_tables = True
+
+    def __init__(self, sample: int | None = 250_000, seed: int = 0,
+                 strict: bool = False):
+        self.sample = sample
+        self.seed = seed
+        self.strict = strict
+
+    def run(self, ctx: CheckContext, report: DiagnosticReport) -> None:
+        tables = ctx.tables
+        fab = ctx.fabric
+        src, dst = sample_pairs(fab.num_endports, self.sample, self.seed)
+        try:
+            flow_idx, gports = walk_flow_links(tables, src, dst)
+        except ValueError:
+            if self.strict:
+                raise
+            return  # reachability pass owns broken walks
+        if not len(flow_idx):
+            return
+        order = np.lexsort((np.arange(len(flow_idx)), flow_idx))
+        f = flow_idx[order]
+        g = gports[order]
+        lvl = fab.node_level
+        lvl_from = lvl[fab.port_owner[g]]
+        lvl_to = lvl[fab.peer_node[g]]
+        down = lvl_to < lvl_from
+        up = lvl_to > lvl_from
+        starts = np.empty(len(f), dtype=bool)
+        starts[0] = True
+        starts[1:] = f[1:] != f[:-1]
+        cs = np.cumsum(down)
+        seg_base = np.repeat(
+            (cs - down)[starts], np.diff(np.flatnonzero(
+                np.r_[starts, True])))
+        descended_before = (cs - down) - seg_base
+        viol = up & (descended_before > 0)
+        for i in np.flatnonzero(viol).tolist():
+            fi = int(f[i])
+            report.add(Diagnostic(
+                code="RTE010",
+                message=(f"route {int(src[fi])}->{int(dst[fi])} ascends "
+                         f"from level {int(lvl_from[i])} to "
+                         f"{int(lvl_to[i])} after descending"),
+                loc=_link_loc(fab, int(g[i]), lid=int(dst[fi]),
+                              level=int(lvl_from[i])),
+            ))
+
+
+class CdgCyclePass(CheckPass):
+    """RTE020: the channel dependency graph must be acyclic."""
+
+    name = "cdg"
+    needs_tables = True
+
+    def run(self, ctx: CheckContext, report: DiagnosticReport) -> None:
+        tables = ctx.tables
+        fab = ctx.fabric
+        try:
+            deps = channel_dependencies(tables)
+        except ValueError:
+            return  # broken walks are reachability findings
+        ctx.artifacts["cdg_dependencies"] = len(deps)
+        cycle = find_cycle(deps)
+        if cycle is None:
+            return
+        desc = " -> ".join(
+            f"{fab.node_names[fab.port_owner[gp]]}[{int(fab.local_port(gp))}]"
+            for gp in cycle
+        )
+        report.add(Diagnostic(
+            code="RTE020",
+            message=f"channel dependency cycle: {desc}",
+            loc=_link_loc(fab, int(cycle[0])),
+            data={"cycle_gports": [int(gp) for gp in cycle]},
+        ))
+
+
+class DmodkConformancePass(CheckPass):
+    """RTE030: tables claiming to be D-Mod-K must equal eq. (1).
+
+    Rebuilds the closed-form reference tables for the fabric and diffs
+    every (switch, destination) entry.  Runs only when the context says
+    the tables came from the ``dmodk`` engine (or ``always=True``).
+    """
+
+    name = "dmodk-conformance"
+    needs_tables = True
+
+    def __init__(self, always: bool = False):
+        self.always = always
+
+    def applicable(self, ctx: CheckContext) -> bool:
+        if not super().applicable(ctx):
+            return False
+        if ctx.fabric.spec is None:
+            return False
+        return self.always or ctx.routing_name == "dmodk"
+
+    def run(self, ctx: CheckContext, report: DiagnosticReport) -> None:
+        from ..routing.dmodk import route_dmodk
+
+        tables = ctx.tables
+        fab = ctx.fabric
+        ref = route_dmodk(fab)
+        diff = np.argwhere(tables.switch_out != ref.switch_out)
+        ctx.artifacts["dmodk_mismatches"] = len(diff)
+        for row, dest in diff.tolist():
+            node = fab.num_endports + int(row)
+            have = int(tables.switch_out[row, dest])
+            want = int(ref.switch_out[row, dest])
+            report.add(Diagnostic(
+                code="RTE030",
+                message=(f"LFT entry for dest {dest} uses local port "
+                         f"{int(have - fab.port_start[node]) if have >= 0 else -1}, "
+                         f"eq. (1) mandates "
+                         f"{int(want - fab.port_start[node])}"),
+                loc=Loc(switch=fab.node_names[node], lid=int(dest),
+                        level=int(fab.node_level[node])),
+            ))
+        if tables.host_up is not None or ref.host_up is not None:
+            have_h = tables.host_up
+            want_h = ref.host_up
+            if have_h is None or want_h is None or not np.array_equal(
+                    have_h, want_h):
+                report.add(Diagnostic(
+                    code="RTE030",
+                    message="host up-port choices differ from eq. (1)",
+                ))
+
+
+class DownPortBalancePass(CheckPass):
+    """RTE040: theorem-2 -- at most one destination per down link."""
+
+    name = "down-balance"
+    needs_tables = True
+
+    def run(self, ctx: CheckContext, report: DiagnosticReport) -> None:
+        tables = ctx.tables
+        fab = ctx.fabric
+        try:
+            counts = down_port_destination_counts(tables)
+        except ValueError:
+            return
+        ctx.artifacts["down_port_counts"] = counts
+        ctx.artifacts["theorem2_violations"] = int((counts > 1).sum())
+        for gp in np.flatnonzero(counts > 1).tolist():
+            report.add(Diagnostic(
+                code="RTE040",
+                message=(f"down link carries {int(counts[gp])} distinct "
+                         "destinations (theorem 2 wants at most 1)"),
+                loc=_link_loc(fab, gp),
+            ))
+
+
+class UpPortBalancePass(CheckPass):
+    """RTE041: per-switch spread of destinations over up ports.
+
+    Publishes the worst skew ``(max-min)/mean`` as an artifact; emits a
+    warning per switch whose skew exceeds ``threshold``.
+    """
+
+    name = "up-balance"
+    needs_tables = True
+
+    def __init__(self, threshold: float = 0.5):
+        self.threshold = threshold
+
+    def run(self, ctx: CheckContext, report: DiagnosticReport) -> None:
+        tables = ctx.tables
+        fab = ctx.fabric
+        goes_up = fab.port_goes_up()
+        worst = 0.0
+        for row in range(fab.num_switches):
+            node = fab.num_endports + row
+            ports = fab.ports_of(node)
+            up_ports = ports[goes_up[ports]]
+            if len(up_ports) == 0:
+                continue
+            entries = tables.switch_out[row]
+            entries = entries[entries >= 0]
+            counts = np.array([(entries == gp).sum() for gp in up_ports],
+                              dtype=np.float64)
+            if counts.sum() == 0:
+                continue
+            skew = float((counts.max() - counts.min())
+                         / max(counts.mean(), 1e-12))
+            worst = max(worst, skew)
+            if skew > self.threshold:
+                report.add(Diagnostic(
+                    code="RTE041",
+                    message=(f"destinations spread unevenly over up ports "
+                             f"(skew {skew:.2f}, counts "
+                             f"{counts.astype(int).tolist()})"),
+                    loc=Loc(switch=fab.node_names[node],
+                            level=int(fab.node_level[node])),
+                ))
+        ctx.artifacts["up_balance_worst"] = worst
+
+
+class MinimalityPass(CheckPass):
+    """RTE050: every next hop must strictly reduce the BFS distance."""
+
+    name = "minimality"
+    needs_tables = True
+
+    def run(self, ctx: CheckContext, report: DiagnosticReport) -> None:
+        tables = ctx.tables
+        fab = ctx.fabric
+        N = fab.num_endports
+        sw_out = tables.switch_out
+        ctx.artifacts["unreachable_entries"] = int((sw_out < 0).sum())
+        dists = bfs_distances(fab, np.arange(N))
+        nodes = N + np.arange(fab.num_switches)
+        valid = sw_out >= 0
+        next_node = np.where(valid, fab.peer_node[np.where(valid, sw_out, 0)],
+                             -1)
+        d_here = dists[np.arange(N)[None, :], nodes[:, None]]
+        d_next = np.where(next_node >= 0,
+                          dists[np.arange(N)[None, :], next_node], -2)
+        non_min = valid & (d_next != d_here - 1)
+        ctx.artifacts["non_minimal_entries"] = int(non_min.sum())
+        for row, dest in np.argwhere(non_min).tolist():
+            node = N + int(row)
+            report.add(Diagnostic(
+                code="RTE050",
+                message=(f"next hop toward dest {dest} is at BFS distance "
+                         f"{int(d_next[row, dest])}, expected "
+                         f"{int(d_here[row, dest]) - 1}"),
+                loc=Loc(switch=fab.node_names[node], lid=int(dest)),
+            ))

@@ -1,0 +1,95 @@
+"""Collective-schedule lint (``SCH0xx``).
+
+Runs over the :class:`~repro.check.passes.ScheduleCase` list of the
+context: placements are validated against the fabric (``SCH001``,
+``SCH002``) and every CPS stage is checked against the paper's
+structural observations -- partial-permutation shape (``SCH010``) and
+constant displacement (``SCH020``, observation 1).  The displacement
+pass also publishes the CPS classification (unidirectional /
+bidirectional / mixed) as an artifact, reusing
+:mod:`repro.collectives.classify` -- the scattered ad-hoc checks now
+live behind one diagnostics surface.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..collectives.classify import (
+    classify,
+    has_constant_displacement,
+    stage_displacements,
+)
+from .diagnostics import Diagnostic, DiagnosticReport, Loc
+from .passes import CheckContext, CheckPass
+
+__all__ = ["PlacementLintPass", "StageLintPass"]
+
+
+class PlacementLintPass(CheckPass):
+    """SCH001 duplicate slots / SCH002 out-of-range ports."""
+
+    name = "placement"
+    needs_schedule = True
+
+    def run(self, ctx: CheckContext, report: DiagnosticReport) -> None:
+        n = ctx.fabric.num_endports
+        for case in ctx.schedule:
+            r2p = np.asarray(case.placement, dtype=np.int64)
+            used = r2p[r2p >= 0]
+            uniq, counts = np.unique(used, return_counts=True)
+            for port in uniq[counts > 1].tolist():
+                report.add(Diagnostic(
+                    code="SCH001",
+                    message=(f"{case.name()}: {int(counts[uniq == port][0])} "
+                             f"ranks share end-port {int(port)}"),
+                    loc=Loc(lid=int(port)),
+                ))
+            oob = used[(used >= n)]
+            low = r2p[r2p < -1]
+            for port in np.concatenate([oob, low]).tolist():
+                report.add(Diagnostic(
+                    code="SCH002",
+                    message=(f"{case.name()}: placement references end-port "
+                             f"{int(port)} outside 0..{n - 1}"),
+                    loc=Loc(lid=int(port)),
+                ))
+
+
+class StageLintPass(CheckPass):
+    """SCH010 non-permutation stages / SCH020 non-constant displacement."""
+
+    name = "stage"
+    needs_schedule = True
+
+    def run(self, ctx: CheckContext, report: DiagnosticReport) -> None:
+        classifications: dict[str, str] = {}
+        for case in ctx.schedule:
+            cps = case.cps
+            n = cps.num_ranks
+            classifications[case.name()] = classify(cps)
+            for i, st in enumerate(cps):
+                if len(st) == 0:
+                    continue
+                if not st.is_permutation():
+                    report.add(Diagnostic(
+                        code="SCH010",
+                        message=(f"{case.name()}: stage {i} "
+                                 f"({st.label or 'unlabelled'}) has a rank "
+                                 "sending or receiving twice"),
+                        loc=Loc(stage=i),
+                    ))
+                if not has_constant_displacement(st, n):
+                    disp = stage_displacements(st, n)
+                    shown = disp[:8].tolist()
+                    report.add(Diagnostic(
+                        code="SCH020",
+                        message=(f"{case.name()}: stage {i} mixes "
+                                 f"{len(disp)} displacements "
+                                 f"{shown}{'...' if len(disp) > 8 else ''} "
+                                 "(observation 1 expects one, or a "
+                                 "bidirectional pair)"),
+                        loc=Loc(stage=i),
+                        data={"displacements": shown},
+                    ))
+        ctx.artifacts["cps_classification"] = classifications

@@ -1,0 +1,140 @@
+"""Wiring lint (``FAB0xx``): is the physical fabric what it claims to be?
+
+Checks run on the bare :class:`~repro.fabric.model.Fabric` -- no
+forwarding tables needed:
+
+* ``FAB001`` cable asymmetry (``port_peer`` is not an involution),
+* ``FAB002`` duplicate node names (the GUID-collision analogue),
+* ``FAB003`` cables that skip levels or connect equals (never valid in
+  a levelled fat-tree),
+* ``FAB004`` dangling switch ports (error when a PGFT spec says the
+  port must be wired, warning otherwise),
+* ``FAB006`` end-ports with no cable at all,
+* ``FAB005`` wiring vs declared PGFT tuple: the parallel-port
+  connection rule, verified structurally via
+  :func:`~repro.topology.discover.discover_pgft`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..topology.discover import DiscoveryError, discover_pgft
+from .diagnostics import Diagnostic, DiagnosticReport, Loc, Severity
+from .passes import CheckContext, CheckPass
+
+__all__ = ["WiringLintPass", "SpecConformancePass"]
+
+
+class WiringLintPass(CheckPass):
+    """Structural cable checks: FAB001-FAB004, FAB006."""
+
+    name = "wiring"
+
+    def run(self, ctx: CheckContext, report: DiagnosticReport) -> None:
+        fab = ctx.fabric
+        peer = fab.port_peer
+        connected = np.flatnonzero(peer >= 0)
+
+        # FAB001: symmetry of the cable relation.
+        bad = connected[peer[peer[connected]] != connected]
+        for gp in bad.tolist():
+            owner = int(fab.port_owner[gp])
+            report.add(Diagnostic(
+                code="FAB001",
+                message=(f"cable of port {gp} is asymmetric: far end "
+                         f"{int(peer[gp])} points at {int(peer[peer[gp]])}"),
+                loc=Loc(node=fab.node_names[owner], gport=gp,
+                        port=int(fab.local_port(gp))),
+            ))
+
+        # FAB002: duplicate node names.
+        seen: dict[str, int] = {}
+        for v, name in enumerate(fab.node_names):
+            if name in seen:
+                report.add(Diagnostic(
+                    code="FAB002",
+                    message=(f"node name {name!r} used by nodes "
+                             f"{seen[name]} and {v}"),
+                    loc=Loc(node=name),
+                ))
+            else:
+                seen[name] = v
+
+        # FAB003: every cable must span exactly one level.
+        lvl = fab.node_level
+        src_lvl = lvl[fab.port_owner[connected]]
+        dst_lvl = lvl[fab.peer_node[connected]]
+        skewed = connected[np.abs(src_lvl - dst_lvl) != 1]
+        for gp in skewed.tolist():
+            if int(peer[gp]) < gp:   # report each cable once
+                continue
+            a = int(fab.port_owner[gp])
+            b = int(fab.peer_node[gp])
+            report.add(Diagnostic(
+                code="FAB003",
+                message=(f"cable {fab.node_names[a]}[{int(fab.local_port(gp))}]"
+                         f" -- {fab.node_names[b]} connects level {int(lvl[a])}"
+                         f" to level {int(lvl[b])}"),
+                loc=Loc(node=fab.node_names[a], gport=gp,
+                        level=int(lvl[a])),
+            ))
+
+        # FAB004 / FAB006: dangling ports.
+        dangling = np.flatnonzero(peer < 0)
+        host_sev = Severity.ERROR
+        sw_sev = Severity.ERROR if fab.spec is not None else Severity.WARNING
+        hosts_hit = set()
+        for gp in dangling.tolist():
+            owner = int(fab.port_owner[gp])
+            if owner < fab.num_endports:
+                hosts_hit.add(owner)
+                continue
+            report.add(Diagnostic(
+                code="FAB004",
+                severity=sw_sev,
+                message=(f"switch port {fab.node_names[owner]}"
+                         f"[{int(fab.local_port(gp))}] has no cable"),
+                loc=Loc(switch=fab.node_names[owner], gport=gp,
+                        port=int(fab.local_port(gp))),
+            ))
+        for owner in sorted(hosts_hit):
+            # A host is only unreachable when *all* its ports are dead.
+            ports = fab.ports_of(owner)
+            if (peer[ports] < 0).all():
+                report.add(Diagnostic(
+                    code="FAB006",
+                    severity=host_sev,
+                    message=f"end-port {fab.node_names[owner]} has no cable",
+                    loc=Loc(node=fab.node_names[owner], lid=owner),
+                ))
+
+
+class SpecConformancePass(CheckPass):
+    """FAB005: the wiring must realise the declared PGFT tuple.
+
+    Uses structural discovery (complete-bipartite sibling blocks with
+    uniform parallel-cable counts), so crossed cables that preserve
+    levels and port counts are still caught.
+    """
+
+    name = "spec-conformance"
+
+    def run(self, ctx: CheckContext, report: DiagnosticReport) -> None:
+        fab = ctx.fabric
+        if fab.spec is None:
+            return
+        try:
+            found = discover_pgft(fab)
+        except DiscoveryError as exc:
+            report.add(Diagnostic(
+                code="FAB005",
+                message=f"wiring is not a valid PGFT: {exc}",
+            ))
+            return
+        if found != fab.spec:
+            report.add(Diagnostic(
+                code="FAB005",
+                message=(f"wiring realises {found}, but the fabric declares "
+                         f"{fab.spec}"),
+            ))

@@ -33,6 +33,7 @@ from .common import (
     get_topology,
     make_parser,
     make_sweeper,
+    precheck,
     runtime_summary,
     sampled_shift,
 )
@@ -73,10 +74,13 @@ def _router_cell(fab, r_name, cps, order, seed):
 
 
 def run(topo: str = "n324", seed: int = 0, max_shift_stages: int = 32,
-        jobs: int | None = 1, use_cache: bool = False, cache_dir=None) -> str:
+        jobs: int | None = 1, use_cache: bool = False, cache_dir=None,
+        check: bool = False) -> str:
     sweeper = make_sweeper(jobs=jobs, use_cache=use_cache, cache_dir=cache_dir)
     spec = get_topology(topo)
     fab = build_fabric(spec)
+    if check:
+        precheck(route_dmodk(fab), routing_name="dmodk", label=topo)
     n = spec.num_endports
     cps = sampled_shift(n, max_shift_stages)
     orders = {
@@ -163,7 +167,7 @@ def main(argv=None) -> None:
     print(run(topo=args.topo, seed=args.seed,
               max_shift_stages=args.max_shift_stages,
               jobs=args.jobs, use_cache=not args.no_cache,
-              cache_dir=args.cache_dir))
+              cache_dir=args.cache_dir, check=args.check))
 
 
 if __name__ == "__main__":

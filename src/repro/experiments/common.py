@@ -37,6 +37,7 @@ __all__ = [
     "make_parser",
     "add_runtime_args",
     "make_sweeper",
+    "precheck",
     "runtime_summary",
     "DEFAULT_SEED",
 ]
@@ -97,7 +98,33 @@ def add_runtime_args(parser: argparse.ArgumentParser) -> argparse.ArgumentParser
         "--cache-dir", default=None, metavar="DIR",
         help="cache directory (default: $REPRO_CACHE_DIR or"
              " ~/.cache/repro/sweeps)")
+    parser.add_argument(
+        "--check", action="store_true",
+        help="pre-flight every routed table set through the repro.check"
+             " static analyzer before sweeping (abort on errors)")
     return parser
+
+
+def precheck(tables, routing_name: str = "", label: str = "") -> None:
+    """Gate a driver's input tables through the static analyzer.
+
+    Runs the fast ``repro.check`` subset (wiring, reachability,
+    up*/down*, CDG, D-Mod-K conformance, theorem 2) and aborts the
+    experiment with the findings if any *error* is reported -- hours of
+    sweep compute should not be spent on a miswired or misrouted fabric.
+    Warnings are printed but do not abort.
+    """
+    from ..check import precheck_tables
+
+    result = precheck_tables(tables, routing_name=routing_name)
+    tag = f" [{label}]" if label else ""
+    if len(result.report):
+        print(f"repro.check{tag}:")
+        print(result.report.render_text())
+    if result.report.has_errors:
+        raise SystemExit(
+            f"repro.check{tag}: input tables failed the pre-flight check "
+            f"({result.report.summary()['errors']} error(s)); aborting")
 
 
 def make_sweeper(jobs: int | None = 1, use_cache: bool = False,

@@ -19,6 +19,7 @@ from .common import (
     get_topology,
     make_parser,
     make_sweeper,
+    precheck,
     runtime_summary,
 )
 
@@ -35,6 +36,7 @@ def run(
     jobs: int | None = 1,
     use_cache: bool = False,
     cache_dir=None,
+    check: bool = False,
 ) -> str:
     sweeper = make_sweeper(jobs=jobs, use_cache=use_cache, cache_dir=cache_dir)
     factories = figure3_cps_factories(max_shift_stages)
@@ -42,6 +44,8 @@ def run(
     for name in topos:
         spec = get_topology(name)
         tables = route_dmodk(build_fabric(spec))
+        if check:
+            precheck(tables, routing_name="dmodk", label=name)
         for cps_name, factory in factories.items():
             res = sweeper.order_sweep(
                 tables, factory, num_orders=num_orders, seed=seed
@@ -70,7 +74,7 @@ def main(argv=None) -> None:
     print(run(topos=args.topos, num_orders=args.orders,
               max_shift_stages=args.max_shift_stages, seed=args.seed,
               jobs=args.jobs, use_cache=not args.no_cache,
-              cache_dir=args.cache_dir))
+              cache_dir=args.cache_dir, check=args.check))
 
 
 if __name__ == "__main__":

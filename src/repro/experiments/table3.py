@@ -30,6 +30,7 @@ from .common import (
     get_topology,
     make_parser,
     make_sweeper,
+    precheck,
     runtime_summary,
     sampled_shift,
 )
@@ -54,14 +55,19 @@ def run(
     jobs: int | None = 1,
     use_cache: bool = False,
     cache_dir=None,
+    check: bool = False,
 ) -> str:
     sweeper = make_sweeper(jobs=jobs, use_cache=use_cache, cache_dir=cache_dir)
     rows = []
     rng = np.random.default_rng(seed)
+    checked: set[str] = set()
     for topo_name, excluded in cases:
         spec = get_topology(topo_name)
         n_full = spec.num_endports
         tables = route_dmodk(build_fabric(spec))
+        if check and topo_name not in checked:
+            checked.add(topo_name)
+            precheck(tables, routing_name="dmodk", label=topo_name)
         if excluded:
             active = np.sort(rng.permutation(n_full)[: n_full - excluded])
         else:
@@ -105,7 +111,7 @@ def main(argv=None) -> None:
     print(run(num_random_orders=args.orders,
               max_shift_stages=args.max_shift_stages, seed=args.seed,
               jobs=args.jobs, use_cache=not args.no_cache,
-              cache_dir=args.cache_dir))
+              cache_dir=args.cache_dir, check=args.check))
 
 
 if __name__ == "__main__":

@@ -94,12 +94,19 @@ class ForwardingTables:
         cur[active] = fab.peer_node[gp[active]]
         hops[active] = 1
         for _ in range(limit):
+            # Routes that walked into a dead cable (next node -1, e.g.
+            # stale tables on a degraded fabric) are unreachable -- they
+            # must not index the switch rows.
+            dead = active & (cur < 0)
+            if dead.any():
+                hops[dead] = -1
+                active &= ~dead
             active &= cur != dst
             if not active.any():
                 break
             gp = self.out_port(cur[active], dst[active])
             bad = gp < 0
-            nxt = np.where(bad, cur[active], fab.peer_node[gp])
+            nxt = np.where(bad, cur[active], fab.peer_node[np.where(bad, 0, gp)])
             cur[active] = nxt
             hops[active] += 1
             if bad.any():

@@ -221,7 +221,8 @@ class Communicator:
                 owned[j] |= received[j]
             carry = received
             ledger.commit()
-        assert all(len(o) == n for o in owned)
+        if not all(len(o) == n for o in owned):
+            raise RuntimeError("allgather ring failed to cover all ranks")
         values = [np.concatenate([chunks[c] for c in range(n)])
                   for _ in range(n)]
         return values
@@ -465,7 +466,7 @@ class Communicator:
         values = [bufs[r].copy() if r in owned[r] else None
                   for r in range(n)]
         if any(v is None for v in values):
-            raise AssertionError("scatter tree failed to cover all ranks")
+            raise RuntimeError("scatter tree failed to cover all ranks")
         return CollectiveResult(
             name="scatter", algorithm="binomial", values=values,
             time_us=self._price(ledger), num_stages=len(ledger.stages),

@@ -49,7 +49,8 @@ def ring_successor_permutation(spec: PGFTSpec) -> np.ndarray:
         g = L // m
         for c in range(m):
             members = np.arange(c, L, m)  # leaves with residue class c
-            assert len(members) == g
+            if len(members) != g:
+                raise RuntimeError("residue class size mismatch")
             for i, b in enumerate(members):
                 # Chunk of m leaves, rotated by one chunk to avoid b itself
                 # (impossible only when g == 1, where one self-flow remains).
@@ -71,7 +72,7 @@ def ring_successor_permutation(spec: PGFTSpec) -> np.ndarray:
                 claimed[l, c] = True
                 succ[b * m + t] = l * m + c
     if (succ < 0).any() or len(np.unique(succ)) != N:
-        raise AssertionError("successor map is not a permutation")
+        raise RuntimeError("successor map is not a permutation")
     return succ
 
 

@@ -92,7 +92,10 @@ def build_pgft_tables(
         if level == spec.h:
             local = down_local
             if not anc.all():
-                raise AssertionError("top-level switches must reach everything")
+                from .validate import RoutingError
+
+                raise RoutingError(
+                    "top-level switches must reach everything")
         else:
             up = np.broadcast_to(
                 np.asarray(up_choice(level, sw[:, None], dest[None, :])), (S, N)

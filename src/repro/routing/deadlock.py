@@ -90,8 +90,15 @@ def find_cycle(deps: set[tuple[int, int]]) -> list[int] | None:
 
 
 def assert_deadlock_free(tables: ForwardingTables) -> int:
-    """Raise ``AssertionError`` with the offending cycle if the CDG has
-    one; returns the number of dependencies otherwise."""
+    """Raise :class:`~repro.routing.validate.RoutingError` with the
+    offending cycle if the CDG has one; returns the number of
+    dependencies otherwise.
+
+    (Despite the historical name this does not use ``assert`` -- the
+    check survives ``python -O``.)
+    """
+    from .validate import RoutingError
+
     deps = channel_dependencies(tables)
     cycle = find_cycle(deps)
     if cycle is not None:
@@ -100,5 +107,5 @@ def assert_deadlock_free(tables: ForwardingTables) -> int:
             f"{fab.node_names[fab.port_owner[gp]]}[{int(fab.local_port(gp))}]"
             for gp in cycle
         )
-        raise AssertionError(f"channel dependency cycle: {desc}")
+        raise RoutingError(f"channel dependency cycle: {desc}")
     return len(deps)

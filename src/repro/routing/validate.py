@@ -1,19 +1,23 @@
 """Routing validators: reachability, up*/down* shape, theorem-2 checks.
 
 These are the safety nets every routing engine is run through in the
-test suite:
+test suite.  They are thin *raising* wrappers over the corresponding
+:mod:`repro.check` passes -- one implementation of each invariant lives
+in the analyzer, and these entry points keep the historical
+raise-on-first-violation API:
 
 * :func:`check_reachability` -- every (src, dst) pair terminates within
-  the tree diameter; returns the hop-count matrix.
+  the tree diameter (``RTE001``/``RTE002``); returns the hop-count
+  matrix.
 * :func:`check_up_down` -- every path ascends zero or more levels and
-  then descends (no "valleys"), the classic deadlock-freedom shape for
-  fat-tree routing.
+  then descends (no "valleys", ``RTE010``), the classic
+  deadlock-freedom shape for fat-tree routing.
 * :func:`down_port_destinations` -- per down-going directed link, the
-  set size of destinations whose (unique, destination-based) route uses
+  number of destinations whose (unique, destination-based) route uses
   it; theorem 2 states D-Mod-K yields at most one on complete RLFTs.
-* :func:`top_switch_of` -- the top-level switch carrying all traffic to
-  each destination (lemma 5) -- ``None``-free only for tree-shaped
-  tables.
+  This is the deliberately scalar *reference* walker that
+  cross-validates the vectorised
+  :func:`repro.analysis.hsd.down_port_destination_counts`.
 """
 
 from __future__ import annotations
@@ -31,8 +35,32 @@ __all__ = [
 ]
 
 
-class RoutingError(AssertionError):
-    """A routing invariant was violated."""
+class RoutingError(Exception):
+    """A routing invariant was violated.
+
+    Deliberately **not** an ``AssertionError`` subclass: ``python -O``
+    strips ``assert`` statements, and an exception type rooted in
+    ``AssertionError`` invites callers to guard these checks the same
+    way.  The validators must keep firing in optimised runs.
+    """
+
+
+def _lint(tables: ForwardingTables, passes):
+    """Run check passes over ``tables``; raise :class:`RoutingError`
+    with the first error finding, return the pass artifacts."""
+    # Imported lazily: repro.check imports routing primitives at module
+    # level, so the reverse edge must not exist at import time.
+    from ..check.diagnostics import DiagnosticReport
+    from ..check.passes import CheckContext
+
+    ctx = CheckContext.for_tables(tables)
+    report = DiagnosticReport()
+    for p in passes:
+        if p.applicable(ctx):
+            p.run(ctx, report)
+    if report.has_errors:
+        raise RoutingError(report.diagnostics[0].render())
+    return ctx.artifacts
 
 
 def trace_route(tables: ForwardingTables, src: int, dst: int,
@@ -48,6 +76,9 @@ def trace_route(tables: ForwardingTables, src: int, dst: int,
     for _ in range(max_hops):
         if cur == dst:
             return path
+        if cur < 0:
+            raise RoutingError(
+                f"route {src}->{dst} walks into a dead cable")
         gp = int(tables.out_port(cur, dst))
         if gp < 0:
             raise RoutingError(f"dead end at node {cur} toward {dst}")
@@ -58,11 +89,10 @@ def trace_route(tables: ForwardingTables, src: int, dst: int,
 
 def check_reachability(tables: ForwardingTables) -> np.ndarray:
     """Hop-count matrix; raises :class:`RoutingError` on any failure."""
-    hops = tables.paths_matrix()
-    if (hops < 0).any():
-        bad = np.argwhere(hops < 0)[0]
-        raise RoutingError(f"unreachable pair src={bad[0]} dst={bad[1]}")
-    return hops
+    from ..check.routing_lint import ReachabilityPass
+
+    artifacts = _lint(tables, [ReachabilityPass()])
+    return artifacts["hops"]
 
 
 def check_up_down(tables: ForwardingTables, sample: int | None = None,
@@ -72,25 +102,13 @@ def check_up_down(tables: ForwardingTables, sample: int | None = None,
     ``sample`` bounds the number of (src, dst) pairs checked on large
     fabrics; ``None`` checks all pairs.
     """
-    fab = tables.fabric
-    N = fab.num_endports
-    pairs = [(s, d) for s in range(N) for d in range(N) if s != d]
-    if sample is not None and sample < len(pairs):
-        rng = np.random.default_rng(seed)
-        idx = rng.choice(len(pairs), size=sample, replace=False)
-        pairs = [pairs[i] for i in idx]
-    lvl = fab.node_level
-    for s, d in pairs:
-        path = trace_route(tables, s, d)
-        levels = [int(lvl[fab.port_owner[gp]]) for gp in path] + [0]
-        went_down = False
-        for a, b in zip(levels, levels[1:]):
-            if b > a and went_down:
-                raise RoutingError(
-                    f"route {s}->{d} ascends after descending: levels {levels}"
-                )
-            if b < a:
-                went_down = True
+    from ..check.routing_lint import UpDownPass
+
+    try:
+        _lint(tables, [UpDownPass(sample=sample, seed=seed, strict=True)])
+    except ValueError as exc:
+        # strict walks surface broken routes (dead ends / loops) here
+        raise RoutingError(str(exc)) from exc
 
 
 def down_port_destinations(tables: ForwardingTables) -> np.ndarray:

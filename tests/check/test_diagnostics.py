@@ -1,0 +1,109 @@
+"""Diagnostic framework: codes, severities, emitters, exit codes."""
+
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.check import CODES, Diagnostic, DiagnosticReport, Loc, Severity
+from repro.check.diagnostics import describe_code
+
+DOCS = Path(__file__).resolve().parents[2] / "docs"
+
+CODE_RE = re.compile(r"\b(?:FAB|RTE|SCH|CFC)\d{3}\b")
+
+
+class TestCatalogue:
+    def test_all_codes_have_severity_and_description(self):
+        for code, (sev, desc) in CODES.items():
+            assert isinstance(sev, Severity)
+            assert len(desc) > 20, f"{code} description too thin"
+
+    def test_code_namespaces(self):
+        for code in CODES:
+            assert CODE_RE.fullmatch(code), code
+
+    def test_describe_code(self):
+        assert "cable" in describe_code("FAB001").lower()
+
+    def test_docs_checks_md_in_sync(self):
+        """docs/CHECKS.md documents exactly the registered codes."""
+        text = (DOCS / "CHECKS.md").read_text()
+        documented = set(CODE_RE.findall(text))
+        assert documented == set(CODES), (
+            f"missing from docs: {sorted(set(CODES) - documented)}; "
+            f"stale in docs: {sorted(documented - set(CODES))}")
+
+
+class TestDiagnostic:
+    def test_unregistered_code_rejected(self):
+        with pytest.raises(ValueError, match="unregistered"):
+            Diagnostic(code="XYZ999", message="nope")
+
+    def test_default_severity_from_catalogue(self):
+        d = Diagnostic(code="FAB001", message="m")
+        assert d.severity == Severity.ERROR
+        d = Diagnostic(code="RTE040", message="m")
+        assert d.severity == Severity.WARNING
+
+    def test_severity_override(self):
+        d = Diagnostic(code="FAB004", message="m", severity=Severity.ERROR)
+        assert d.severity == Severity.ERROR
+
+    def test_render_includes_loc(self):
+        d = Diagnostic(code="CFC001", message="boom",
+                       loc=Loc(switch="SW1-0000", port=3, stage=7))
+        line = d.render()
+        assert "CFC001" in line and "error" in line
+        assert "switch=SW1-0000" in line and "stage=7" in line
+
+    def test_to_json_drops_unset_loc(self):
+        d = Diagnostic(code="RTE001", message="m")
+        assert "loc" not in d.to_json()
+        d = Diagnostic(code="RTE001", message="m", loc=Loc(lid=5))
+        assert d.to_json()["loc"] == {"lid": 5}
+
+
+class TestReport:
+    def _mk(self, *codes, cap=25):
+        rep = DiagnosticReport(max_diags_per_code=cap)
+        for c in codes:
+            rep.add(Diagnostic(code=c, message="m"))
+        return rep
+
+    def test_exit_code_clean(self):
+        assert self._mk().exit_code() == 0
+
+    def test_exit_code_info(self):
+        assert self._mk("CFC002").exit_code() == 0
+
+    def test_exit_code_warning(self):
+        assert self._mk("RTE040", "CFC002").exit_code() == 1
+
+    def test_exit_code_error_dominates(self):
+        assert self._mk("RTE040", "FAB001").exit_code() == 2
+
+    def test_storage_cap_keeps_exact_counts(self):
+        rep = self._mk(*["RTE040"] * 40, cap=5)
+        assert len(rep.diagnostics) == 5
+        assert len(rep) == 40
+        assert rep.counts["RTE040"] == 40
+        assert "35 further finding(s) suppressed" in rep.render_text()
+
+    def test_render_text_empty(self):
+        assert self._mk().render_text() == "no findings"
+
+    def test_summary_and_dumps(self):
+        rep = self._mk("FAB001", "RTE040", "RTE040")
+        s = rep.summary()
+        assert s["errors"] == 1 and s["warnings"] == 2
+        assert s["codes"] == {"FAB001": 1, "RTE040": 2}
+        parsed = json.loads(rep.dumps())
+        assert parsed["summary"]["exit_code"] == 2
+        assert len(parsed["diagnostics"]) == 3
+
+    def test_by_code_and_codes(self):
+        rep = self._mk("FAB001", "RTE040")
+        assert rep.codes() == ["FAB001", "RTE040"]
+        assert len(rep.by_code("FAB001")) == 1

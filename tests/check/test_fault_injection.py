@@ -1,0 +1,129 @@
+"""Fault injection: every corruption maps to its documented code.
+
+Four independent faults -- a swapped LFT entry, crossed cables, a
+dropped link with stale tables, and a permuted CPS stage -- each must be
+caught by the expected diagnostic code, and none may yield a false
+"certified" verdict (zero certificates in every corrupted run).
+"""
+
+import numpy as np
+import pytest
+
+from repro.check import CheckContext, ScheduleCase, run_check
+from repro.collectives.cps import CPS, Stage, dissemination, shift
+from repro.fabric import ForwardingTables, build_fabric
+from repro.fabric.model import Fabric
+from repro.ordering import topology_order
+from repro.routing import route_dmodk
+from repro.topology import pgft
+
+SPEC = pgft(2, [4, 4], [1, 4], [1, 1])
+
+
+@pytest.fixture
+def fabric():
+    return build_fabric(SPEC)
+
+
+@pytest.fixture
+def tables(fabric):
+    return route_dmodk(fabric)
+
+
+def check(tables, cps=None, routing_name="dmodk"):
+    n = tables.fabric.num_endports
+    cases = []
+    if cps is not None:
+        cases = [ScheduleCase(cps, topology_order(n), "probe")]
+    ctx = CheckContext.for_tables(tables, routing_name=routing_name,
+                                  schedule=cases)
+    return run_check(ctx)
+
+
+def test_clean_baseline_certifies(tables):
+    n = tables.fabric.num_endports
+    result = check(tables, cps=shift(n))
+    assert result.exit_code() == 0
+    assert len(result.certificates) == 1
+
+
+def test_swapped_lft_entries_are_rte030(tables):
+    broken = ForwardingTables(fabric=tables.fabric,
+                              switch_out=tables.switch_out.copy(),
+                              host_up=tables.host_up)
+    broken.switch_out[2, 0], broken.switch_out[2, 1] = (
+        broken.switch_out[2, 1], broken.switch_out[2, 0])
+    n = broken.fabric.num_endports
+    result = check(broken, cps=shift(n))
+    assert "RTE030" in result.report.codes()
+    assert "CFC001" in result.report.codes()
+    assert result.exit_code() == 2
+    assert result.certificates == []
+
+
+def test_crossed_cables_are_fab005(fabric):
+    # Swap two up-cables from *different* leaves to *different* spines:
+    # a genuine wiring error (same-leaf or same-spine swaps produce an
+    # isomorphic valid fabric that discovery accepts).
+    n = fabric.num_endports
+    ups = np.flatnonzero(fabric.port_goes_up() & (fabric.port_owner >= n))
+    owners = fabric.port_owner[ups]
+    spines = fabric.port_owner[fabric.port_peer[ups]]
+    sel = np.flatnonzero((owners != owners[0]) & (spines != spines[0]))
+    a, b = int(ups[0]), int(ups[sel[0]])
+    peer = fabric.port_peer.copy()
+    pa, pb = int(peer[a]), int(peer[b])
+    peer[a], peer[pb] = pb, a
+    peer[b], peer[pa] = pa, b
+    crossed = Fabric(num_endports=n, node_level=fabric.node_level.copy(),
+                     port_start=fabric.port_start, port_peer=peer,
+                     spec=fabric.spec, node_names=list(fabric.node_names))
+    tables = route_dmodk(build_fabric(SPEC))
+    rewired_tables = ForwardingTables(fabric=crossed,
+                                      switch_out=tables.switch_out.copy(),
+                                      host_up=tables.host_up)
+    result = check(rewired_tables, cps=shift(n))
+    assert "FAB005" in result.report.codes()
+    assert result.exit_code() == 2
+    assert result.certificates == []
+
+
+def test_dropped_link_stale_tables_are_fab004_rte001(fabric, tables):
+    ups = np.flatnonzero(fabric.port_goes_up()
+                         & (fabric.port_owner >= fabric.num_endports))
+    degraded = fabric.with_failed_cables(ups[[0]])
+    stale = ForwardingTables(fabric=degraded,
+                             switch_out=tables.switch_out.copy(),
+                             host_up=tables.host_up)
+    n = degraded.num_endports
+    result = check(stale, cps=shift(n))
+    codes = result.report.codes()
+    assert "FAB004" in codes   # dangling port vs the declared spec
+    assert "RTE001" in codes   # routes walk into the dead cable
+    assert result.exit_code() == 2
+    assert result.certificates == []
+
+
+def test_permuted_stage_is_sch020_and_refuted(tables):
+    n = tables.fabric.num_endports
+    cps = dissemination(n)
+    rng = np.random.default_rng(0)
+    dst = rng.permutation(n)
+    while (dst == np.arange(n)).any():
+        dst = rng.permutation(n)
+    pairs = np.stack([np.arange(n), dst], axis=1).astype(np.int64)
+    mutated = CPS(cps.name, n,
+                  cps.stages[:3] + (Stage(pairs, label="permuted"),)
+                  + cps.stages[4:])
+    result = check(tables, cps=mutated)
+    codes = result.report.codes()
+    assert "SCH020" in codes
+    assert "CFC001" in codes
+    assert result.certificates == []
+
+
+def test_faults_map_to_distinct_codes():
+    """The four faults are distinguishable by their primary code."""
+    primary = {"lft-swap": "RTE030", "crossed-cables": "FAB005",
+               "dropped-link": "FAB004", "permuted-stage": "SCH020"}
+    assert len(set(primary.values())) == 4

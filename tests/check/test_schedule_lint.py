@@ -1,0 +1,101 @@
+"""Collective-schedule lint (SCH0xx)."""
+
+import numpy as np
+import pytest
+
+from repro.check import (
+    CheckContext,
+    DiagnosticReport,
+    PlacementLintPass,
+    ScheduleCase,
+    StageLintPass,
+)
+from repro.collectives.cps import CPS, Stage, dissemination, ring, shift
+from repro.fabric import build_fabric
+from repro.ordering import random_order, topology_order
+from repro.routing import route_dmodk
+from repro.topology import pgft
+
+
+@pytest.fixture
+def tables():
+    return route_dmodk(build_fabric(pgft(2, [4, 4], [1, 4], [1, 1])))
+
+
+def lint(tables, cases, passes=None):
+    ctx = CheckContext.for_tables(tables, schedule=cases)
+    report = DiagnosticReport()
+    for p in passes or [PlacementLintPass(), StageLintPass()]:
+        if p.applicable(ctx):
+            p.run(ctx, report)
+    return ctx, report
+
+
+class TestPlacement:
+    def test_clean_orders(self, tables):
+        n = tables.fabric.num_endports
+        cases = [ScheduleCase(shift(n), topology_order(n), "shift/topo"),
+                 ScheduleCase(shift(n), random_order(n, seed=2),
+                              "shift/random")]
+        _, report = lint(tables, cases, passes=[PlacementLintPass()])
+        assert len(report) == 0
+
+    def test_minus_one_slots_allowed(self, tables):
+        n = tables.fabric.num_endports
+        order = topology_order(n)
+        order[3] = -1
+        _, report = lint(tables, [ScheduleCase(shift(n), order)],
+                         passes=[PlacementLintPass()])
+        assert len(report) == 0
+
+    def test_duplicate_port_is_sch001(self, tables):
+        n = tables.fabric.num_endports
+        order = topology_order(n)
+        order[1] = order[0]
+        _, report = lint(tables, [ScheduleCase(shift(n), order)],
+                         passes=[PlacementLintPass()])
+        assert "SCH001" in report.codes()
+        assert report.by_code("SCH001")[0].loc.lid == int(order[0])
+
+    def test_out_of_range_is_sch002(self, tables):
+        n = tables.fabric.num_endports
+        order = topology_order(n)
+        order[0] = n + 7
+        order[1] = -5
+        _, report = lint(tables, [ScheduleCase(shift(n), order)],
+                         passes=[PlacementLintPass()])
+        assert report.counts.get("SCH002", 0) == 2
+
+
+class TestStages:
+    def test_paper_collectives_clean(self, tables):
+        n = tables.fabric.num_endports
+        cases = [ScheduleCase(cps, topology_order(n))
+                 for cps in (shift(n), ring(n), dissemination(n))]
+        ctx, report = lint(tables, cases, passes=[StageLintPass()])
+        assert len(report) == 0
+        cls = ctx.artifacts["cps_classification"]
+        assert cls["shift"] == "unidirectional"
+
+    def test_double_sender_is_sch010(self, tables):
+        n = tables.fabric.num_endports
+        pairs = np.array([[0, 1], [0, 2]], dtype=np.int64)
+        cps = CPS("double-send", n, [Stage(pairs, label="dup")])
+        _, report = lint(tables, [ScheduleCase(cps, topology_order(n))],
+                         passes=[StageLintPass()])
+        assert "SCH010" in report.codes()
+        assert report.by_code("SCH010")[0].loc.stage == 0
+
+    def test_random_destinations_are_sch020(self, tables):
+        n = tables.fabric.num_endports
+        rng = np.random.default_rng(5)
+        dst = rng.permutation(n)
+        while (dst == np.arange(n)).any():
+            dst = rng.permutation(n)
+        pairs = np.stack([np.arange(n), dst], axis=1).astype(np.int64)
+        cps = CPS("scramble", n, [Stage(pairs, label="rand")])
+        _, report = lint(tables, [ScheduleCase(cps, topology_order(n))],
+                         passes=[StageLintPass()])
+        diags = report.by_code("SCH020")
+        assert diags and diags[0].loc.stage == 0
+        assert len(diags[0].data["displacements"]) > 1

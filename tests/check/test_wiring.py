@@ -1,0 +1,132 @@
+"""Wiring lint (FAB0xx) over corrupted fabric models."""
+
+import numpy as np
+import pytest
+
+from repro.check import (
+    CheckContext,
+    DiagnosticReport,
+    Severity,
+    SpecConformancePass,
+    WiringLintPass,
+    run_check,
+)
+from repro.fabric import build_fabric
+from repro.fabric.model import Fabric
+from repro.topology import pgft
+
+
+def rewired(fab, peer, spec="keep"):
+    """Copy ``fab`` with a different port_peer array."""
+    return Fabric(
+        num_endports=fab.num_endports,
+        node_level=fab.node_level.copy(),
+        port_start=fab.port_start,
+        port_peer=peer,
+        spec=fab.spec if spec == "keep" else spec,
+        node_names=list(fab.node_names),
+    )
+
+
+def lint(fab, passes=None):
+    ctx = CheckContext(fabric=fab)
+    report = DiagnosticReport()
+    for p in passes or [WiringLintPass(), SpecConformancePass()]:
+        if p.applicable(ctx):
+            p.run(ctx, report)
+    return report
+
+
+@pytest.fixture
+def fab():
+    return build_fabric(pgft(2, [4, 4], [1, 2], [1, 2]))
+
+
+class TestCleanFabric:
+    def test_no_findings(self, fab):
+        assert len(lint(fab)) == 0
+
+    def test_every_paper_shape_clean(self, any_spec):
+        assert len(lint(build_fabric(any_spec))) == 0
+
+
+class TestFab001Asymmetry:
+    def test_one_sided_edit_flagged(self, fab):
+        peer = fab.port_peer.copy()
+        up = int(np.flatnonzero(peer >= 0)[0])
+        peer[up] = int(np.flatnonzero(peer >= 0)[-1])  # point elsewhere
+        report = lint(rewired(fab, peer), passes=[WiringLintPass()])
+        assert "FAB001" in report.codes()
+
+
+class TestFab002Duplicates:
+    def test_duplicate_name_flagged(self, fab):
+        names = list(fab.node_names)
+        names[-1] = names[-2]
+        dup = Fabric(num_endports=fab.num_endports,
+                     node_level=fab.node_level.copy(),
+                     port_start=fab.port_start,
+                     port_peer=fab.port_peer.copy(),
+                     spec=fab.spec, node_names=names)
+        report = lint(dup, passes=[WiringLintPass()])
+        assert "FAB002" in report.codes()
+
+
+class TestFab004Dangling:
+    def test_degraded_with_spec_is_error(self, fab):
+        ups = np.flatnonzero(fab.port_goes_up()
+                             & (fab.port_owner >= fab.num_endports))
+        deg = fab.with_failed_cables(ups[[0]])
+        report = lint(deg, passes=[WiringLintPass()])
+        diags = report.by_code("FAB004")
+        assert len(diags) == 2  # both cable ends
+        assert all(d.severity == Severity.ERROR for d in diags)
+
+    def test_degraded_without_spec_is_warning(self, fab):
+        ups = np.flatnonzero(fab.port_goes_up()
+                             & (fab.port_owner >= fab.num_endports))
+        deg = rewired(fab.with_failed_cables(ups[[0]]),
+                      fab.with_failed_cables(ups[[0]]).port_peer, spec=None)
+        diags = lint(deg, passes=[WiringLintPass()]).by_code("FAB004")
+        assert diags and all(d.severity == Severity.WARNING for d in diags)
+
+
+class TestFab006DeadHost:
+    def test_unhosted_endport_flagged(self, fab):
+        host_port = int(fab.ports_of(0)[0])
+        deg = fab.with_failed_cables([host_port])
+        report = lint(deg, passes=[WiringLintPass()])
+        assert "FAB006" in report.codes()
+        assert report.by_code("FAB006")[0].loc.lid == 0
+
+
+class TestFab005SpecConformance:
+    def test_crossed_cables_across_spines(self, fab):
+        n = fab.num_endports
+        ups = np.flatnonzero(fab.port_goes_up() & (fab.port_owner >= n))
+        owners = fab.port_owner[ups]
+        spines = fab.port_owner[fab.port_peer[ups]]
+        a = int(ups[0])
+        sel = np.flatnonzero((owners != owners[0]) & (spines != spines[0]))
+        b = int(ups[sel[0]])
+        peer = fab.port_peer.copy()
+        pa, pb = int(peer[a]), int(peer[b])
+        peer[a], peer[pb] = pb, a
+        peer[b], peer[pa] = pa, b
+        report = lint(rewired(fab, peer))
+        assert "FAB005" in report.codes()
+
+    def test_declared_spec_mismatch(self, fab):
+        lying = rewired(fab, fab.port_peer.copy(),
+                        spec=pgft(2, [4, 4], [1, 4], [1, 1]))
+        report = lint(lying, passes=[SpecConformancePass()])
+        assert "FAB005" in report.codes()
+        assert "declares" in report.by_code("FAB005")[0].message
+
+
+class TestPipelineOnBareFabric:
+    def test_table_passes_skipped(self, fab):
+        result = run_check(CheckContext(fabric=fab))
+        assert result.passes_run == ["wiring", "spec-conformance"]
+        assert result.exit_code() == 0
+        assert result.certificates == []

@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""AST lint: no unordered set/dict iteration in deterministic packages.
+
+The sweep engine promises bit-identical results for identical inputs
+(``ParallelSweeper.order_sweep`` is documented as a drop-in for the
+serial sweep) and the routing engines promise reproducible tables.
+Iterating a ``set`` or the ``.keys()``/``.values()``/``.items()`` view
+of a dict whose insertion order is not itself deterministic silently
+breaks that promise, and such bugs only surface under ``PYTHONHASHSEED``
+variation.  This lint rejects the syntactic patterns outright in the
+packages that carry the determinism contract:
+
+* ``for x in <set literal / set() / set comprehension / frozenset()>``
+* ``for x in d.keys() / d.values() / d.items()`` and the same iterables
+  inside comprehensions, ``sorted()``-less
+* ``set(...)`` (or a set display) passed straight to ``list()``,
+  ``tuple()``, ``enumerate()`` or ``iter()``
+
+Wrap the iterable in ``sorted(...)`` (cheap at these sizes) or switch
+to a list/np.unique.  A finding can be waived with a trailing
+``# det: ok`` comment on the offending line when order provably cannot
+escape (e.g. a pure membership reduction).
+
+Usage: ``python tools/lint_determinism.py [paths...]``
+Defaults to ``src/repro/routing`` and ``src/repro/runtime``.
+Exit code 1 when findings exist, 0 otherwise.  Stdlib only.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+DEFAULT_PATHS = ("src/repro/routing", "src/repro/runtime")
+
+#: dict-view methods whose iteration order mirrors insertion order of a
+#: dict -- fine for literals, unordered when the dict was built from an
+#: unordered source; we reject them wholesale and require sorted().
+DICT_VIEWS = {"keys", "values", "items"}
+
+ORDERING_WRAPPERS = {"sorted", "min", "max", "sum", "len", "any", "all",
+                     "frozenset", "set"}
+
+CONSUMERS = {"list", "tuple", "enumerate", "iter"}
+
+WAIVER = "# det: ok"
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+def _is_dict_view(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in DICT_VIEWS
+            and not node.args and not node.keywords)
+
+
+class Visitor(ast.NodeVisitor):
+    def __init__(self, path: Path, source_lines: list[str]):
+        self.path = path
+        self.lines = source_lines
+        self.findings: list[tuple[int, str]] = []
+
+    # -- helpers -----------------------------------------------------
+    def _waived(self, node: ast.AST) -> bool:
+        line = self.lines[node.lineno - 1]
+        return WAIVER in line
+
+    def _flag(self, node: ast.AST, what: str) -> None:
+        if not self._waived(node):
+            self.findings.append((node.lineno, what))
+
+    def _check_iterable(self, it: ast.AST, where: str) -> None:
+        if _is_set_expr(it):
+            self._flag(it, f"iteration over a set in {where}; wrap in "
+                           "sorted(...) for a deterministic order")
+        elif _is_dict_view(it):
+            self._flag(it, f"iteration over dict .{it.func.attr}() in "
+                           f"{where}; wrap in sorted(...) for a "
+                           "deterministic order")
+
+    # -- visitors ----------------------------------------------------
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iterable(node.iter, "a for loop")
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_iterable(node.iter, "a for loop")
+        self.generic_visit(node)
+
+    def _visit_comp(self, node) -> None:
+        for gen in node.generators:
+            self._check_iterable(gen.iter, "a comprehension")
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comp
+    visit_SetComp = _visit_comp
+    visit_DictComp = _visit_comp
+    visit_GeneratorExp = _visit_comp
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (isinstance(node.func, ast.Name)
+                and node.func.id in CONSUMERS and node.args):
+            arg = node.args[0]
+            if _is_set_expr(arg) or _is_dict_view(arg):
+                self._flag(node, f"{node.func.id}() over an unordered "
+                                 "set/dict view; sort first")
+        self.generic_visit(node)
+
+
+def lint_file(path: Path) -> list[str]:
+    source = path.read_text()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:  # pragma: no cover - broken file
+        return [f"{path}:{exc.lineno}: syntax error: {exc.msg}"]
+    v = Visitor(path, source.splitlines())
+    v.visit(tree)
+    return [f"{path}:{line}: {msg}" for line, msg in sorted(v.findings)]
+
+
+def main(argv: list[str] | None = None) -> int:
+    roots = [Path(p) for p in (argv if argv else DEFAULT_PATHS)]
+    findings: list[str] = []
+    checked = 0
+    for root in roots:
+        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        for f in files:
+            findings.extend(lint_file(f))
+            checked += 1
+    for line in findings:
+        print(line)
+    print(f"lint_determinism: {checked} file(s), {len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
