@@ -250,15 +250,21 @@ def batched_sequence_hsd(
     return BatchedHSDReport(cps_name=cps.name, stage_max=stage_max)
 
 
-def down_port_destination_counts(tables: ForwardingTables) -> np.ndarray:
+def down_port_destination_counts(tables: ForwardingTables,
+                                 active: np.ndarray | None = None,
+                                 ) -> np.ndarray:
     """Distinct destinations per down-going directed link under all-to-all
     traffic (vectorised theorem-2 check; see
     :func:`repro.routing.validate.down_port_destinations` for the
-    reference implementation)."""
+    reference implementation).  ``active`` restricts the all-to-all to a
+    job's active end-ports (theorem 2 only binds the traffic a
+    partially populated job can generate)."""
     fab = tables.fabric
-    N = fab.num_endports
-    src = np.repeat(np.arange(N), N)
-    dst = np.tile(np.arange(N), N)
+    ends = np.arange(fab.num_endports, dtype=np.int64) if active is None \
+        else np.unique(np.asarray(active, dtype=np.int64))
+    N = len(ends)
+    src = np.repeat(ends, N)
+    dst = np.tile(ends, N)
     flow_idx, gports = walk_flow_links(tables, src, dst)
     flow_dst = dst[flow_idx]
     pairs = np.unique(np.stack([gports, flow_dst], axis=1), axis=0)

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from ..fabric.lft import ForwardingTables
 from .certify import ContentionCertifierPass, placement_digest
+from .common import colliding_pairs_payload, link_loc, sample_pairs
 from .diagnostics import (
     CODES,
     Diagnostic,
@@ -47,6 +48,16 @@ from .routing_lint import (
     UpPortBalancePass,
 )
 from .schedule_lint import PlacementLintPass, StageLintPass
+from .symbolic import (
+    EngineAgreementPass,
+    IncrementalStats,
+    SymbolicCertifier,
+    SymbolicContentionPass,
+    SymbolicResult,
+    canonical_peer,
+    symbolic_flow_links,
+    symbolic_stage_max,
+)
 from .wiring import SpecConformancePass, WiringLintPass
 
 __all__ = [
@@ -60,6 +71,9 @@ __all__ = [
     "DiagnosticReport",
     "DmodkConformancePass",
     "DownPortBalancePass",
+    "ENGINES",
+    "EngineAgreementPass",
+    "IncrementalStats",
     "Loc",
     "MinimalityPass",
     "Pipeline",
@@ -69,14 +83,23 @@ __all__ = [
     "Severity",
     "SpecConformancePass",
     "StageLintPass",
+    "SymbolicCertifier",
+    "SymbolicContentionPass",
+    "SymbolicResult",
     "UpDownPass",
     "UpPortBalancePass",
     "WiringLintPass",
+    "canonical_peer",
+    "colliding_pairs_payload",
     "default_pipeline",
     "describe_code",
+    "link_loc",
     "placement_digest",
     "precheck_tables",
     "run_check",
+    "sample_pairs",
+    "symbolic_flow_links",
+    "symbolic_stage_max",
 ]
 
 #: pass names in canonical pipeline order (CLI ``--passes`` accepts these)
@@ -93,20 +116,34 @@ PASS_ORDER = (
     "placement",
     "stage",
     "certify",
+    "symbolic-certify",
+    "differential",
 )
+
+#: certification engines accepted by ``default_pipeline``/``run_check``
+#: (and the CLI's ``--engine``): ``enumerate`` walks materialised
+#: tables, ``symbolic`` proves from the closed form, ``both`` runs the
+#: two and cross-checks them (``SYM090`` on any disagreement).
+ENGINES = ("enumerate", "symbolic", "both")
 
 
 def default_pipeline(
     only: set[str] | None = None,
     updown_sample: int | None = 250_000,
     certify: bool = True,
+    engine: str = "enumerate",
+    symbolic_active=None,
 ) -> Pipeline:
     """The canonical full pipeline, optionally restricted to ``only``.
 
     Passes whose inputs are absent from the context skip themselves, so
     this single pipeline serves bare-fabric lint, table lint and full
-    certification alike.
+    certification alike.  ``engine`` selects the certification
+    engine(s); ``symbolic_active`` is the job's active end-port set for
+    job-aware symbolic certification (Cont.-X).
     """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; known: {list(ENGINES)}")
     passes: list[CheckPass] = [
         WiringLintPass(),
         SpecConformancePass(),
@@ -121,7 +158,12 @@ def default_pipeline(
         StageLintPass(),
     ]
     if certify:
-        passes.append(ContentionCertifierPass())
+        if engine in ("enumerate", "both"):
+            passes.append(ContentionCertifierPass())
+        if engine in ("symbolic", "both"):
+            passes.append(SymbolicContentionPass(active=symbolic_active))
+        if engine == "both":
+            passes.append(EngineAgreementPass())
     if only is not None:
         unknown = only - set(PASS_ORDER)
         if unknown:
@@ -135,10 +177,13 @@ def run_check(ctx: CheckContext,
               only: set[str] | None = None,
               updown_sample: int | None = 250_000,
               certify: bool = True,
+              engine: str = "enumerate",
+              symbolic_active=None,
               max_diags_per_code: int = 25) -> CheckResult:
     """Run the default pipeline over a prepared context."""
     pipeline = default_pipeline(only=only, updown_sample=updown_sample,
-                                certify=certify)
+                                certify=certify, engine=engine,
+                                symbolic_active=symbolic_active)
     return pipeline.run(ctx, max_diags_per_code=max_diags_per_code)
 
 

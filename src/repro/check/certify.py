@@ -28,16 +28,19 @@ import numpy as np
 from ..analysis.hsd import walk_flow_links
 from ..collectives.schedule import stage_flows
 from ..runtime.cache import tables_digest
+from .common import MAX_COUNTEREXAMPLE_PAIRS, colliding_pairs_payload, link_loc
 from .diagnostics import Diagnostic, DiagnosticReport
 from .passes import CheckContext, CheckPass, ScheduleCase
-from .routing_lint import _link_loc
 
 __all__ = ["ContentionCertifierPass", "placement_digest", "CERTIFICATE_VERSION"]
 
-CERTIFICATE_VERSION = 1
+#: version 2: adds ``certificate_kind`` plus explicit counterexample
+#: truncation fields (``total_pairs``/``pairs_truncated``).
+CERTIFICATE_VERSION = 2
 
-#: cap on colliding pairs listed per counterexample
-_MAX_PAIRS = 8
+#: cap on colliding pairs listed per counterexample (kept as an alias;
+#: the shared constant lives in :mod:`repro.check.common`)
+_MAX_PAIRS = MAX_COUNTEREXAMPLE_PAIRS
 
 
 def placement_digest(placement: np.ndarray) -> str:
@@ -100,17 +103,19 @@ class ContentionCertifierPass(CheckPass):
             refuted = True
             gp = int(loads.argmax())
             on_link = flow_idx[gports == gp]
-            pairs = [[int(src[f]), int(dst[f])] for f in on_link[:_MAX_PAIRS]]
+            payload = colliding_pairs_payload(src, dst, on_link)
+            pairs = payload["colliding_pairs"]
             report.add(Diagnostic(
                 code="CFC001",
                 message=(f"{case.name()}: stage {i} "
                          f"({st.label or 'unlabelled'}) places {stage_max} "
                          f"concurrent flows on one directed link; colliding "
-                         f"(src, dst) end-ports: {pairs}"),
-                loc=_link_loc(fab, gp, stage=i),
+                         f"(src, dst) end-ports: {pairs}"
+                         + (f" (+{payload['total_pairs'] - len(pairs)} more)"
+                            if payload["pairs_truncated"] else "")),
+                loc=link_loc(fab, gp, stage=i),
                 data={"case": case.name(), "stage": i,
-                      "link_load": stage_max, "gport": gp,
-                      "colliding_pairs": pairs},
+                      "link_load": stage_max, "gport": gp, **payload},
             ))
 
         stage_loads[case.name()] = maxima
@@ -126,6 +131,7 @@ class ContentionCertifierPass(CheckPass):
         certificates.append({
             "kind": "contention-freedom-certificate",
             "version": CERTIFICATE_VERSION,
+            "certificate_kind": "enumerated",
             "case": case.name(),
             "topology": str(fab.spec) if fab.spec is not None else None,
             "num_endports": int(fab.num_endports),

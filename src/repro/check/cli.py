@@ -7,10 +7,25 @@ Output is the diagnostic report (text, or ``--json`` for machines) plus
 any contention-freedom certificates; the exit code reflects the worst
 severity found (0 clean, 1 warnings, 2 errors).
 
+Certification runs one of three engines (``--engine``): ``enumerate``
+walks every stage through materialised tables, ``symbolic`` proves the
+verdict from the D-Mod-K closed form without building tables at all
+(the only option that scales to tens of thousands of end-ports), and
+``both`` runs the two and raises ``SYM090`` if they ever disagree.
+
 Examples::
 
     # certify the paper's headline configuration (exit 0, certificate)
     python -m repro.check --topo n324 --routing dmodk --cps shift
+
+    # the same verdict from pure closed-form algebra, table-free
+    python -m repro.check --topo rlft3-max36 --engine symbolic --cps shift
+
+    # differential validation: both engines must agree bit for bit
+    python -m repro.check --topo n324 --engine both --cps shift --order random
+
+    # job-aware Cont.-X: exclude 10 random end-ports, dense-rank routing
+    python -m repro.check --topo n324 --engine both --cps ring --exclude 10
 
     # refute random routing with a named stage+link counterexample
     python -m repro.check --topo n324 --routing random --cps shift
@@ -34,11 +49,11 @@ import numpy as np
 from ..collectives import by_name, hierarchical_recursive_doubling, shift
 from ..fabric import build_fabric
 from ..fabric.topofile import load as load_topofile
-from ..ordering import random_order, topology_order
+from ..ordering import random_order, topology_order, topology_subset
 from ..ordering.adversarial import adversarial_ring_order
 from ..routing import route_dmodk, route_ftree, route_minhop, route_random
 from ..topology import paper_topologies, pgft
-from . import CODES, PASS_ORDER, CheckContext, ScheduleCase, run_check
+from . import CODES, ENGINES, PASS_ORDER, CheckContext, ScheduleCase, run_check
 
 __all__ = ["main"]
 
@@ -69,12 +84,12 @@ def _load_fabric(args):
     return build_fabric(topos[args.topo])
 
 
-def _route(fabric, args):
+def _route(fabric, args, active=None):
     name = args.routing
     if name == "none":
         return None, ""
     if name == "dmodk":
-        return route_dmodk(fabric), "dmodk"
+        return route_dmodk(fabric, active=active), "dmodk"
     if name == "random":
         return route_random(fabric, seed=args.routing_seed), "random"
     if name == "ftree":
@@ -84,6 +99,16 @@ def _route(fabric, args):
     raise SystemExit(f"unknown routing engine {name!r}")  # pragma: no cover
 
 
+def _make_active(fabric, args):
+    """Active end-port set for job-aware (Cont.-X) certification."""
+    if not args.exclude:
+        return None
+    if args.exclude >= fabric.num_endports:
+        raise SystemExit("--exclude must leave at least one active end-port")
+    return topology_subset(fabric.num_endports, args.exclude,
+                           seed=args.exclude_seed)
+
+
 def _sampled_shift(n: int, max_stages: int):
     if n - 1 <= max_stages:
         return shift(n)
@@ -91,8 +116,8 @@ def _sampled_shift(n: int, max_stages: int):
     return shift(n, displacements=range(1, n, step))
 
 
-def _make_cps(name: str, fabric, args):
-    n = fabric.num_endports
+def _make_cps(name: str, fabric, args, num_ranks=None):
+    n = num_ranks if num_ranks is not None else fabric.num_endports
     if name == "recdbl-hier":
         if fabric.spec is None:
             raise SystemExit("recdbl-hier needs a PGFT spec")
@@ -105,8 +130,20 @@ def _make_cps(name: str, fabric, args):
         raise SystemExit(str(exc)) from exc
 
 
-def _make_order(fabric, args) -> np.ndarray:
+def _make_order(fabric, args, active=None) -> np.ndarray:
     n = fabric.num_endports
+    if active is not None:
+        # Dense ranks on the active ports only (partially populated job).
+        ports = np.sort(np.asarray(active, dtype=np.int64))
+        if args.order == "topology":
+            return ports
+        if args.order == "reversed":
+            return ports[::-1].copy()
+        if args.order == "random":
+            rng = np.random.default_rng(args.order_seed)
+            return rng.permutation(ports).astype(np.int64)
+        raise SystemExit(f"--order {args.order} is not defined for "
+                         "partially populated jobs (--exclude)")
     if args.order == "topology":
         return topology_order(n)
     if args.order == "reversed":
@@ -154,6 +191,18 @@ def build_parser() -> argparse.ArgumentParser:
     sched.add_argument("--order-seed", type=int, default=0)
     sched.add_argument("--max-shift-stages", type=int, default=64,
                        help="sample the Shift CPS down to this many stages")
+    sched.add_argument("--exclude", type=int, default=0, metavar="K",
+                       help="Cont.-K: exclude K random end-ports and "
+                            "certify the partially populated job with "
+                            "job-aware (dense-active-rank) D-Mod-K")
+    sched.add_argument("--exclude-seed", type=int, default=0)
+
+    eng = parser.add_argument_group("certification engine")
+    eng.add_argument("--engine", choices=ENGINES, default="enumerate",
+                     help="'enumerate' walks materialised tables, "
+                          "'symbolic' proves from the eq.-(1) closed form "
+                          "without building tables, 'both' cross-checks "
+                          "the two (default: %(default)s)")
 
     out = parser.add_argument_group("output")
     out.add_argument("--json", action="store_true",
@@ -183,28 +232,44 @@ def main(argv=None) -> int:
         return 0
 
     fabric = _load_fabric(args)
-    tables, routing_name = _route(fabric, args)
+    active = _make_active(fabric, args)
+    if args.engine == "symbolic":
+        # The scaling unlock: never materialise tables.  The symbolic
+        # engine proves the D-Mod-K closed form, so any other engine's
+        # tables would be certified against the wrong routing.
+        if args.routing not in ("dmodk", "none"):
+            raise SystemExit("--engine symbolic proves the D-Mod-K closed "
+                             "form; use --routing dmodk (or none)")
+        tables, routing_name = None, "dmodk"
+    else:
+        if args.engine == "both" and args.routing != "dmodk":
+            raise SystemExit("--engine both cross-checks the symbolic "
+                             "engine against D-Mod-K tables; use "
+                             "--routing dmodk")
+        tables, routing_name = _route(fabric, args, active=active)
 
     schedule = []
     if args.cps:
-        if tables is None:
-            raise SystemExit("--cps needs routed tables (--routing != none)")
-        order = _make_order(fabric, args)
+        if tables is None and args.engine == "enumerate":
+            raise SystemExit("--cps needs routed tables (--routing != none) "
+                             "or a table-free engine (--engine symbolic)")
+        order = _make_order(fabric, args, active=active)
         for name in args.cps.split(","):
             name = name.strip()
             schedule.append(ScheduleCase(
-                cps=_make_cps(name, fabric, args),
+                cps=_make_cps(name, fabric, args, num_ranks=len(order)),
                 placement=order,
                 label=f"{name}/{args.order}",
             ))
 
     ctx = CheckContext(fabric=fabric, tables=tables, schedule=schedule,
-                       routing_name=routing_name)
+                       routing_name=routing_name, active=active)
     only = None
     if args.passes:
         only = {p.strip() for p in args.passes.split(",")}
     result = run_check(ctx, only=only, updown_sample=args.updown_sample,
-                       certify=not args.no_certify,
+                       certify=not args.no_certify, engine=args.engine,
+                       symbolic_active=active,
                        max_diags_per_code=args.max_diags)
 
     if args.cert_out:
@@ -220,7 +285,8 @@ def main(argv=None) -> int:
         print(f"check | errors={summary['errors']} "
               f"warnings={summary['warnings']} info={summary['info']}")
         for cert in result.certificates:
-            print(f"check | CERTIFIED contention-free: {cert['case']} on "
+            print(f"check | CERTIFIED contention-free "
+                  f"[{cert['certificate_kind']}]: {cert['case']} on "
                   f"{cert['topology']} via {cert['routing']} "
                   f"(max link load {cert['max_link_load']}, "
                   f"{cert['num_flows']} flows over {cert['num_stages']} "

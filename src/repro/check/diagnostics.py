@@ -124,6 +124,24 @@ CODES: dict[str, tuple[Severity, str]] = {
     "CFC002": (Severity.INFO,
                "Vacuous certificate: the schedule produced no flows (empty "
                "stages or ranks all on one port)."),
+    # -- SYM0xx: symbolic verification ---------------------------------------
+    "SYM001": (Severity.ERROR,
+               "Symbolic contention counterexample: the closed-form link "
+               "residues of eq. (1) place two or more concurrent flows on "
+               "one directed link. Same payload shape as CFC001, derived "
+               "without materialising forwarding tables."),
+    "SYM002": (Severity.INFO,
+               "Vacuous symbolic certificate: the schedule produced no "
+               "flows (empty stages or ranks all on one port)."),
+    "SYM010": (Severity.WARNING,
+               "Symbolic engine not applicable: the fabric carries no PGFT "
+               "spec or the tables under test are not D-Mod-K. Use the "
+               "enumerating certifier (--engine enumerate) instead."),
+    "SYM090": (Severity.ERROR,
+               "Differential engine disagreement: the symbolic and "
+               "enumerating certifiers reached different verdicts or "
+               "counterexamples for the same case. One of the engines (or "
+               "the tables) is wrong; this is always a bug worth a report."),
 }
 
 
@@ -160,7 +178,8 @@ class Loc:
         return " ".join(parts)
 
     def to_json(self) -> dict[str, Any]:
-        return {k: v for k, v in self.__dict__.items() if v is not None}
+        # dataclass __dict__ follows field definition order
+        return {k: v for k, v in self.__dict__.items() if v is not None}  # det: ok
 
 
 @dataclass(frozen=True)

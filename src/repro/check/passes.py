@@ -58,22 +58,29 @@ class CheckContext:
     ``tables`` and ``schedule`` are optional -- wiring lint runs on a
     bare fabric.  ``routing_name`` is advisory metadata (which engine
     claims to have produced the tables); the D-Mod-K conformance pass
-    keys off it.  ``artifacts`` is the inter-pass scratch space.
+    keys off it.  ``active`` is the job's active end-port set for
+    partially populated (Cont.-X) contexts: job-aware passes -- D-Mod-K
+    conformance, the balance lints, the symbolic certifier -- evaluate
+    against it instead of the full population.  ``artifacts`` is the
+    inter-pass scratch space.
     """
 
     fabric: Fabric
     tables: ForwardingTables | None = None
     schedule: list[ScheduleCase] = field(default_factory=list)
     routing_name: str = ""
+    active: np.ndarray | None = None
     artifacts: dict[str, Any] = field(default_factory=dict)
 
     @classmethod
     def for_tables(cls, tables: ForwardingTables,
                    routing_name: str = "",
                    schedule: list[ScheduleCase] | None = None,
+                   active: np.ndarray | None = None,
                    ) -> "CheckContext":
         return cls(fabric=tables.fabric, tables=tables,
-                   schedule=list(schedule or []), routing_name=routing_name)
+                   schedule=list(schedule or []), routing_name=routing_name,
+                   active=active)
 
 
 class CheckPass:

@@ -27,6 +27,8 @@ import numpy as np
 from ..analysis.hsd import down_port_destination_counts, walk_flow_links
 from ..routing.deadlock import channel_dependencies, find_cycle
 from ..routing.minhop import bfs_distances
+from .common import link_loc as _link_loc
+from .common import sample_pairs
 from .diagnostics import Diagnostic, DiagnosticReport, Loc
 from .passes import CheckContext, CheckPass
 
@@ -40,27 +42,6 @@ __all__ = [
     "MinimalityPass",
     "sample_pairs",
 ]
-
-
-def sample_pairs(n: int, sample: int | None, seed: int = 0
-                 ) -> tuple[np.ndarray, np.ndarray]:
-    """All (src, dst), src != dst, or a deterministic random subset."""
-    src = np.repeat(np.arange(n, dtype=np.int64), n)
-    dst = np.tile(np.arange(n, dtype=np.int64), n)
-    keep = src != dst
-    src, dst = src[keep], dst[keep]
-    if sample is not None and sample < len(src):
-        rng = np.random.default_rng(seed)
-        idx = rng.choice(len(src), size=sample, replace=False)
-        idx.sort()
-        src, dst = src[idx], dst[idx]
-    return src, dst
-
-
-def _link_loc(fab, gp: int, **extra) -> Loc:
-    owner = int(fab.port_owner[gp])
-    return Loc(switch=fab.node_names[owner], gport=int(gp),
-               port=int(fab.local_port(gp)), **extra)
 
 
 class ReachabilityPass(CheckPass):
@@ -219,7 +200,7 @@ class DmodkConformancePass(CheckPass):
 
         tables = ctx.tables
         fab = ctx.fabric
-        ref = route_dmodk(fab)
+        ref = route_dmodk(fab, active=ctx.active)
         diff = np.argwhere(tables.switch_out != ref.switch_out)
         ctx.artifacts["dmodk_mismatches"] = len(diff)
         for row, dest in diff.tolist():
@@ -256,7 +237,7 @@ class DownPortBalancePass(CheckPass):
         tables = ctx.tables
         fab = ctx.fabric
         try:
-            counts = down_port_destination_counts(tables)
+            counts = down_port_destination_counts(tables, active=ctx.active)
         except ValueError:
             return
         ctx.artifacts["down_port_counts"] = counts
@@ -294,7 +275,8 @@ class UpPortBalancePass(CheckPass):
             up_ports = ports[goes_up[ports]]
             if len(up_ports) == 0:
                 continue
-            entries = tables.switch_out[row]
+            entries = tables.switch_out[row] if ctx.active is None \
+                else tables.switch_out[row][ctx.active]
             entries = entries[entries >= 0]
             counts = np.array([(entries == gp).sum() for gp in up_ports],
                               dtype=np.float64)

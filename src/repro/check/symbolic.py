@@ -1,0 +1,682 @@
+"""Symbolic contention-freedom verification (``SYM0xx``).
+
+The enumerating certifier (:mod:`repro.check.certify`) decides the
+paper's section-VI claim by materialising D-Mod-K forwarding tables and
+walking every stage's flows through them -- O(S * N) table memory and
+O(flows * hops) walks.  This module decides the *same* question from
+the closed form alone.
+
+The appendix lemmas make every link of a D-Mod-K route a pure function
+of modular arithmetic on the endpoints.  With ``r = rho(y)`` the routing
+index of destination ``y`` (``y`` itself for full populations, its dense
+active rank for job-aware Cont.-X routing), eq. (1) gives the residue
+profile ``Q_l(r) = floor(r / W_{l-1}) mod (w_l * p_l)``, and:
+
+* the flow ``x -> y`` turns around at its **split level**
+  ``L = min { l : floor(x / M_l) == floor(y / M_l) }`` (nearest common
+  ancestor level);
+* the up-path switch at level ``l < L`` has w-digits
+  ``e_i = Q_i(r) mod w_i`` (i = 1..l) and m-digits ``floor(x / M_l)``;
+  its up link toward ``y`` leaves through up-port ordinal ``Q_{l+1}(r)``;
+* the down-path switch at level ``l <= L`` has the same w-digits and
+  m-digits ``floor(y / M_l)`` (lemma 5: the down path is a function of
+  the destination alone); its down link uses local port
+  ``a_l(y) + k_l(r) * m_l`` with ``a_l(y) = floor(y / M_{l-1}) mod m_l``
+  and ``k_l(r) = Q_l(r) // w_l``.
+
+Because the canonical fabric (:func:`repro.fabric.build_fabric`) lays
+nodes and ports out in exactly the mixed-radix order of these digits,
+the formulas above evaluate directly to **global port ids identical to
+the enumerated walk's** -- :func:`symbolic_flow_links` is a drop-in twin
+of :func:`repro.analysis.hsd.walk_flow_links` that needs no tables and
+no fabric, only the ``PGFTSpec``.  Verdicts, offending links and even
+argmax tie-breaks therefore agree bit for bit with the enumerating
+certifier, which is what the differential engine
+(:class:`EngineAgreementPass`, ``--engine both``) checks.
+
+Grouping flows by their residue signature is what makes re-verification
+*incremental*: a placement/active-set delta perturbs only the flows
+whose pairs or routing indices changed, and a repaired single cable
+only the flows whose residue profile maps onto that cable
+(:meth:`SymbolicCertifier.recertify` /
+:meth:`SymbolicCertifier.recertify_link_failure`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..analysis.hsd import walk_flow_links
+from ..collectives.cps import CPS
+from ..collectives.schedule import stage_flow_keys, stage_flows
+from ..routing.dmodk import dense_ranks, q_profile
+from ..runtime.cache import active_digest, cps_digest, spec_digest
+from ..topology.spec import PGFTSpec
+from .certify import CERTIFICATE_VERSION, placement_digest
+from .common import colliding_pairs_payload
+from .diagnostics import Diagnostic, DiagnosticReport, Loc
+from .passes import CheckContext, CheckPass
+
+__all__ = [
+    "split_levels",
+    "symbolic_flow_links",
+    "symbolic_stage_max",
+    "decode_link",
+    "symbolic_link_loc",
+    "canonical_peer",
+    "SymbolicResult",
+    "IncrementalStats",
+    "SymbolicCertifier",
+    "SymbolicContentionPass",
+    "EngineAgreementPass",
+]
+
+_UNSET = object()
+
+
+# ----------------------------------------------------------------------
+# Closed-form link arithmetic
+# ----------------------------------------------------------------------
+def split_levels(spec: PGFTSpec, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+    """Nearest-common-ancestor level of each flow: the smallest ``l``
+    with ``floor(src / M_l) == floor(dst / M_l)`` (``src != dst``
+    assumed).  Agreement is monotone in ``l``, so the level is one plus
+    the number of disagreeing prefixes."""
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    Mp = spec.M_prefix()
+    L = np.ones(src.shape, dtype=np.int64)
+    for level in range(1, spec.h):
+        L += (src // Mp[level]) != (dst // Mp[level])
+    return L
+
+
+def symbolic_flow_links(
+    spec: PGFTSpec, src: np.ndarray, dst: np.ndarray,
+    ridx: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Closed-form twin of :func:`repro.analysis.hsd.walk_flow_links`.
+
+    Returns ``(flow_idx, gports)``: for every directed link a D-Mod-K
+    route ``src[i] -> dst[i]`` would traverse on the canonical fabric,
+    the flow index and the link's global port id -- the *same* ids the
+    enumerated walk produces, computed from eq. (1) without tables.
+    ``ridx`` is the routing-index vector (``dense_ranks``); ``None``
+    means the identity (fully populated) ranking.  Flows with
+    ``src == dst`` contribute nothing.
+    """
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    if src.shape != dst.shape:
+        raise ValueError("src/dst shape mismatch")
+    idx = np.flatnonzero(src != dst)
+    if len(idx) == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    x = src[idx]
+    y = dst[idx]
+    r = y if ridx is None else np.asarray(ridx, dtype=np.int64)[y]
+
+    h = spec.h
+    Mp = spec.M_prefix()
+    Wp = spec.W_prefix()
+    Q = q_profile(spec, r)                       # (h, n); row l-1 = Q_l(r)
+    L = split_levels(spec, x, y)
+
+    # Cumulative w-digit packs: epacks[l] = sum_{i=1..l} e_i * W_{i-1},
+    # the w-digit block shared by the level-l switches on both legs.
+    epacks = np.zeros((h + 1, len(x)), dtype=np.int64)
+    for level in range(1, h + 1):
+        epacks[level] = epacks[level - 1] + (
+            Q[level - 1] % spec.w[level - 1]) * Wp[level - 1]
+
+    flows: list[np.ndarray] = []
+    ports: list[np.ndarray] = []
+
+    # Up leg: the host link, then switch up links at levels 1..L-1.
+    flows.append(idx)
+    ports.append(x * spec.up_ports_at(0) + Q[0])
+    for level in range(1, h):
+        on = L > level
+        if not on.any():
+            continue
+        s = epacks[level][on] + (x[on] // Mp[level]) * Wp[level]
+        flows.append(idx[on])
+        ports.append(spec.port_level_base(level) + s * spec.ports_at(level)
+                     + spec.down_ports_at(level) + Q[level][on])
+
+    # Down leg: switch down links at levels L..1 (lemma 5 retrace).
+    for level in range(1, h + 1):
+        on = L >= level
+        if not on.any():
+            continue
+        s = epacks[level][on] + (y[on] // Mp[level]) * Wp[level]
+        a = (y[on] // Mp[level - 1]) % spec.m[level - 1]
+        k = Q[level - 1][on] // spec.w[level - 1]
+        flows.append(idx[on])
+        ports.append(spec.port_level_base(level) + s * spec.ports_at(level)
+                     + a + k * spec.m[level - 1])
+
+    return np.concatenate(flows), np.concatenate(ports)
+
+
+def _sparse_loads(gports: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Sorted unique link ids + flow counts (sparse per-link loads)."""
+    if len(gports) == 0:
+        return (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+    return np.unique(gports, return_counts=True)
+
+
+def symbolic_stage_max(spec: PGFTSpec, src: np.ndarray, dst: np.ndarray,
+                       ridx: np.ndarray | None = None) -> int:
+    """Maximum per-link flow count of one synchronous stage, from the
+    closed form (equals :func:`repro.analysis.hsd.stage_max_hsd` on
+    canonical D-Mod-K tables)."""
+    _, gports = symbolic_flow_links(spec, src, dst, ridx)
+    _, counts = _sparse_loads(gports)
+    return int(counts.max()) if len(counts) else 0
+
+
+# ----------------------------------------------------------------------
+# Link decoding (diagnostics without a fabric)
+# ----------------------------------------------------------------------
+def decode_link(spec: PGFTSpec, gport: int) -> dict[str, Any]:
+    """Name the directed link behind a canonical global port id.
+
+    Returns owner name (matching the canonical fabric's default names),
+    level, local port and direction -- enough to render a ``Loc``
+    without ever building the fabric.
+    """
+    gport = int(gport)
+    host_ports = spec.num_endports * spec.up_ports_at(0)
+    if 0 <= gport < host_ports:
+        up0 = spec.up_ports_at(0)
+        return {"owner": f"H{gport // up0:04d}", "level": 0,
+                "port": gport % up0, "direction": "up"}
+    for level in spec.iter_levels():
+        base = spec.port_level_base(level)
+        span = spec.switches_at(level) * spec.ports_at(level)
+        if base <= gport < base + span:
+            local = (gport - base) % spec.ports_at(level)
+            index = (gport - base) // spec.ports_at(level)
+            ordinal = spec.switch_level_base(level) + index
+            down = local < spec.down_ports_at(level)
+            return {"owner": f"SW{level}-{ordinal:04d}", "level": level,
+                    "port": local, "direction": "down" if down else "up"}
+    raise ValueError(f"global port {gport} outside the canonical fabric "
+                     f"of {spec}")
+
+
+def symbolic_link_loc(spec: PGFTSpec, gport: int, **extra) -> Loc:
+    """``Loc`` of a directed link, derived purely from the spec."""
+    d = decode_link(spec, gport)
+    return Loc(switch=d["owner"], gport=int(gport), port=d["port"],
+               level=d["level"], **extra)
+
+
+def canonical_peer(spec: PGFTSpec, gport: int) -> int:
+    """Far-end global port id of a cable, from the connection rule alone
+    (equals ``fabric.port_peer[gport]`` on the canonical fabric).
+
+    Paper Fig. 5: cable ``k`` joins up-port ``e + k*w_l`` of the lower
+    node to down-port ``a + k*m_l`` of the upper node, the two nodes'
+    digit vectors agreeing everywhere but position ``l``.
+    """
+    d = decode_link(spec, gport)
+    level = d["level"]
+    Wp = spec.W_prefix()
+    if d["direction"] == "up":
+        # ordinal of the lower node within its level
+        if level == 0:
+            low, q = gport // spec.up_ports_at(0), d["port"]
+        else:
+            base = spec.port_level_base(level)
+            low = (gport - base) // spec.ports_at(level)
+            q = d["port"] - spec.down_ports_at(level)
+        m_up, w_up = spec.m[level], spec.w[level]
+        e, k = q % w_up, q // w_up
+        wpack, mrest = low % Wp[level], low // Wp[level]
+        a = mrest % m_up
+        upper = wpack + e * Wp[level] + (mrest // m_up) * Wp[level + 1]
+        return (spec.port_level_base(level + 1)
+                + upper * spec.ports_at(level + 1) + a + k * m_up)
+    # down port at switch level >= 1: peer is the lower node's up port
+    base = spec.port_level_base(level)
+    sw = (gport - base) // spec.ports_at(level)
+    r = d["port"]
+    m_l, w_l = spec.m[level - 1], spec.w[level - 1]
+    a, k = r % m_l, r // m_l
+    wpack, mrest = sw % Wp[level], sw // Wp[level]
+    e = wpack // Wp[level - 1]
+    q = e + k * w_l
+    lower = wpack % Wp[level - 1] + (a + mrest * m_l) * Wp[level - 1]
+    if level == 1:
+        return lower * spec.up_ports_at(0) + q
+    return (spec.port_level_base(level - 1)
+            + lower * spec.ports_at(level - 1)
+            + spec.down_ports_at(level - 1) + q)
+
+
+# ----------------------------------------------------------------------
+# Certifier with incremental state
+# ----------------------------------------------------------------------
+@dataclass
+class _StageState:
+    """Per-stage residue-class summary kept for incremental deltas."""
+
+    src: np.ndarray
+    dst: np.ndarray
+    link_ids: np.ndarray      # sorted unique link gports
+    link_counts: np.ndarray   # flows per link (parallel to link_ids)
+
+
+@dataclass
+class CaseState:
+    """Everything :meth:`SymbolicCertifier.recertify` needs to re-verify
+    only what a delta touched."""
+
+    cps: CPS
+    placement: np.ndarray
+    active: np.ndarray | None
+    ridx: np.ndarray
+    stages: list[_StageState] = field(default_factory=list)
+
+
+@dataclass
+class IncrementalStats:
+    """How much work an incremental re-certification actually did."""
+
+    stages_touched: int = 0
+    stages_total: int = 0
+    flows_recomputed: int = 0
+    flows_total: int = 0
+
+
+@dataclass
+class SymbolicResult:
+    """Verdict of one (CPS, placement) case under the symbolic engine."""
+
+    maxima: list[int]
+    violations: list[dict[str, Any]]
+    total_flows: int
+
+    @property
+    def max_link_load(self) -> int:
+        return max(self.maxima, default=0)
+
+    @property
+    def refuted(self) -> bool:
+        return self.max_link_load > 1
+
+    @property
+    def verdict(self) -> str:
+        if self.refuted:
+            return "refuted"
+        return "vacuous" if self.total_flows == 0 else "contention-free"
+
+
+def _occurrence_keys(values: np.ndarray, scale: int) -> np.ndarray:
+    """Key each element by ``(value, occurrence ordinal)`` so multiset
+    differences can be taken with plain set membership.  ``scale`` must
+    exceed any occurrence count on either side."""
+    order = np.argsort(values, kind="stable")
+    sv = values[order]
+    starts = np.flatnonzero(np.r_[True, sv[1:] != sv[:-1]]) if len(sv) else \
+        np.empty(0, dtype=np.int64)
+    runs = np.diff(np.r_[starts, len(sv)])
+    occ = np.arange(len(sv), dtype=np.int64) - np.repeat(starts, runs)
+    keys = np.empty(len(sv), dtype=np.int64)
+    keys[order] = sv * scale + occ
+    return keys
+
+
+def _multiset_delta(a: np.ndarray, b: np.ndarray
+                    ) -> tuple[np.ndarray, np.ndarray]:
+    """Masks of ``a`` entries absent from ``b`` and vice versa, counting
+    multiplicity (an element occurring twice in ``a`` and once in ``b``
+    has exactly one ``a`` occurrence marked removed)."""
+    scale = max(len(a), len(b)) + 1
+    ka = _occurrence_keys(a, scale)
+    kb = _occurrence_keys(b, scale)
+    return ~np.isin(ka, kb), ~np.isin(kb, ka)
+
+
+def _apply_delta(ids: np.ndarray, counts: np.ndarray,
+                 sub: np.ndarray, add: np.ndarray
+                 ) -> tuple[np.ndarray, np.ndarray]:
+    """Merge link-multiset deltas into a sparse (ids, counts) summary."""
+    if len(sub) == 0 and len(add) == 0:
+        return ids, counts
+    all_ids = np.unique(np.concatenate([ids, add]))
+    c = np.zeros(len(all_ids), dtype=np.int64)
+    c[np.searchsorted(all_ids, ids)] = counts
+    np.add.at(c, np.searchsorted(all_ids, add), 1)
+    np.subtract.at(c, np.searchsorted(all_ids, sub), 1)
+    keep = c > 0
+    return all_ids[keep], c[keep]
+
+
+class SymbolicCertifier:
+    """Stateful symbolic engine: full certification plus incremental
+    re-certification under placement, active-set and link-failure deltas.
+
+    The returned :class:`CaseState` is the residue-class summary; feed it
+    back to :meth:`recertify` with a changed placement/active set to have
+    only the touched flows recomputed.
+    """
+
+    def __init__(self, spec: PGFTSpec, active: np.ndarray | None = None):
+        self.spec = spec
+        self.active = None if active is None else np.unique(
+            np.asarray(active, dtype=np.int64))
+        self.ridx = dense_ranks(spec.num_endports, self.active)
+
+    # -- full pass ------------------------------------------------------
+    def certify(self, cps: CPS, placement: np.ndarray
+                ) -> tuple[SymbolicResult, CaseState]:
+        placement = np.asarray(placement, dtype=np.int64)
+        state = CaseState(cps=cps, placement=placement.copy(),
+                          active=self.active, ridx=self.ridx)
+        maxima: list[int] = []
+        violations: list[dict[str, Any]] = []
+        total_flows = 0
+        for i, st in enumerate(cps):
+            src, dst = stage_flows(st, placement)
+            if len(src) == 0:
+                maxima.append(0)
+                state.stages.append(_StageState(
+                    src=src, dst=dst,
+                    link_ids=np.empty(0, dtype=np.int64),
+                    link_counts=np.empty(0, dtype=np.int64)))
+                continue
+            total_flows += len(src)
+            flow_idx, gports = symbolic_flow_links(self.spec, src, dst,
+                                                   self.ridx)
+            ids, counts = _sparse_loads(gports)
+            state.stages.append(_StageState(src=src, dst=dst,
+                                            link_ids=ids, link_counts=counts))
+            stage_max = int(counts.max()) if len(counts) else 0
+            maxima.append(stage_max)
+            if stage_max <= 1:
+                continue
+            # ids are sorted, so the first maximal count names the lowest
+            # offending gport -- the same link the enumerated certifier's
+            # dense argmax reports.
+            gp = int(ids[int(np.argmax(counts))])
+            on_link = np.unique(flow_idx[gports == gp])
+            violations.append({
+                "stage": i, "stage_label": st.label, "gport": gp,
+                "link_load": stage_max,
+                **colliding_pairs_payload(src, dst, on_link),
+            })
+        return SymbolicResult(maxima=maxima, violations=violations,
+                              total_flows=total_flows), state
+
+    # -- placement / active-set deltas ---------------------------------
+    def recertify(self, state: CaseState,
+                  placement: np.ndarray | None = None,
+                  active: Any = _UNSET,
+                  ) -> tuple[SymbolicResult, CaseState, IncrementalStats]:
+        """Re-certify after a delta, recomputing only touched flows.
+
+        ``placement`` replaces the rank->port vector (``None`` keeps the
+        old one); ``active`` replaces the job's active end-port set
+        (omit to keep, pass ``None`` for fully populated).  Flows whose
+        (src, dst) pair survives the delta with an unchanged destination
+        routing index keep their residue classes -- their links are
+        carried over from ``state`` instead of being recomputed.
+        """
+        spec = self.spec
+        N = spec.num_endports
+        new_placement = state.placement if placement is None else \
+            np.asarray(placement, dtype=np.int64)
+        if active is _UNSET:
+            new_active, new_ridx = state.active, state.ridx
+        else:
+            new_active = None if active is None else np.unique(
+                np.asarray(active, dtype=np.int64))
+            new_ridx = dense_ranks(N, new_active)
+        ridx_changed = state.ridx != new_ridx
+
+        new_state = CaseState(cps=state.cps, placement=new_placement.copy(),
+                              active=new_active, ridx=new_ridx)
+        stats = IncrementalStats(stages_total=len(state.cps.stages))
+        maxima: list[int] = []
+        violations: list[dict[str, Any]] = []
+        total_flows = 0
+        for i, st in enumerate(state.cps):
+            old = state.stages[i]
+            src, dst = stage_flows(st, new_placement)
+            total_flows += len(src)
+            stats.flows_total += len(src)
+            sub_mask, add_mask = _multiset_delta(
+                stage_flow_keys(old.src, old.dst, N),
+                stage_flow_keys(src, dst, N))
+            # a surviving pair whose destination re-ranked still moves
+            sub_mask |= ridx_changed[old.dst] if len(old.dst) else False
+            add_mask |= ridx_changed[dst] if len(dst) else False
+            if not sub_mask.any() and not add_mask.any():
+                ids, counts = old.link_ids, old.link_counts
+            else:
+                stats.stages_touched += 1
+                stats.flows_recomputed += int(sub_mask.sum())
+                stats.flows_recomputed += int(add_mask.sum())
+                _, sub = symbolic_flow_links(
+                    spec, old.src[sub_mask], old.dst[sub_mask], state.ridx)
+                _, add = symbolic_flow_links(
+                    spec, src[add_mask], dst[add_mask], new_ridx)
+                ids, counts = _apply_delta(old.link_ids, old.link_counts,
+                                           sub, add)
+            new_state.stages.append(_StageState(src=src, dst=dst,
+                                                link_ids=ids,
+                                                link_counts=counts))
+            stage_max = int(counts.max()) if len(counts) else 0
+            maxima.append(stage_max)
+            if stage_max > 1:
+                gp = int(ids[int(np.argmax(counts))])
+                flow_idx, gports = symbolic_flow_links(spec, src, dst,
+                                                       new_ridx)
+                on_link = np.unique(flow_idx[gports == gp])
+                violations.append({
+                    "stage": i, "stage_label": st.label, "gport": gp,
+                    "link_load": stage_max,
+                    **colliding_pairs_payload(src, dst, on_link),
+                })
+        result = SymbolicResult(maxima=maxima, violations=violations,
+                                total_flows=total_flows)
+        return result, new_state, stats
+
+    # -- single-link failure -------------------------------------------
+    def recertify_link_failure(self, state: CaseState, repaired_tables,
+                               dead_gports,
+                               ) -> tuple[SymbolicResult, IncrementalStats]:
+        """Re-certify after cable removals healed by
+        :func:`repro.routing.repair.repair_tables`.
+
+        Only the flows whose closed-form path crossed a dead cable are
+        walked through the repaired tables; every other flow keeps its
+        eq.-(1) links (the repair re-points exactly the entries that
+        became dead, so live paths are untouched).  ``repaired_tables``
+        must be the repair of canonical D-Mod-K tables for this spec and
+        active set; ``dead_gports`` may name either side of each cable.
+        """
+        spec = self.spec
+        dead = np.atleast_1d(np.asarray(dead_gports, dtype=np.int64))
+        both = np.unique(np.concatenate(
+            [dead, np.array([canonical_peer(spec, int(g)) for g in dead],
+                            dtype=np.int64)]))
+        stats = IncrementalStats(stages_total=len(state.cps.stages))
+        maxima: list[int] = []
+        violations: list[dict[str, Any]] = []
+        total_flows = 0
+        for i, st in enumerate(state.cps):
+            old = state.stages[i]
+            src, dst = old.src, old.dst
+            total_flows += len(src)
+            stats.flows_total += len(src)
+            hit = np.isin(old.link_ids, both)
+            if not hit.any():
+                ids, counts = old.link_ids, old.link_counts
+            else:
+                stats.stages_touched += 1
+                flow_idx, gports = symbolic_flow_links(spec, src, dst,
+                                                       state.ridx)
+                aff = np.unique(flow_idx[np.isin(gports, both)])
+                stats.flows_recomputed += len(aff)
+                on = np.isin(flow_idx, aff)
+                sub = gports[on]
+                _, add = walk_flow_links(repaired_tables, src[aff], dst[aff])
+                ids, counts = _apply_delta(old.link_ids, old.link_counts,
+                                           sub, add)
+            stage_max = int(counts.max()) if len(counts) else 0
+            maxima.append(stage_max)
+            if stage_max > 1:
+                gp = int(ids[int(np.argmax(counts))])
+                flow_idx, gports = walk_flow_links(repaired_tables, src, dst)
+                on_link = np.unique(flow_idx[gports == gp])
+                violations.append({
+                    "stage": i, "stage_label": st.label, "gport": gp,
+                    "link_load": stage_max,
+                    **colliding_pairs_payload(src, dst, on_link),
+                })
+        return SymbolicResult(maxima=maxima, violations=violations,
+                              total_flows=total_flows), stats
+
+
+# ----------------------------------------------------------------------
+# Pipeline passes
+# ----------------------------------------------------------------------
+class SymbolicContentionPass(CheckPass):
+    """Closed-form certification: same verdicts and certificate schema
+    as :class:`~repro.check.certify.ContentionCertifierPass`, no tables.
+
+    Certificates carry ``certificate_kind: "symbolic"`` and bind to the
+    *spec*, CPS, placement and active-set digests (there are no tables
+    to digest; for the canonical fabric the spec determines them).
+    """
+
+    name = "symbolic-certify"
+    needs_schedule = True
+
+    def __init__(self, active: np.ndarray | None = None):
+        self.active = active
+
+    def run(self, ctx: CheckContext, report: DiagnosticReport) -> None:
+        spec = ctx.fabric.spec
+        if spec is None:
+            report.add(Diagnostic(
+                code="SYM010",
+                message="fabric carries no PGFT spec; the symbolic engine "
+                        "reasons over the closed form and cannot run"))
+            return
+        if ctx.routing_name not in ("", "dmodk"):
+            report.add(Diagnostic(
+                code="SYM010",
+                message=f"tables under test come from "
+                        f"{ctx.routing_name!r}, not D-Mod-K; the symbolic "
+                        "engine would certify the wrong routing"))
+            return
+        active = self.active if self.active is not None else ctx.active
+        certifier = SymbolicCertifier(spec, active)
+        certificates = ctx.artifacts.setdefault("certificates", [])
+        stage_loads: dict[str, list[int]] = {}
+        ctx.artifacts["symbolic_stage_max"] = stage_loads
+        for case in ctx.schedule:
+            result, _ = certifier.certify(case.cps, case.placement)
+            stage_loads[case.name()] = list(result.maxima)
+            if result.refuted:
+                for v in result.violations:
+                    pairs = v["colliding_pairs"]
+                    report.add(Diagnostic(
+                        code="SYM001",
+                        message=(f"{case.name()}: stage {v['stage']} "
+                                 f"({v['stage_label'] or 'unlabelled'}) "
+                                 f"places {v['link_load']} concurrent flows "
+                                 f"on one directed link (closed-form proof); "
+                                 f"colliding (src, dst) end-ports: {pairs}"
+                                 + (f" (+{v['total_pairs'] - len(pairs)} more)"
+                                    if v["pairs_truncated"] else "")),
+                        loc=symbolic_link_loc(spec, v["gport"],
+                                              stage=v["stage"]),
+                        data={"case": case.name(), "stage": v["stage"],
+                              "link_load": v["link_load"],
+                              "gport": v["gport"],
+                              "colliding_pairs": pairs,
+                              "total_pairs": v["total_pairs"],
+                              "pairs_truncated": v["pairs_truncated"]},
+                    ))
+                continue
+            if result.total_flows == 0:
+                report.add(Diagnostic(
+                    code="SYM002",
+                    message=f"{case.name()}: schedule produced no flows; "
+                            "certificate would be vacuous"))
+                continue
+            certificates.append({
+                "kind": "contention-freedom-certificate",
+                "version": CERTIFICATE_VERSION,
+                "certificate_kind": "symbolic",
+                "case": case.name(),
+                "topology": str(spec),
+                "num_endports": int(spec.num_endports),
+                "routing": "dmodk",
+                "spec_digest": spec_digest(spec),
+                "cps": case.cps.name,
+                "cps_digest": cps_digest(case.cps),
+                "num_stages": len(case.cps.stages),
+                "num_flows": int(result.total_flows),
+                "placement_digest": placement_digest(case.placement),
+                "active_digest": active_digest(spec.num_endports,
+                                               certifier.active),
+                "max_link_load": int(result.max_link_load),
+                "verdict": "contention-free",
+            })
+
+
+class EngineAgreementPass(CheckPass):
+    """Differential validation (``--engine both``): the enumerating and
+    symbolic certifiers must agree on every per-stage maximum link load
+    and on the offending link of every refuted stage; any divergence is
+    a ``SYM090`` error."""
+
+    name = "differential"
+    needs_schedule = True
+
+    def run(self, ctx: CheckContext, report: DiagnosticReport) -> None:
+        enum = ctx.artifacts.get("certifier_stage_max")
+        sym = ctx.artifacts.get("symbolic_stage_max")
+        if enum is None or sym is None:
+            return  # one of the engines did not run; nothing to compare
+        compared = 0
+        for case in sorted(sym):
+            if case not in enum:
+                continue
+            compared += 1
+            if enum[case] != sym[case]:
+                report.add(Diagnostic(
+                    code="SYM090",
+                    message=(f"{case}: per-stage maximum link loads differ "
+                             f"between engines (enumerated {enum[case]}, "
+                             f"symbolic {sym[case]})"),
+                    data={"case": case, "enumerated": enum[case],
+                          "symbolic": sym[case]},
+                ))
+        e_links = {(d.data["case"], d.data["stage"]): d.data["gport"]
+                   for d in report.by_code("CFC001")}
+        s_links = {(d.data["case"], d.data["stage"]): d.data["gport"]
+                   for d in report.by_code("SYM001")}
+        for key in sorted(set(e_links) & set(s_links)):
+            if e_links[key] != s_links[key]:
+                case, stage = key
+                report.add(Diagnostic(
+                    code="SYM090",
+                    message=(f"{case}: stage {stage} counterexample names "
+                             f"different links (enumerated gport "
+                             f"{e_links[key]}, symbolic {s_links[key]})"),
+                    data={"case": case, "stage": stage,
+                          "enumerated_gport": e_links[key],
+                          "symbolic_gport": s_links[key]},
+                ))
+        ctx.artifacts["differential_cases"] = compared

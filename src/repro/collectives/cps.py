@@ -79,6 +79,20 @@ class Stage:
         s, d = self.pairs[:, 0], self.pairs[:, 1]
         return len(np.unique(s)) == len(s) and len(np.unique(d)) == len(d)
 
+    def constant_displacement(self, num_ranks: int) -> int | None:
+        """The stage's single displacement ``(dst - src) mod num_ranks``,
+        or ``None`` when the stage is empty or mixes displacements.
+
+        Paper observation 1: global-collective stages are constant-
+        displacement permutations; the symbolic certifier exploits the
+        structure (all of a stage's flows share one residue family) and
+        this is the extraction hook for it.
+        """
+        if len(self.pairs) == 0:
+            return None
+        d = np.unique((self.pairs[:, 1] - self.pairs[:, 0]) % num_ranks)
+        return int(d[0]) if len(d) == 1 else None
+
     def reversed(self) -> "Stage":
         return Stage(self.pairs[:, ::-1].copy(), label=self.label + "^R")
 

@@ -22,8 +22,8 @@ import numpy as np
 
 from .cps import CPS, Stage
 
-__all__ = ["stage_flows", "stage_flows_batch", "port_sequences",
-           "validate_placement"]
+__all__ = ["stage_flows", "stage_flows_batch", "stage_flow_keys",
+           "port_sequences", "validate_placement"]
 
 
 def validate_placement(rank_to_port: np.ndarray, num_endports: int,
@@ -57,6 +57,18 @@ def stage_flows(stage: Stage, rank_to_port: np.ndarray) -> tuple[np.ndarray, np.
     # Slots marked -1 (physical placements of partial jobs) do not exist.
     drop = (src == dst) | (src < 0) | (dst < 0)
     return src[~drop], dst[~drop]
+
+
+def stage_flow_keys(src: np.ndarray, dst: np.ndarray,
+                    num_endports: int) -> np.ndarray:
+    """Pack physical flows into single int64 keys ``src * N + dst``.
+
+    The keys identify a stage's flow *multiset* independently of order,
+    which is what incremental re-certification diffs when a placement
+    changes (see :class:`repro.check.SymbolicCertifier`).
+    """
+    return (np.asarray(src, dtype=np.int64) * num_endports
+            + np.asarray(dst, dtype=np.int64))
 
 
 def stage_flows_batch(

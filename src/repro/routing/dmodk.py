@@ -38,7 +38,15 @@ from ..fabric.model import Fabric
 from ..topology.spec import PGFTSpec
 from .base import build_pgft_tables
 
-__all__ = ["q_up", "down_parallel_k", "route_dmodk", "DModKRouter", "dense_ranks"]
+__all__ = [
+    "q_up",
+    "q_profile",
+    "q_split",
+    "down_parallel_k",
+    "route_dmodk",
+    "DModKRouter",
+    "dense_ranks",
+]
 
 
 def q_up(spec: PGFTSpec, level: int, dest: np.ndarray | int) -> np.ndarray:
@@ -57,6 +65,38 @@ def down_parallel_k(spec: PGFTSpec, level: int, dest: np.ndarray | int) -> np.nd
     """Parallel-cable ordinal ``k_level(dest) = Q_level(dest) // w_level``
     used when descending from level ``level`` toward ``dest``."""
     return q_up(spec, level, dest) // spec.w[level - 1]
+
+
+def q_profile(spec: PGFTSpec, dest: np.ndarray | int) -> np.ndarray:
+    """All routing residues at once: ``Q_1(dest) .. Q_h(dest)``.
+
+    Returns shape ``(h,) + dest.shape``; row ``l-1`` holds
+    ``Q_l(dest) = floor(dest / W_{l-1}) mod (w_l * p_l)`` -- the complete
+    residue-class signature eq. (1) assigns to a routing index.  The
+    symbolic certifier reasons over these rows instead of materialised
+    tables: two destinations share every up cable iff their profiles
+    agree, so congruence on the profile *is* link identity.
+    """
+    dest = np.asarray(dest, dtype=np.int64)
+    Wp = spec.W_prefix()
+    out = np.empty((spec.h,) + dest.shape, dtype=np.int64)
+    for level in range(1, spec.h + 1):
+        out[level - 1] = (dest // Wp[level - 1]) % (
+            spec.w[level - 1] * spec.p[level - 1])
+    return out
+
+
+def q_split(spec: PGFTSpec, level: int, dest: np.ndarray | int
+            ) -> tuple[np.ndarray, np.ndarray]:
+    """Decompose ``Q_level(dest)`` into ``(w_digit, parallel_k)``.
+
+    The up-port ordinal ``Q = e + k * w_level`` addresses parent w-digit
+    ``e`` over parallel cable ``k``; the pair is what both the wiring
+    rule (paper Fig. 5) and the down-path retrace (lemma 5) consume.
+    """
+    q = q_up(spec, level, dest)
+    w = spec.w[level - 1]
+    return q % w, q // w
 
 
 def dense_ranks(num_endports: int, active: np.ndarray | None) -> np.ndarray:

@@ -41,8 +41,10 @@ __all__ = [
     "CACHE_VERSION",
     "CacheStats",
     "ResultCache",
+    "active_digest",
     "cps_digest",
     "default_cache_dir",
+    "spec_digest",
     "sweep_digest",
     "tables_digest",
 ]
@@ -87,6 +89,33 @@ def tables_digest(tables: ForwardingTables) -> str:
         h.update(b"host_up:none")
     else:
         _update_array(h, tables.host_up)
+    return h.hexdigest()
+
+
+def spec_digest(spec) -> str:
+    """SHA-256 of a PGFT tuple.
+
+    The symbolic certifier never materialises tables, so its
+    certificates bind to the topology *parameters* (which, for the
+    canonical fabric + D-Mod-K, determine the wiring and the tables
+    uniquely) instead of ``tables_digest``.
+    """
+    h = hashlib.sha256(b"repro-spec-v1")
+    h.update(f"h={spec.h};m={spec.m};w={spec.w};p={spec.p}".encode())
+    return h.hexdigest()
+
+
+def active_digest(num_endports: int, active=None) -> str:
+    """SHA-256 of a job's active end-port set (``None`` = fully
+    populated).  Binds job-aware (dense-active-rank) routing decisions
+    into symbolic certificates."""
+    h = hashlib.sha256(b"repro-active-v1")
+    h.update(str(num_endports).encode())
+    if active is None:
+        h.update(b"full")
+    else:
+        arr = np.unique(np.asarray(active, dtype=np.int64))
+        _update_array(h, arr)
     return h.hexdigest()
 
 

@@ -32,6 +32,8 @@ import math
 from dataclasses import dataclass
 from typing import Iterator
 
+import numpy as np
+
 
 class TopologyError(ValueError):
     """Raised when a topology tuple is malformed or inconsistent."""
@@ -123,6 +125,46 @@ class PGFTSpec:
     def ports_at(self, level: int) -> int:
         """Total (down + up) ports per switch at ``level``."""
         return self.down_ports_at(level) + self.up_ports_at(level)
+
+    def M_prefix(self) -> np.ndarray:
+        """``[M(0), M(1), .., M(h)]`` as an int64 array (``M(0) == 1``).
+
+        The subtree sizes are the moduli of the closed-form (symbolic)
+        route reasoning; having them as one array keeps that code free
+        of per-level Python loops over ``M()``.
+        """
+        return np.cumprod(np.array((1,) + self.m, dtype=np.int64))
+
+    def W_prefix(self) -> np.ndarray:
+        """``[W(0), W(1), .., W(h)]`` as an int64 array (``W(0) == 1``)."""
+        return np.cumprod(np.array((1,) + self.w, dtype=np.int64))
+
+    def switch_level_base(self, level: int) -> int:
+        """Number of switches strictly below ``level`` (1-based).
+
+        Equals the per-level node-id offset of the canonical fabric
+        (:func:`repro.fabric.build_fabric` lays out end-ports first,
+        then switches grouped by ascending level).
+        """
+        self._check_level(level)
+        return sum(self.switches_at(l) for l in range(1, level))
+
+    def port_level_base(self, level: int) -> int:
+        """First global port id of level-``level`` switches in the
+        canonical fabric's CSR port layout (end-port ports first, then
+        switch ports grouped by ascending level)."""
+        self._check_level(level)
+        base = self.num_endports * self.up_ports_at(0)
+        for l in range(1, level):
+            base += self.switches_at(l) * self.ports_at(l)
+        return base
+
+    @property
+    def num_ports(self) -> int:
+        """Total global port count of the canonical fabric."""
+        return (self.num_endports * self.up_ports_at(0)
+                + sum(self.switches_at(l) * self.ports_at(l)
+                      for l in range(1, self.h + 1)))
 
     @property
     def num_links(self) -> int:

@@ -76,8 +76,30 @@ def test_random_order_refuted_with_counterexample():
     d = diags[0].data
     assert d["link_load"] >= 2
     assert len(d["colliding_pairs"]) == min(d["link_load"], 8)
+    assert d["total_pairs"] == d["link_load"]
+    assert d["pairs_truncated"] == (d["total_pairs"] > 8)
     assert diags[0].loc.stage == d["stage"]
     assert diags[0].loc.switch is not None
+
+
+def test_counterexample_truncation_is_explicit():
+    """A >8-way collision keeps the exact pair count: the payload says
+    how many pairs exist and that the listing is truncated (no silent
+    cap)."""
+    from repro.collectives.cps import CPS, Stage
+    tables = route_dmodk(build_fabric(TOPOLOGIES["rlft2"]))
+    n = tables.fabric.num_endports
+    # ten senders converge on end-port 0: its host down-link carries 10
+    pairs = np.stack([np.arange(1, 11), np.zeros(10, dtype=np.int64)], axis=1)
+    cps = CPS("incast", n, (Stage(pairs, label="incast"),))
+    result = certify(tables, [ScheduleCase(cps, topology_order(n), "incast")])
+    (diag,) = result.report.by_code("CFC001")
+    d = diag.data
+    assert d["link_load"] == 10
+    assert d["total_pairs"] == 10
+    assert d["pairs_truncated"] is True
+    assert len(d["colliding_pairs"]) == 8
+    assert "(+2 more)" in diag.message
 
 
 def test_random_routing_refuted():

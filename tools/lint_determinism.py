@@ -22,7 +22,9 @@ to a list/np.unique.  A finding can be waived with a trailing
 escape (e.g. a pure membership reduction).
 
 Usage: ``python tools/lint_determinism.py [paths...]``
-Defaults to ``src/repro/routing`` and ``src/repro/runtime``.
+Defaults to ``src/repro/routing``, ``src/repro/runtime``,
+``src/repro/check`` (diagnostics and certificates are diffed in CI)
+and ``src/repro/collectives``.
 Exit code 1 when findings exist, 0 otherwise.  Stdlib only.
 """
 
@@ -32,7 +34,8 @@ import ast
 import sys
 from pathlib import Path
 
-DEFAULT_PATHS = ("src/repro/routing", "src/repro/runtime")
+DEFAULT_PATHS = ("src/repro/routing", "src/repro/runtime",
+                 "src/repro/check", "src/repro/collectives")
 
 #: dict-view methods whose iteration order mirrors insertion order of a
 #: dict -- fine for literals, unordered when the dict was built from an
