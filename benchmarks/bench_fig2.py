@@ -29,6 +29,7 @@ def test_fig2_shift_random(benchmark, tables324, size_kb):
         _run, args=(tables324, cps, order, size_kb), rounds=1, iterations=1
     )
     benchmark.extra_info["normalized_bw"] = round(res.normalized_bandwidth, 3)
+    benchmark.extra_info["endports"] = n
     # Paper: random order degrades toward ~0.4 of PCIe bandwidth.
     assert res.normalized_bandwidth < 0.75
 
@@ -42,6 +43,7 @@ def test_fig2_recdbl_random(benchmark, tables324, size_kb):
         _run, args=(tables324, cps, order, size_kb), rounds=1, iterations=1
     )
     benchmark.extra_info["normalized_bw"] = round(res.normalized_bandwidth, 3)
+    benchmark.extra_info["endports"] = n
     assert res.normalized_bandwidth < 0.75
 
 
@@ -54,6 +56,7 @@ def test_fig2_shift_ordered(benchmark, tables324, size_kb):
         _run, args=(tables324, cps, order, size_kb), rounds=1, iterations=1
     )
     benchmark.extra_info["normalized_bw"] = round(res.normalized_bandwidth, 3)
+    benchmark.extra_info["endports"] = n
     # Contention-free reference: at least the overhead-limited ideal.
     ideal = (size_kb * 1024 / 3250) / (size_kb * 1024 / 3250 + 1.0)
     assert res.normalized_bandwidth > 0.95 * ideal

@@ -3,13 +3,67 @@
 Every benchmark regenerates a paper artefact (table/figure); the
 ``--benchmark-only`` run doubles as the reproduction driver, printing
 the key numbers through the benchmark ``extra_info`` channel.
+
+Besides the interactive table, every bench module leaves a
+machine-readable trace: a session-finish hook groups the collected
+benchmarks by module and writes ``artifacts/BENCH_<module>.json`` with
+per-benchmark mean time, ops/sec, and the ``extra_info`` payload
+(normalized bandwidth, speedups, topology sizes), stamped with the git
+SHA -- so perf regressions are diffable across commits without parsing
+terminal output.
 """
+
+import json
+import subprocess
+from collections import defaultdict
+from pathlib import Path
 
 import pytest
 
 from repro.fabric import build_fabric
 from repro.routing import route_dmodk
 from repro.topology import paper_topologies
+
+ARTIFACT_DIR = Path(__file__).resolve().parent / "artifacts"
+
+
+def _git_sha() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=Path(__file__).resolve().parent,
+        )
+        return out.stdout.strip() or None
+    except OSError:
+        return None
+
+
+def pytest_sessionfinish(session, exitstatus):
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None or not bench_session.benchmarks:
+        return
+    by_module: dict[str, list[dict]] = defaultdict(list)
+    for bench in bench_session.benchmarks:
+        module = Path(str(bench.fullname).split("::", 1)[0]).stem
+        stats = getattr(bench, "stats", None)
+        try:
+            mean = stats.mean if stats is not None and stats.data else None
+        except (AttributeError, ValueError):
+            mean = None
+        by_module[module].append({
+            "name": bench.name,
+            "mean_s": mean,
+            "ops_per_sec": (1.0 / mean) if mean else None,
+            "rounds": getattr(stats, "rounds", None),
+            "extra_info": dict(bench.extra_info),
+        })
+    ARTIFACT_DIR.mkdir(exist_ok=True)
+    sha = _git_sha()
+    for module, entries in sorted(by_module.items()):
+        payload = {"module": module, "git_sha": sha, "benchmarks": entries}
+        path = ARTIFACT_DIR / f"BENCH_{module}.json"
+        path.write_text(json.dumps(payload, indent=2) + "\n")
 
 
 @pytest.fixture(scope="session")

@@ -12,17 +12,23 @@ Two simulator backends regenerate the series:
   default topology (324 nodes, sampled Shift window).  It reproduces
   the ~40 % degradation *level* but not the downward slope (fair-share
   contention is size-invariant).
-* ``--model packet`` -- the credit-flow-controlled packet simulator on
-  a smaller fabric.  Finite input buffers back-pressure long convoys
-  (tree saturation), reproducing the paper's *decreasing* bandwidth
-  with message size.
+* ``--model packet`` -- the credit-flow-controlled packet simulator,
+  running the paper-scale default topology (n324) directly: the
+  vectorized wave-calendar engine advances contention-free convoys
+  analytically and falls back to the event-driven core only when link
+  occupancy actually conflicts.  Finite input buffers back-pressure
+  long convoys (tree saturation), reproducing the paper's *decreasing*
+  bandwidth with message size.
 
 Pass ``--topo n1944 --shift-stages 0`` for the full-size fluid run if
 you have the patience.  The topology-aware order is included as the
-contention-free reference line.
+contention-free reference line.  ``--engine reference`` forces the
+event-driven packet core (slow; warns above its validated size).
 """
 
 from __future__ import annotations
+
+import warnings
 
 from ..analysis import render_series
 from ..collectives import recursive_doubling, shift
@@ -36,6 +42,11 @@ __all__ = ["run", "main"]
 
 DEFAULT_SIZES_KB = (16, 64, 256, 1024)
 
+#: Largest end-port count the event-driven reference engine has been
+#: exercised at routinely.  Bigger fabrics run fine but take minutes to
+#: hours; the vectorized engine is the supported path at paper scale.
+REFERENCE_ENGINE_VALIDATED_PORTS = 64
+
 
 def run(
     topo: str = "n324",
@@ -44,20 +55,29 @@ def run(
     seed: int = 1,
     model: str = "fluid",
     credits: int = 4,
+    engine: str = "vector",
 ) -> str:
     if model not in ("fluid", "packet"):
         raise SystemExit(f"model must be fluid|packet, got {model!r}")
-    if model == "packet" and topo == "n324":
-        topo = "n16-pgft"  # packet default: a packet-sim-sized fabric
     spec = get_topology(topo)
     tables = route_dmodk(build_fabric(spec))
     n = spec.num_endports
+    if (model == "packet" and engine == "reference"
+            and n > REFERENCE_ENGINE_VALIDATED_PORTS):
+        warnings.warn(
+            f"reference packet engine on {n} end-ports exceeds its"
+            f" validated size ({REFERENCE_ENGINE_VALIDATED_PORTS});"
+            " expect minutes-to-hours runtimes -- use engine='vector'",
+            RuntimeWarning,
+            stacklevel=2,
+        )
 
     def simulate(wl):
         if model == "fluid":
             return FluidSimulator(tables).run_sequences(wl)
         return PacketSimulator(
-            tables, credit_limit=credits, max_events=50_000_000
+            tables, credit_limit=credits, max_events=50_000_000,
+            engine=engine,
         ).run_sequences(wl)
 
     if shift_stages and shift_stages < n - 1:
@@ -104,10 +124,14 @@ def main(argv=None) -> None:
                         default="fluid")
     parser.add_argument("--credits", type=int, default=4,
                         help="input-buffer credits for the packet model")
+    parser.add_argument("--engine", choices=("vector", "reference"),
+                        default="vector",
+                        help="packet-model inner engine")
     args = parser.parse_args(argv)
     print(run(topo=args.topo, sizes_kb=args.sizes_kb,
               shift_stages=args.shift_stages, seed=args.seed,
-              model=args.model, credits=args.credits))
+              model=args.model, credits=args.credits,
+              engine=args.engine))
 
 
 if __name__ == "__main__":

@@ -15,8 +15,9 @@ from .metrics import (
     ideal_sequence_time,
     link_byte_loads,
     utilization_report,
+    zero_load_latencies,
 )
-from .packet import PacketResult, PacketSimulator
+from .packet import PacketEngineStats, PacketResult, PacketSimulator
 from .workload import (
     cps_workload,
     merge_sequences,
@@ -33,6 +34,7 @@ __all__ = [
     "FluidSimulator",
     "LinkCalibration",
     "MessageRecord",
+    "PacketEngineStats",
     "PacketResult",
     "PacketSimulator",
     "QDR_PCIE_GEN2",
@@ -47,4 +49,5 @@ __all__ = [
     "shard_workload",
     "utilization_report",
     "uniform_random_workload",
+    "zero_load_latencies",
 ]

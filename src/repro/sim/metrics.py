@@ -18,6 +18,7 @@ __all__ = [
     "bandwidth_lower_bound",
     "link_byte_loads",
     "utilization_report",
+    "zero_load_latencies",
 ]
 
 
@@ -98,6 +99,44 @@ def utilization_report(tables, sequences, makespan: float,
             f" -> {fab.node_names[peer]}"
         )
     return "\n".join(lines)
+
+
+def zero_load_latencies(
+    tables, sequences, calibration: LinkCalibration
+) -> np.ndarray:
+    """Analytic zero-load cut-through latency of every routed message.
+
+    Uses each message's *actual* hop count (same-leaf destinations are
+    cheaper than cross-spine ones), so the array is the per-message
+    floor a contention-free packet run should sit on -- the paper's
+    section-VII criterion made testable: on an ordered D-Mod-K fabric,
+    measured latencies match these values to within float pacing noise.
+
+    Ordered like :attr:`PacketResult.latencies` (by source port, then
+    sequence position; self and zero-byte messages excluded).
+    """
+    srcs, dsts, sizes = [], [], []
+    for p, seq in enumerate(sequences):
+        for d, size in seq:
+            if d != p and size > 0:
+                srcs.append(p)
+                dsts.append(d)
+                sizes.append(float(size))
+    if not srcs:
+        return np.empty(0)
+    hops = tables.paths_matrix()[np.asarray(srcs), np.asarray(dsts)]
+    if (hops < 0).any():
+        raise ValueError("workload contains unroutable destinations")
+    size = np.asarray(sizes)
+    # hops counts traversed links; switches traversed = links - 1.  The
+    # tail crosses the ejection link once more after the header lands
+    # (the packet model serialises ejection at the PCIe-limited rate).
+    return (
+        calibration.host_overhead
+        + hops * calibration.wire_latency
+        + (hops - 1) * calibration.switch_latency
+        + size / calibration.min_bandwidth
+    )
 
 
 def bandwidth_lower_bound(

@@ -15,24 +15,46 @@ stalls, and the stall propagates -- the *tree saturation* that makes
 sustained hot spots so damaging for large messages.  ``credit_limit=None``
 gives infinite buffers (pure queueing delay, no back-pressure).
 
+Two engines produce bit-identical results:
+
+* ``engine="vector"`` (default) -- the struct-of-arrays engine in
+  :mod:`repro.sim.packet_vector`: messages are bucketed into wave
+  epochs (the *k*-th message of every port) and each epoch is advanced
+  with NumPy recurrences over flat per-hop arrays; whenever the
+  per-link occupancy intervals of the run are pairwise disjoint (the
+  contention-free configurations the paper engineers for) the whole
+  run is resolved analytically -- one vector pass instead of
+  ``ceil(size/MTU) x hops`` heap events per message.  When intervals
+  do overlap the engine transparently falls back to the event-driven
+  core, so results are *always* exactly those of the reference engine.
+* ``engine="reference"`` -- the original per-packet heap-event engine,
+  kept as the semantic ground truth for differential testing.
+
 Remaining simplifications vs. real InfiniBand: a single virtual lane,
-FIFO (not VOQ) inputs, FCFS output arbitration.  Intended for fabrics
-up to a few dozen end-ports (each packet-hop is a Python-level event);
-the fluid simulator covers the large cases.
+FIFO (not VOQ) inputs, FCFS output arbitration.  With the vectorized
+engine, paper-scale fabrics (n324 and beyond) run directly; the
+reference engine remains practical up to a few dozen end-ports.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
 from ..fabric.lft import ForwardingTables
 from .calibration import LinkCalibration, QDR_PCIE_GEN2
 from .events import EventQueue, SimulationError
+from .fluid import MessageRecord
 
-__all__ = ["PacketSimulator", "PacketResult"]
+__all__ = ["PacketSimulator", "PacketResult", "PacketEngineStats"]
+
+
+def _segment_count(size: float, mtu: int) -> int:
+    """Number of MTU pieces ``segment()`` produces for ``size`` bytes."""
+    full, rest = divmod(size, mtu)
+    return int(full) + (1 if rest > 1e-12 or full == 0 else 0)
 
 
 @dataclass
@@ -50,8 +72,26 @@ class _MsgState:
     dst: int
     size: float
     start: float
+    seq_idx: int = 0     # position within the source port's sequence
+    inject: float = -1.0
     finish: float = -1.0
     packets_left: int = 0
+
+
+@dataclass(frozen=True)
+class PacketEngineStats:
+    """How a packet run was executed (for perf tracking and tests)."""
+
+    engine: str              # "vector" | "reference"
+    fast_path: bool          # analytic wave calendar resolved the run
+    fallback: bool           # vector engine deferred to the event core
+    conflicts: int           # overlapping link-interval pairs detected
+    messages: int            # real (routed) messages simulated
+    packets: int             # MTU segments across all messages
+    events_saved: int        # per-packet-hop heap events avoided
+
+    def as_dict(self) -> dict:
+        return asdict(self)
 
 
 @dataclass
@@ -64,6 +104,8 @@ class PacketResult:
     active_ports: int
     calibration: LinkCalibration
     latencies: np.ndarray = field(default_factory=lambda: np.empty(0))
+    messages: list[MessageRecord] = field(default_factory=list)
+    engine_stats: PacketEngineStats | None = None
 
     @property
     def aggregate_bandwidth(self) -> float:
@@ -89,20 +131,68 @@ class PacketResult:
 class PacketSimulator:
     """Input-queued cut-through packet simulation over routed tables."""
 
+    ENGINES = ("vector", "reference")
+
     def __init__(
         self,
         tables: ForwardingTables,
         calibration: LinkCalibration = QDR_PCIE_GEN2,
         credit_limit: int | None = None,
         max_events: int = 5_000_000,
+        engine: str = "vector",
     ):
         if credit_limit is not None and credit_limit < 1:
             raise ValueError("credit_limit must be >= 1 (or None for infinite)")
+        if engine not in self.ENGINES:
+            raise ValueError(
+                f"engine must be one of {self.ENGINES}, got {engine!r}"
+            )
         self.tables = tables
         self.fabric = tables.fabric
         self.cal = calibration
         self.credit_limit = credit_limit
         self.max_events = max_events
+        self.engine = engine
+
+    # -- shared helpers ----------------------------------------------------
+    def _link_capacities(self) -> np.ndarray:
+        """Per-gport serialisation bandwidth (injection/ejection PCIe
+        limited, switch-to-switch at wire speed)."""
+        fab = self.fabric
+        N = fab.num_endports
+        cap = np.full(fab.num_ports, self.cal.link_bandwidth)
+        host_owned = fab.port_owner < N
+        cap[host_owned] = self.cal.host_bandwidth
+        into_host = (fab.peer_node >= 0) & (fab.peer_node < N)
+        cap[into_host] = np.minimum(cap[into_host], self.cal.host_bandwidth)
+        return cap
+
+    def _finalize(
+        self,
+        records: list[MessageRecord],
+        sequences: list[list[tuple[int, float]]],
+        stats: PacketEngineStats | None,
+    ) -> PacketResult:
+        """Build a :class:`PacketResult` from canonically ordered records.
+
+        ``records`` must be sorted by (source port, sequence position) --
+        both engines emit this order, so metric arrays compare
+        element-wise across engines.
+        """
+        total = sum(m.size for m in records)
+        lat = np.asarray([m.finish - m.start for m in records
+                          if m.size > 0 and m.src != m.dst])
+        makespan = max((m.finish for m in records), default=0.0)
+        return PacketResult(
+            makespan=makespan,
+            total_bytes=total,
+            num_ports=self.fabric.num_endports,
+            active_ports=sum(1 for s in sequences if s),
+            calibration=self.cal,
+            latencies=lat,
+            messages=records,
+            engine_stats=stats,
+        )
 
     # -- public API -------------------------------------------------------
     def run_sequences(
@@ -110,10 +200,33 @@ class PacketSimulator:
     ) -> PacketResult:
         """Simulate per-port ``(dst, size)`` message sequences
         (asynchronous progression, as in the fluid simulator)."""
-        fab = self.fabric
-        N = fab.num_endports
+        N = self.fabric.num_endports
         if len(sequences) != N:
             raise ValueError(f"need {N} sequences, got {len(sequences)}")
+
+        if self.engine == "vector":
+            from .packet_vector import run_vectorized
+
+            records, stats = run_vectorized(self, sequences)
+            if records is not None:
+                return self._finalize(records, sequences, stats)
+            # Link occupancy intervals overlap: messages interact, so
+            # defer to the event-driven core for exact arbitration.
+            result = self._run_reference(sequences)
+            result.engine_stats = PacketEngineStats(
+                engine="vector", fast_path=False, fallback=True,
+                conflicts=stats.conflicts, messages=stats.messages,
+                packets=stats.packets, events_saved=0,
+            )
+            return result
+        return self._run_reference(sequences)
+
+    # -- reference (per-packet heap event) engine --------------------------
+    def _run_reference(
+        self, sequences: list[list[tuple[int, float]]]
+    ) -> PacketResult:
+        fab = self.fabric
+        N = fab.num_endports
 
         q = EventQueue()
         cal = self.cal
@@ -134,11 +247,7 @@ class PacketSimulator:
         messages: list[_MsgState] = []
         self._events = 0
 
-        cap = np.full(fab.num_ports, cal.link_bandwidth)
-        host_owned = fab.port_owner < N
-        cap[host_owned] = cal.host_bandwidth
-        into_host = (fab.peer_node >= 0) & (fab.peer_node < N)
-        cap[into_host] = np.minimum(cap[into_host], cal.host_bandwidth)
+        cap = self._link_capacities()
 
         def segment(size: float) -> list[float]:
             full, rest = divmod(size, cal.mtu)
@@ -162,12 +271,14 @@ class PacketSimulator:
             if seq_pos[p] >= len(sequences[p]):
                 return
             dst, size = sequences[p][seq_pos[p]]
+            msg = _MsgState(src=p, dst=dst, size=size, start=q.now,
+                            seq_idx=seq_pos[p])
             seq_pos[p] += 1
             t0 = max(q.now, host_free[p]) + cal.host_overhead
-            msg = _MsgState(src=p, dst=dst, size=size, start=q.now)
             msg_id = len(messages)
             messages.append(msg)
             if dst == p or size <= 0:
+                msg.inject = t0
                 msg.finish = t0
                 host_free[p] = t0
                 q.schedule(t0, host_start_message, p)
@@ -192,6 +303,9 @@ class PacketSimulator:
                 credit_wait.setdefault(gp, deque()).append(("host", p))
                 return
             pkt = host_pkts[p].popleft()
+            msg = messages[pkt.msg_id]
+            if msg.inject < 0:
+                msg.inject = q.now
             duration = pkt.size / cap[gp]
             occupancy[gp] = occupancy.get(gp, 0) + 1
             q.schedule(q.now + cal.wire_latency, arrive, gp, pkt)
@@ -293,18 +407,21 @@ class PacketSimulator:
                 f"{len(unfinished)} messages never finished "
                 "(deadlock or event budget)"
             )
-        total = sum(m.size for m in messages)
-        lat = np.asarray([m.finish - m.start for m in messages
-                          if m.size > 0 and m.src != m.dst])
-        makespan = max((m.finish for m in messages), default=0.0)
-        return PacketResult(
-            makespan=makespan,
-            total_bytes=total,
-            num_ports=N,
-            active_ports=sum(1 for s in sequences if s),
-            calibration=cal,
-            latencies=lat,
+        messages.sort(key=lambda m: (m.src, m.seq_idx))
+        records = [
+            MessageRecord(m.src, m.dst, m.size, m.start,
+                          float(m.inject), float(m.finish))
+            for m in messages
+        ]
+        real = [m for m in messages if m.size > 0 and m.src != m.dst]
+        result = self._finalize(records, sequences, None)
+        result.engine_stats = PacketEngineStats(
+            engine="reference", fast_path=False, fallback=False,
+            conflicts=0, messages=len(real),
+            packets=sum(_segment_count(m.size, cal.mtu) for m in real),
+            events_saved=0,
         )
+        return result
 
     def _tick(self) -> None:
         self._events += 1

@@ -45,6 +45,26 @@ class TestFig2:
         with pytest.raises(SystemExit):
             fig2.run(model="quantum")
 
+    def test_no_silent_topology_downgrade(self):
+        # The packet model used to swap n324 for n16-pgft behind the
+        # user's back; now the requested fabric is the simulated fabric.
+        out = fig2.run(topo="n324", sizes_kb=(16,), shift_stages=2,
+                       model="packet", credits=4)
+        assert "18,18" in out      # n324 = PGFT(2; 18,18; 1,9; 1,2)
+        assert "4,4" not in out    # n16-pgft = PGFT(2; 4,4; 1,2; 1,2)
+
+    def test_reference_engine_warns_above_validated_size(self, monkeypatch):
+        monkeypatch.setattr(fig2, "REFERENCE_ENGINE_VALIDATED_PORTS", 8)
+        with pytest.warns(RuntimeWarning, match="validated size"):
+            fig2.run(topo="n16-pgft", sizes_kb=(16,), shift_stages=2,
+                     model="packet", credits=4, engine="reference")
+
+    def test_vector_engine_no_warning(self, recwarn):
+        fig2.run(topo="n16-pgft", sizes_kb=(16,), shift_stages=2,
+                 model="packet", credits=4, engine="vector")
+        assert not [w for w in recwarn.list
+                    if issubclass(w.category, RuntimeWarning)]
+
 
 class TestFig3:
     def test_shape(self):

@@ -76,3 +76,56 @@ def test_max_events_guard():
 
 def test_step_on_empty_queue():
     assert EventQueue().step() is False
+
+
+def test_past_tolerance_is_relative():
+    # At large simulated times the float spacing between adjacent
+    # doubles exceeds any absolute epsilon: scheduling "now" computed
+    # through a different arithmetic path may land a few ULPs early.
+    # The guard must scale with the clock instead of rejecting it.
+    q = EventQueue()
+    big = 1e7
+    q.schedule(big, lambda: None)
+    q.run()
+    assert q.now == big
+    jitter = big * 1e-10  # well inside 1e-9 * now, far above 1e-9 abs
+    q.schedule(big - jitter, lambda: None)  # must NOT raise
+    q.run()
+
+
+def test_past_tolerance_still_rejects_genuine_past():
+    q = EventQueue()
+    q.schedule(1e7, lambda: None)
+    q.run()
+    with pytest.raises(SimulationError, match="past"):
+        q.schedule(1e7 - 1.0, lambda: None)
+
+
+def test_past_tolerance_small_times_unchanged():
+    q = EventQueue()
+    q.schedule(1.0, lambda: None)
+    q.run()
+    q.schedule(1.0 - 1e-12, lambda: None)  # inside tolerance
+    with pytest.raises(SimulationError):
+        q.schedule(1.0 - 1e-6, lambda: None)
+
+
+def test_pop_batch_drains_equal_times_in_order():
+    q = EventQueue()
+    log = []
+    q.schedule(2.0, log.append, "late")
+    for tag in "abc":
+        q.schedule(1.0, log.append, tag)
+    batch = q.pop_batch()
+    assert q.now == 1.0
+    assert [args[0] for _, args in batch] == ["a", "b", "c"]
+    for cb, args in batch:
+        cb(*args)
+    assert log == ["a", "b", "c"]
+    assert len(q) == 1 and q.peek_time() == 2.0
+
+
+def test_pop_batch_empty_queue():
+    q = EventQueue()
+    assert q.pop_batch() == []
+    assert q.peek_time() is None
