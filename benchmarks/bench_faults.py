@@ -1,0 +1,77 @@
+"""Fault-plane overhead bench: an empty schedule must cost nothing.
+
+The fault engine's contract is that robustness is pay-as-you-go: a
+``PacketSimulator`` constructed with an empty :class:`FaultSchedule`
+takes the same vectorized fast path as one built without a fault plane
+at all.  This bench pins both halves of that contract on the n16 PGFT:
+
+* results are **bit-identical** (same makespan, same per-message
+  timestamps) with and without the empty schedule;
+* the empty-schedule run is within **5%** of the fault-free fast path
+  (measured as best-of-N to shave scheduler noise).
+
+The session conftest writes the measured ratio to
+``artifacts/BENCH_bench_faults.json``.
+"""
+
+import time
+
+from repro.collectives import shift
+from repro.faults import FaultSchedule
+from repro.ordering import topology_order
+from repro.sim import PacketSimulator, cps_workload
+
+STAGES = 12
+SIZE_KB = 64
+MAX_OVERHEAD = 1.05   # empty schedule within 5% of the fast path
+TIMING_ROUNDS = 15
+
+
+def _workload(tables):
+    n = tables.fabric.num_endports
+    cps = shift(n, displacements=range(1, STAGES + 1))
+    return cps_workload(cps, topology_order(n), n, SIZE_KB * 1024.0)
+
+
+def _run(tables, wl, faults=None):
+    return PacketSimulator(
+        tables, credit_limit=4, engine="vector", faults=faults
+    ).run_sequences(wl)
+
+
+def _best_of(fn, rounds=TIMING_ROUNDS):
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_empty_schedule_free_n16(benchmark, tables16):
+    wl = _workload(tables16)
+
+    clean = _run(tables16, wl)
+    faulty = benchmark.pedantic(
+        _run, args=(tables16, wl, FaultSchedule()), rounds=3, iterations=1)
+
+    # Bit-identity: the empty schedule must not perturb a single float.
+    assert faulty.makespan == clean.makespan
+    assert faulty.engine_stats.fast_path == clean.engine_stats.fast_path
+    key = lambda r: sorted(  # noqa: E731
+        (m.src, m.dst, m.size, m.start, m.inject, m.finish)
+        for m in r.messages)
+    assert key(faulty) == key(clean)
+
+    t_clean = _best_of(lambda: _run(tables16, wl))
+    t_faulty = _best_of(lambda: _run(tables16, wl, FaultSchedule()))
+    ratio = t_faulty / t_clean
+
+    benchmark.extra_info["t_clean_ms"] = round(t_clean * 1e3, 3)
+    benchmark.extra_info["t_empty_schedule_ms"] = round(t_faulty * 1e3, 3)
+    benchmark.extra_info["overhead_ratio"] = round(ratio, 4)
+    benchmark.extra_info["fast_path"] = bool(faulty.engine_stats.fast_path)
+
+    assert ratio <= MAX_OVERHEAD, (
+        f"empty FaultSchedule costs {100 * (ratio - 1):.1f}% "
+        f"(> {100 * (MAX_OVERHEAD - 1):.0f}%) over the fault-free fast path")

@@ -56,7 +56,21 @@ from .collectives import (
     tournament,
 )
 from .fabric import Fabric, ForwardingTables, build_fabric
-from .mpi import CollectiveResult, Communicator
+from .faults import (
+    FaultEvent,
+    FaultRunReport,
+    FaultSchedule,
+    HealingController,
+    RepairAction,
+    run_faulty,
+)
+from .mpi import (
+    CollectiveResult,
+    Communicator,
+    DeliveryError,
+    FaultMetrics,
+    RetryPolicy,
+)
 from .ordering import (
     adversarial_ring_order,
     physical_placement,
@@ -90,16 +104,24 @@ __all__ = [
     "BatchedHSDReport",
     "CollectiveResult",
     "Communicator",
+    "DeliveryError",
     "Fabric",
+    "FaultEvent",
+    "FaultMetrics",
+    "FaultRunReport",
+    "FaultSchedule",
     "FluidSimulator",
     "ForwardingTables",
     "HSDReport",
+    "HealingController",
     "PGFT",
     "PGFTSpec",
     "PacketSimulator",
     "ParallelSweeper",
     "QDR_PCIE_GEN2",
+    "RepairAction",
     "ResultCache",
+    "RetryPolicy",
     "Stage",
     "adversarial_ring_order",
     "batched_sequence_hsd",
@@ -124,6 +146,7 @@ __all__ = [
     "route_dmodk",
     "route_minhop",
     "route_random",
+    "run_faulty",
     "sequence_hsd",
     "shift",
     "stage_link_loads",

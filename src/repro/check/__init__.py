@@ -37,6 +37,7 @@ from .diagnostics import (
     Severity,
     describe_code,
 )
+from .fault_lint import FaultSchedulePass
 from .passes import CheckContext, CheckPass, CheckResult, Pipeline, ScheduleCase
 from .routing_lint import (
     CdgCyclePass,
@@ -73,6 +74,7 @@ __all__ = [
     "DownPortBalancePass",
     "ENGINES",
     "EngineAgreementPass",
+    "FaultSchedulePass",
     "IncrementalStats",
     "Loc",
     "MinimalityPass",
@@ -115,6 +117,7 @@ PASS_ORDER = (
     "minimality",
     "placement",
     "stage",
+    "faults",
     "certify",
     "symbolic-certify",
     "differential",
@@ -156,6 +159,7 @@ def default_pipeline(
         MinimalityPass(),
         PlacementLintPass(),
         StageLintPass(),
+        FaultSchedulePass(),
     ]
     if certify:
         if engine in ("enumerate", "both"):

@@ -10,7 +10,9 @@ grouped by subsystem:
   D-Mod-K conformance, balance),
 * ``SCH0xx`` -- collective-schedule lint (placements, permutation
   stages, displacement structure),
-* ``CFC0xx`` -- contention-freedom certification counterexamples.
+* ``CFC0xx`` -- contention-freedom certification counterexamples,
+* ``FLT0xx`` -- fault-schedule lint (events must reference live cables
+  and real switches; dead windows must nest sensibly).
 
 The full catalogue lives in :data:`CODES` (rendered into
 ``docs/CHECKS.md``); every diagnostic emitted anywhere in the analyzer
@@ -124,6 +126,29 @@ CODES: dict[str, tuple[Severity, str]] = {
     "CFC002": (Severity.INFO,
                "Vacuous certificate: the schedule produced no flows (empty "
                "stages or ranks all on one port)."),
+    # -- FLT0xx: fault schedules ---------------------------------------------
+    "FLT001": (Severity.ERROR,
+               "Fault event references a global port outside the fabric. "
+               "The schedule was written for a different topology; regenerate "
+               "it against this fabric."),
+    "FLT002": (Severity.ERROR,
+               "Fault event references a port with no cable attached: there "
+               "is nothing there to fail. Name either end of a live cable."),
+    "FLT003": (Severity.ERROR,
+               "switch_down references a node outside the fabric."),
+    "FLT004": (Severity.WARNING,
+               "switch_down names a host node, not a switch. This only "
+               "disconnects that host's uplink; use link_down on the uplink "
+               "if that is what you meant."),
+    "FLT005": (Severity.WARNING,
+               "link_up without a matching open link_down on that cable: "
+               "the event is a no-op (the engines ignore it)."),
+    "FLT006": (Severity.WARNING,
+               "Redundant fault: the cable is already down (or its switch "
+               "already died) at this event's time, so it changes nothing."),
+    "FLT007": (Severity.WARNING,
+               "Flaky window entirely inside a dead window of the same "
+               "cable: no packet can cross it, so the loss can never fire."),
     # -- SYM0xx: symbolic verification ---------------------------------------
     "SYM001": (Severity.ERROR,
                "Symbolic contention counterexample: the closed-form link "

@@ -1,0 +1,132 @@
+"""Fault-schedule lint: a schedule must make sense on *this* fabric.
+
+A :class:`~repro.faults.FaultSchedule` is pure data, so nothing stops a
+user from scripting the death of a cable that does not exist, reviving
+a link that never went down, or scheduling packet loss on a cable that
+is dead for the whole window.  The packet engines tolerate all of that
+silently (dead references simply never fire); the lint surfaces it
+before a chaos campaign burns compute on a schedule that does not test
+what its author thinks it tests.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .diagnostics import Diagnostic, DiagnosticReport, Loc
+from .passes import CheckContext, CheckPass
+
+__all__ = ["FaultSchedulePass"]
+
+
+class FaultSchedulePass(CheckPass):
+    """Validate every fault event against the (healthy) fabric."""
+
+    name = "faults"
+    needs_faults = True
+
+    def run(self, ctx: CheckContext, report: DiagnosticReport) -> None:
+        from ..faults.schedule import FLAKY, LINK_DOWN, LINK_UP, SWITCH_DOWN
+
+        fab = ctx.fabric
+        faults = ctx.faults
+        assert faults is not None
+        num_ports = fab.num_ports
+        num_nodes = fab.num_nodes
+
+        # Replay the schedule in time order, tracking which cables are
+        # down (canonical (min, max) gport keys) -- the same folding
+        # down_intervals() does, but emitting a finding at each step
+        # that would be ignored.
+        open_down: dict[tuple[int, int], float] = {}
+        killed: set[tuple[int, int]] = set()
+        valid: list = []  # events that survive reference checks
+
+        def canon(gp: int) -> tuple[int, int]:
+            peer = int(fab.port_peer[gp])
+            return (min(gp, peer), max(gp, peer))
+
+        for idx, e in enumerate(faults):
+            where = Loc(gport=e.gport if e.gport >= 0 else None,
+                        stage=idx)
+            if e.kind in (LINK_DOWN, LINK_UP, FLAKY):
+                if not 0 <= e.gport < num_ports:
+                    report.add(Diagnostic(
+                        code="FLT001", loc=where,
+                        message=(f"{e.kind} at t={e.time:g} names gport "
+                                 f"{e.gport}, but the fabric has ports "
+                                 f"0..{num_ports - 1}")))
+                    continue
+                if fab.port_peer[e.gport] < 0:
+                    owner = int(fab.port_owner[e.gport])
+                    report.add(Diagnostic(
+                        code="FLT002", loc=where,
+                        message=(f"{e.kind} at t={e.time:g} names gport "
+                                 f"{e.gport} on {fab.node_names[owner]}, "
+                                 "which has no cable attached")))
+                    continue
+            if e.kind == SWITCH_DOWN:
+                if not 0 <= e.node < num_nodes:
+                    report.add(Diagnostic(
+                        code="FLT003", loc=Loc(stage=idx),
+                        message=(f"switch_down at t={e.time:g} names node "
+                                 f"{e.node}, but the fabric has nodes "
+                                 f"0..{num_nodes - 1}")))
+                    continue
+                valid.append(e)
+                if e.node < fab.num_endports:
+                    report.add(Diagnostic(
+                        code="FLT004", loc=Loc(node=fab.node_names[e.node],
+                                               stage=idx),
+                        message=(f"switch_down at t={e.time:g} targets "
+                                 f"host {fab.node_names[e.node]}")))
+                for gp in fab.ports_of(e.node):
+                    if fab.port_peer[gp] >= 0:
+                        killed.add(canon(int(gp)))
+            elif e.kind == LINK_DOWN:
+                valid.append(e)
+                key = canon(e.gport)
+                if key in killed or key in open_down:
+                    report.add(Diagnostic(
+                        code="FLT006", loc=where,
+                        message=(f"link_down at t={e.time:g}: cable "
+                                 f"{key[0]}<->{key[1]} is already down")))
+                else:
+                    open_down[key] = e.time
+            elif e.kind == LINK_UP:
+                valid.append(e)
+                key = canon(e.gport)
+                if key in killed:
+                    report.add(Diagnostic(
+                        code="FLT006", loc=where,
+                        message=(f"link_up at t={e.time:g}: cable "
+                                 f"{key[0]}<->{key[1]} belongs to a dead "
+                                 "switch and cannot come back")))
+                elif key not in open_down:
+                    report.add(Diagnostic(
+                        code="FLT005", loc=where,
+                        message=(f"link_up at t={e.time:g}: cable "
+                                 f"{key[0]}<->{key[1]} is not down")))
+                else:
+                    open_down.pop(key)
+            elif e.kind == FLAKY:
+                valid.append(e)
+
+        # Flaky windows fully shadowed by a dead window can never fire.
+        # Interval queries run on the reference-checked subset only --
+        # out-of-range events would crash them.
+        from ..faults.schedule import FaultSchedule
+
+        clean = FaultSchedule(events=tuple(valid), seed=faults.seed)
+        down = clean.down_intervals(fab)
+        for a, b, start, end, loss in clean.flaky_intervals(fab):
+            shadowed = any(
+                da == a and db == b and ds <= start
+                and (math.isinf(de) or de >= end)
+                for da, db, ds, de in down)
+            if shadowed:
+                report.add(Diagnostic(
+                    code="FLT007", loc=Loc(gport=a),
+                    message=(f"flaky window [{start:g}, {end:g}) with loss "
+                             f"{loss:g} on cable {a}<->{b} lies inside a "
+                             "dead window")))

@@ -16,7 +16,7 @@ definition serves both "lint this topology file" and "certify this full
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -24,6 +24,9 @@ from ..collectives.cps import CPS
 from ..fabric.lft import ForwardingTables
 from ..fabric.model import Fabric
 from .diagnostics import DiagnosticReport
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..faults.schedule import FaultSchedule
 
 __all__ = [
     "ScheduleCase",
@@ -61,8 +64,9 @@ class CheckContext:
     keys off it.  ``active`` is the job's active end-port set for
     partially populated (Cont.-X) contexts: job-aware passes -- D-Mod-K
     conformance, the balance lints, the symbolic certifier -- evaluate
-    against it instead of the full population.  ``artifacts`` is the
-    inter-pass scratch space.
+    against it instead of the full population.  ``faults`` is an
+    optional :class:`~repro.faults.FaultSchedule` for the fault lint.
+    ``artifacts`` is the inter-pass scratch space.
     """
 
     fabric: Fabric
@@ -70,6 +74,7 @@ class CheckContext:
     schedule: list[ScheduleCase] = field(default_factory=list)
     routing_name: str = ""
     active: np.ndarray | None = None
+    faults: "FaultSchedule | None" = None
     artifacts: dict[str, Any] = field(default_factory=dict)
 
     @classmethod
@@ -77,10 +82,11 @@ class CheckContext:
                    routing_name: str = "",
                    schedule: list[ScheduleCase] | None = None,
                    active: np.ndarray | None = None,
+                   faults: "FaultSchedule | None" = None,
                    ) -> "CheckContext":
         return cls(fabric=tables.fabric, tables=tables,
                    schedule=list(schedule or []), routing_name=routing_name,
-                   active=active)
+                   active=active, faults=faults)
 
 
 class CheckPass:
@@ -93,11 +99,15 @@ class CheckPass:
     needs_tables: bool = False
     #: skip when ``ctx.schedule`` is empty
     needs_schedule: bool = False
+    #: skip when ``ctx.faults`` is None
+    needs_faults: bool = False
 
     def applicable(self, ctx: CheckContext) -> bool:
         if self.needs_tables and ctx.tables is None:
             return False
         if self.needs_schedule and not ctx.schedule:
+            return False
+        if self.needs_faults and ctx.faults is None:
             return False
         return True
 

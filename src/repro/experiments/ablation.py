@@ -75,8 +75,9 @@ def _router_cell(fab, r_name, cps, order, seed):
 
 def run(topo: str = "n324", seed: int = 0, max_shift_stages: int = 32,
         jobs: int | None = 1, use_cache: bool = False, cache_dir=None,
-        check: bool = False) -> str:
-    sweeper = make_sweeper(jobs=jobs, use_cache=use_cache, cache_dir=cache_dir)
+        check: bool = False, shard_timeout: float | None = None) -> str:
+    sweeper = make_sweeper(jobs=jobs, use_cache=use_cache, cache_dir=cache_dir,
+                           shard_timeout=shard_timeout)
     spec = get_topology(topo)
     fab = build_fabric(spec)
     if check:
@@ -167,7 +168,8 @@ def main(argv=None) -> None:
     print(run(topo=args.topo, seed=args.seed,
               max_shift_stages=args.max_shift_stages,
               jobs=args.jobs, use_cache=not args.no_cache,
-              cache_dir=args.cache_dir, check=args.check))
+              cache_dir=args.cache_dir, check=args.check,
+              shard_timeout=args.shard_timeout))
 
 
 if __name__ == "__main__":

@@ -1,0 +1,217 @@
+"""Chaos campaigns: seeded fault storms against the MPI collectives.
+
+Each scenario draws a random :class:`~repro.faults.FaultSchedule`
+(cable cuts, switch deaths, flaky windows -- density set by ``--mtbf``)
+and runs a data-bearing collective through the fault-honoring packet
+engine with at-least-once retransmission and the self-healing
+controller enabled.  Every scenario must end in exactly one of two
+states: the collective completes and its *data* matches the collective
+semantics bit-for-bit, or it raises
+:class:`~repro.mpi.DeliveryError` naming the lost messages.  Anything
+else -- a "completed" collective with wrong data -- is silent loss and
+aborts the campaign.  The report is a degradation envelope: delivered
+fraction, retransmissions, repairs and slowdown versus the fault-free
+baseline, per MTBF level.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis import render_table
+from ..fabric import build_fabric
+from ..faults import FaultSchedule
+from ..mpi import Communicator, DeliveryError, RetryPolicy
+from ..routing import route_dmodk
+from .common import (
+    DEFAULT_SEED,
+    add_runtime_args,
+    get_topology,
+    make_parser,
+    make_sweeper,
+    runtime_summary,
+)
+
+__all__ = ["run", "main", "run_scenario", "COLLECTIVES"]
+
+COLLECTIVES = ("allreduce", "allgather", "broadcast", "alltoall")
+
+
+def _scenario_data(collective: str, n: int, words: int) -> list[np.ndarray]:
+    """Integer-valued float payloads so semantic checks are exact."""
+    if collective == "alltoall":
+        return [np.arange(n, dtype=np.float64) + i * n for i in range(n)]
+    return [np.arange(words, dtype=np.float64) + i for i in range(n)]
+
+
+def _semantics_ok(collective: str, n: int, words: int,
+                  data: list[np.ndarray], values) -> bool:
+    """Cross-check delivered data against the collective's definition."""
+    if collective == "allreduce":
+        expect = np.sum(np.stack(data), axis=0)
+        return all(np.array_equal(v, expect) for v in values)
+    if collective == "allgather":
+        expect = np.concatenate(data)
+        return all(np.array_equal(v, expect) for v in values)
+    if collective == "broadcast":
+        return all(np.array_equal(v, data[0]) for v in values)
+    if collective == "alltoall":
+        # values[i][j] must be data[j][i] (the displacement exchange).
+        return all(
+            np.array_equal(values[i], np.asarray(
+                [data[j][i] for j in range(n)]))
+            for i in range(n)
+        )
+    raise ValueError(f"unknown collective {collective!r}")
+
+
+def run_scenario(
+    topo: str,
+    scenario_seed: int,
+    collective: str,
+    mtbf: float,
+    horizon: float,
+    sweep_delay: float,
+    words: int,
+    max_retries: int,
+) -> tuple[float, ...]:
+    """One chaos scenario (module-level: picklable for worker pools).
+
+    Returns the flat metrics vector
+    ``(completed, semantic_ok, delivered_fraction, retransmissions,
+    dropped_packets, repairs, recovery_latency, time_us, lost)``.
+    """
+    spec = get_topology(topo)
+    fab = build_fabric(spec)
+    tables = route_dmodk(fab)
+    n = fab.num_endports
+    sched = FaultSchedule.random(
+        fab, seed=scenario_seed, horizon=horizon, mtbf=mtbf)
+    comm = Communicator(
+        tables,
+        faults=sched,
+        retry=RetryPolicy(max_retries=max_retries, seed=scenario_seed),
+        sweep_delay=sweep_delay,
+    )
+    data = _scenario_data(collective, n, words)
+    try:
+        res = getattr(comm, collective)(data)
+    except DeliveryError as err:
+        m = err.metrics
+        return (0.0, 1.0, m.delivered_fraction, float(m.retransmissions),
+                float(m.dropped_packets), float(len(m.repairs)),
+                m.recovery_latency, m.time_us, float(len(err.lost)))
+    m = comm.last_faults
+    ok = _semantics_ok(collective, n, words, data, res.values)
+    return (1.0, float(ok), m.delivered_fraction, float(m.retransmissions),
+            float(m.dropped_packets), float(len(m.repairs)),
+            m.recovery_latency, m.time_us, 0.0)
+
+
+def _baseline_time(topo: str, collective: str, words: int) -> float:
+    """Fault-free packet-priced time of the same collective (the
+    denominator of the slowdown column -- same engine, empty schedule)."""
+    spec = get_topology(topo)
+    fab = build_fabric(spec)
+    tables = route_dmodk(fab)
+    comm = Communicator(tables, faults=FaultSchedule())
+    data = _scenario_data(collective, fab.num_endports, words)
+    return getattr(comm, collective)(data).time_us
+
+
+def run(topo: str = "n16-pgft", campaign: int = 50, seed: int = DEFAULT_SEED,
+        mtbf=(500.0, 100.0, 25.0), collective: str = "allreduce",
+        horizon: float = 300.0, sweep_delay: float = 50.0,
+        words: int = 256, max_retries: int = 8, sweeper=None) -> str:
+    if collective not in COLLECTIVES:
+        raise SystemExit(
+            f"unknown collective {collective!r}; pick one of "
+            f"{', '.join(COLLECTIVES)}")
+    if sweeper is None:
+        sweeper = make_sweeper()
+    base_us = _baseline_time(topo, collective, words)
+
+    rows = []
+    for level in mtbf:
+        argslist = [
+            (topo, seed + i, collective, float(level), horizon,
+             sweep_delay, words, max_retries)
+            for i in range(campaign)
+        ]
+        raw = sweeper.starmap(run_scenario, argslist)
+        out = np.asarray([r for r in raw if r is not None])
+        if not out.size:
+            raise RuntimeError(
+                f"chaos campaign mtbf={level}: every scenario worker "
+                f"failed ({len(sweeper.last_failures)} failures)")
+        completed, sem_ok, df = out[:, 0], out[:, 1], out[:, 2]
+        retrans, repairs = out[:, 3], out[:, 5]
+        recovery, time_us, lost = out[:, 6], out[:, 7], out[:, 8]
+        silent = np.flatnonzero((completed > 0) & (sem_ok == 0))
+        if silent.size:
+            bad = [seed + int(i) for i in silent]
+            raise RuntimeError(
+                f"SILENT DATA LOSS: scenario seed(s) {bad} completed "
+                f"{collective} with wrong data (mtbf={level})")
+        done = completed > 0
+        rows.append((
+            f"{level:g}",
+            len(out),
+            int(done.sum()),
+            int((~done).sum()),
+            round(float(df.min()), 3),
+            round(float(df.mean()), 3),
+            round(float(retrans.mean()), 1),
+            round(float(repairs.mean()), 1),
+            round(float(np.percentile(recovery, 95)), 1),
+            round(float(time_us[done].mean() / base_us), 2)
+            if done.any() else "-",
+            int(lost.sum()),
+        ))
+
+    table = render_table(
+        ["mtbf (us)", "scenarios", "ok", "delivery-err", "min df",
+         "mean df", "retrans", "repairs", "p95 recovery", "slowdown",
+         "lost msgs"],
+        rows,
+        title=(f"Chaos campaign: {campaign} seeded scenarios x "
+               f"{collective} on {topo} (horizon {horizon:g} us, "
+               f"sweep delay {sweep_delay:g} us, "
+               f"baseline {base_us:.1f} us)\n"
+               "(every scenario either delivers semantically-correct "
+               "data or raises DeliveryError -- no silent loss)"),
+    )
+    return f"{table}\n{runtime_summary(sweeper)}"
+
+
+def main(argv=None) -> None:
+    parser = make_parser(__doc__)
+    parser.add_argument("--topo", default="n16-pgft")
+    parser.add_argument("--campaign", type=int, default=50, metavar="N",
+                        help="scenarios per MTBF level (default: %(default)s)")
+    parser.add_argument("--mtbf", type=float, nargs="+",
+                        default=[500.0, 100.0, 25.0],
+                        help="mean time between faults, us (one column set"
+                             " per value)")
+    parser.add_argument("--collective", default="allreduce",
+                        choices=COLLECTIVES)
+    parser.add_argument("--horizon", type=float, default=300.0,
+                        help="fault schedule horizon, us")
+    parser.add_argument("--sweep-delay", type=float, default=50.0,
+                        help="SM sweep delay before repairs apply, us")
+    parser.add_argument("--words", type=int, default=256,
+                        help="float64 words per rank payload")
+    parser.add_argument("--max-retries", type=int, default=8)
+    add_runtime_args(parser)
+    args = parser.parse_args(argv)
+    sweeper = make_sweeper(args.jobs, use_cache=False,
+                           shard_timeout=args.shard_timeout)
+    print(run(topo=args.topo, campaign=args.campaign, seed=args.seed,
+              mtbf=tuple(args.mtbf), collective=args.collective,
+              horizon=args.horizon, sweep_delay=args.sweep_delay,
+              words=args.words, max_retries=args.max_retries,
+              sweeper=sweeper))
+
+
+if __name__ == "__main__":
+    main()

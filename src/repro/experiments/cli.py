@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import sys
 
-from . import ablation, contention_free, failures, fig1, fig2, fig3
+from . import ablation, chaos, contention_free, failures, fig1, fig2, fig3
 from . import generations, latency
 from . import multijob, ring_adversarial, table1, table3
 
@@ -37,6 +37,7 @@ EXPERIMENTS = {
     "ablation": ablation,
     "multijob": multijob,
     "failures": failures,
+    "chaos": chaos,
     "latency": latency,
     "generations": generations,
 }

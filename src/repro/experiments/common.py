@@ -102,6 +102,11 @@ def add_runtime_args(parser: argparse.ArgumentParser) -> argparse.ArgumentParser
         "--check", action="store_true",
         help="pre-flight every routed table set through the repro.check"
              " static analyzer before sweeping (abort on errors)")
+    parser.add_argument(
+        "--shard-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-round deadline for parallel sweep shards; work still"
+             " outstanding is recorded as failed and the sweep returns a"
+             " partial result instead of hanging (default: no timeout)")
     return parser
 
 
@@ -128,21 +133,33 @@ def precheck(tables, routing_name: str = "", label: str = "") -> None:
 
 
 def make_sweeper(jobs: int | None = 1, use_cache: bool = False,
-                 cache_dir=None) -> ParallelSweeper:
+                 cache_dir=None,
+                 shard_timeout: float | None = None) -> ParallelSweeper:
     """Build the sweep engine a driver was asked for."""
     cache = None
     if use_cache:
         cache = ResultCache(root=cache_dir) if cache_dir else ResultCache()
-    return ParallelSweeper(jobs=jobs, cache=cache)
+    return ParallelSweeper(jobs=jobs, cache=cache,
+                           shard_timeout=shard_timeout)
 
 
 def runtime_summary(sweeper: ParallelSweeper) -> str:
-    """One-line run summary: worker count and cache hit/miss counters."""
+    """One-line run summary: worker count, cache counters, shard failures."""
     if sweeper.jobs in (None, 0):
         jobs = "auto"
     else:
         jobs = resolve_jobs(sweeper.jobs)  # e.g. clamp negatives to 1
     if sweeper.cache is None:
-        return f"runtime | jobs={jobs} cache=off"
-    return (f"runtime | jobs={jobs} cache=on {sweeper.cache.stats}"
-            f" dir={sweeper.cache.root}")
+        line = f"runtime | jobs={jobs} cache=off"
+    else:
+        line = (f"runtime | jobs={jobs} cache=on {sweeper.cache.stats}"
+                f" dir={sweeper.cache.root}")
+    if sweeper.last_failures:
+        detail = "; ".join(
+            f"{f.index}: {f.reason} (attempt {f.attempts})"
+            for f in sweeper.last_failures[:4])
+        more = (f" and {len(sweeper.last_failures) - 4} more"
+                if len(sweeper.last_failures) > 4 else "")
+        line += (f"\nWARNING | {len(sweeper.last_failures)} shard(s) failed"
+                 f" -- partial result: {detail}{more}")
+    return line

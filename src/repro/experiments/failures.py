@@ -24,7 +24,10 @@ __all__ = ["run", "main"]
 
 
 def run(topo: str = "rlft2-max36", failures=(0, 1, 2, 4, 8, 16),
-        max_shift_stages: int = 24, seed: int = 0) -> str:
+        max_shift_stages: int = 24, seed: int = 0,
+        mode: str = "cable") -> str:
+    if mode not in ("cable", "switch"):
+        raise SystemExit(f"unknown failure mode {mode!r} (cable|switch)")
     spec = get_topology(topo)
     fab = build_fabric(spec)
     base = route_dmodk(fab)
@@ -32,7 +35,15 @@ def run(topo: str = "rlft2-max36", failures=(0, 1, 2, 4, 8, 16),
     cps = sampled_shift(n, max_shift_stages)
     order = topology_order(n)
     rng = np.random.default_rng(seed)
-    up = np.flatnonzero(fab.port_goes_up() & (fab.port_owner >= n))
+    if mode == "cable":
+        pool = np.flatnonzero(fab.port_goes_up() & (fab.port_owner >= n))
+        unit, scope = "up-links", f"{len(pool)} switch up-links"
+    else:
+        # Whole-switch deaths: top-level (spine) switches only stay
+        # repairable; leaf deaths disconnect hosts, which the table
+        # reports as such.
+        pool = np.arange(n, fab.num_nodes)
+        unit, scope = "switches", f"{len(pool)} switches"
 
     rows = []
     for nfail in failures:
@@ -40,8 +51,9 @@ def run(topo: str = "rlft2-max36", failures=(0, 1, 2, 4, 8, 16),
             rep = sequence_hsd(base, cps, order)
             rows.append((0, 0, rep.worst, round(rep.avg_max, 3), "-"))
             continue
-        dead = rng.choice(up, size=nfail, replace=False)
-        degraded = fab.with_failed_cables(dead)
+        dead = rng.choice(pool, size=nfail, replace=False)
+        degraded = (fab.with_failed_cables(dead) if mode == "cable"
+                    else fab.with_failed_switches(dead))
         repair = repair_tables(base, degraded)
         if not repair.ok:
             rows.append((nfail, repair.repaired_entries, "-", "-",
@@ -50,12 +62,11 @@ def run(topo: str = "rlft2-max36", failures=(0, 1, 2, 4, 8, 16),
         rep = sequence_hsd(repair.tables, cps, order)
         rows.append((nfail, repair.repaired_entries, rep.worst,
                      round(rep.avg_max, 3), "ok"))
-    total_up = len(up)
     return render_table(
-        ["failed up-links", "entries repaired", "worst HSD", "avg max HSD",
+        [f"failed {unit}", "entries repaired", "worst HSD", "avg max HSD",
          "status"],
         rows,
-        title=(f"Link failures on {spec} ({total_up} switch up-links)\n"
+        title=(f"{mode.capitalize()} failures on {spec} ({scope})\n"
                "(extension: minimal repair keeps degradation local --"
                " HSD grows with the failure count, not with fabric size)"),
     )
@@ -67,9 +78,14 @@ def main(argv=None) -> None:
     parser.add_argument("--failures", type=int, nargs="+",
                         default=[0, 1, 2, 4, 8, 16])
     parser.add_argument("--max-shift-stages", type=int, default=24)
+    parser.add_argument("--mode", choices=("cable", "switch"),
+                        default="cable",
+                        help="what dies: individual cables or whole"
+                             " switches")
     args = parser.parse_args(argv)
     print(run(topo=args.topo, failures=tuple(args.failures),
-              max_shift_stages=args.max_shift_stages, seed=args.seed))
+              max_shift_stages=args.max_shift_stages, seed=args.seed,
+              mode=args.mode))
 
 
 if __name__ == "__main__":

@@ -37,8 +37,10 @@ def run(
     use_cache: bool = False,
     cache_dir=None,
     check: bool = False,
+    shard_timeout: float | None = None,
 ) -> str:
-    sweeper = make_sweeper(jobs=jobs, use_cache=use_cache, cache_dir=cache_dir)
+    sweeper = make_sweeper(jobs=jobs, use_cache=use_cache, cache_dir=cache_dir,
+                           shard_timeout=shard_timeout)
     factories = figure3_cps_factories(max_shift_stages)
     rows = []
     for name in topos:
@@ -74,7 +76,8 @@ def main(argv=None) -> None:
     print(run(topos=args.topos, num_orders=args.orders,
               max_shift_stages=args.max_shift_stages, seed=args.seed,
               jobs=args.jobs, use_cache=not args.no_cache,
-              cache_dir=args.cache_dir, check=args.check))
+              cache_dir=args.cache_dir, check=args.check,
+              shard_timeout=args.shard_timeout))
 
 
 if __name__ == "__main__":

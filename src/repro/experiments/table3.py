@@ -56,8 +56,10 @@ def run(
     use_cache: bool = False,
     cache_dir=None,
     check: bool = False,
+    shard_timeout: float | None = None,
 ) -> str:
-    sweeper = make_sweeper(jobs=jobs, use_cache=use_cache, cache_dir=cache_dir)
+    sweeper = make_sweeper(jobs=jobs, use_cache=use_cache, cache_dir=cache_dir,
+                           shard_timeout=shard_timeout)
     rows = []
     rng = np.random.default_rng(seed)
     checked: set[str] = set()
@@ -111,7 +113,8 @@ def main(argv=None) -> None:
     print(run(num_random_orders=args.orders,
               max_shift_stages=args.max_shift_stages, seed=args.seed,
               jobs=args.jobs, use_cache=not args.no_cache,
-              cache_dir=args.cache_dir, check=args.check))
+              cache_dir=args.cache_dir, check=args.check,
+              shard_timeout=args.shard_timeout))
 
 
 if __name__ == "__main__":

@@ -209,6 +209,35 @@ class Fabric:
             node_names=list(self.node_names),
         )
 
+    def with_failed_switches(self, nodes) -> "Fabric":
+        """A copy of the fabric with every cable of ``nodes`` removed.
+
+        The switch-death analogue of :meth:`with_failed_cables`: the
+        node itself stays in the model (levels, port ranges and ids are
+        unchanged) but all its ports -- and their peers' -- are marked
+        unconnected, so routing sees it as unreachable and untraversable.
+        Killing a host's node just disconnects that host.
+        """
+        peer = self.port_peer.copy()
+        for node in np.atleast_1d(np.asarray(nodes, dtype=np.int64)):
+            if not 0 <= node < len(self.port_start) - 1:
+                raise ValueError(f"no such node {int(node)}")
+            for gp in range(int(self.port_start[node]),
+                            int(self.port_start[node + 1])):
+                other = peer[gp]
+                if other < 0:
+                    continue
+                peer[gp] = -1
+                peer[other] = -1
+        return Fabric(
+            num_endports=self.num_endports,
+            node_level=self.node_level.copy(),
+            port_start=self.port_start,
+            port_peer=peer,
+            spec=self.spec,
+            node_names=list(self.node_names),
+        )
+
     def dead_ports(self) -> np.ndarray:
         """Global port ids with no cable attached."""
         return np.flatnonzero(self.port_peer < 0)

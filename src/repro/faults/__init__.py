@@ -1,0 +1,42 @@
+"""Dynamic fault injection and self-healing.
+
+The robustness layer of the library: declarative seeded fault schedules
+(:mod:`~repro.faults.schedule`), an SM-style sweep-delayed repair
+controller (:mod:`~repro.faults.controller`) and the fault-honoring
+event-driven packet engine (:mod:`~repro.faults.packetsim`).  The MPI
+communicator builds at-least-once delivery on top
+(:class:`repro.mpi.DeliveryError`), and
+``repro.experiments.chaos`` grinds seeded campaigns of randomized
+schedules through the parallel sweep engine.
+
+Everything here is deterministic: identical (schedule, seed, topology)
+inputs reproduce identical packet drops, repair timelines and chaos
+outcomes byte for byte.
+"""
+
+from .controller import HealingController, RepairAction
+from .packetsim import FaultRunReport, LostMessage, run_faulty
+from .schedule import (
+    FLAKY,
+    KINDS,
+    LINK_DOWN,
+    LINK_UP,
+    SWITCH_DOWN,
+    FaultEvent,
+    FaultSchedule,
+)
+
+__all__ = [
+    "FLAKY",
+    "FaultEvent",
+    "FaultRunReport",
+    "FaultSchedule",
+    "HealingController",
+    "KINDS",
+    "LINK_DOWN",
+    "LINK_UP",
+    "LostMessage",
+    "RepairAction",
+    "SWITCH_DOWN",
+    "run_faulty",
+]

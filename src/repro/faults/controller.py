@@ -1,0 +1,116 @@
+"""SM-style self-healing: sweep-delayed live table repair.
+
+A real InfiniBand subnet manager does not react to a failure instantly:
+it notices on its next sweep, recomputes routes around the damage and
+pushes updated LFTs to the switches.  :class:`HealingController` models
+exactly that loop on top of :func:`repro.routing.repair.repair_tables`:
+
+* every topology-changing fault event triggers a sweep ``sweep_delay``
+  microseconds later;
+* the sweep observes the cable state *at sweep time* (a cable that
+  already recovered is healthy again) and repairs the **base** tables
+  against that degraded fabric;
+* the resulting timeline of ``(sweep_time, tables)`` swaps is applied
+  *live* by the faulty packet engine -- packets launched after a swap
+  follow the repaired routes, packets already queued re-resolve their
+  next hop against the new tables.
+
+Because the dead-cable evolution is a pure function of the schedule,
+the whole timeline is precomputed at construction: lookups during a run
+are O(log n) bisects, and two runs against the same controller see
+identical tables at identical times.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass
+
+from ..fabric.lft import ForwardingTables
+from ..routing.repair import repair_tables
+from .schedule import FaultSchedule
+
+__all__ = ["HealingController", "RepairAction"]
+
+
+@dataclass(frozen=True)
+class RepairAction:
+    """One subnet-manager sweep that pushed repaired tables."""
+
+    fault_time: float            # the event that triggered the sweep
+    sweep_time: float            # when the repaired tables went live
+    dead_cables: int             # directed gports down at sweep time
+    repaired_entries: int        # (switch, dest) entries re-pointed
+    unreachable: tuple[int, ...]  # destinations no repair can restore
+
+    @property
+    def recovery_latency(self) -> float:
+        return self.sweep_time - self.fault_time
+
+
+class HealingController:
+    """Precomputed repair timeline for one ``(tables, schedule)`` pair."""
+
+    def __init__(
+        self,
+        tables: ForwardingTables,
+        faults: FaultSchedule,
+        sweep_delay: float = 50.0,
+    ):
+        if sweep_delay < 0:
+            raise ValueError("sweep_delay must be >= 0")
+        self.base_tables = tables
+        self.faults = faults
+        self.sweep_delay = float(sweep_delay)
+        fabric = tables.fabric
+        # One sweep per distinct topology-event time; a later event
+        # inside the same sweep window simply triggers its own sweep.
+        sweeps: dict[float, float] = {}
+        for e in faults.topology_events():
+            sweeps.setdefault(e.time + self.sweep_delay, e.time)
+        self._times: list[float] = []
+        self._tables: list[ForwardingTables] = []
+        self._actions: list[RepairAction] = []
+        for sweep_time in sorted(sweeps):
+            dead = faults.dead_gports_at(fabric, sweep_time)
+            degraded = fabric.with_failed_cables(dead)
+            rep = repair_tables(tables, degraded)
+            self._times.append(sweep_time)
+            self._tables.append(rep.tables)
+            self._actions.append(RepairAction(
+                fault_time=sweeps[sweep_time],
+                sweep_time=sweep_time,
+                dead_cables=len(dead),
+                repaired_entries=rep.repaired_entries,
+                unreachable=rep.unreachable,
+            ))
+
+    @property
+    def actions(self) -> tuple[RepairAction, ...]:
+        return tuple(self._actions)
+
+    def tables_at(self, t: float) -> ForwardingTables:
+        """The tables a packet injected at time ``t`` is routed by."""
+        i = bisect.bisect_right(self._times, t)
+        return self.base_tables if i == 0 else self._tables[i - 1]
+
+    def swaps_after(
+        self, t0: float
+    ) -> list[tuple[float, ForwardingTables, RepairAction]]:
+        """Repair pushes strictly after ``t0``, in order."""
+        i = bisect.bisect_right(self._times, t0)
+        return [
+            (self._times[j], self._tables[j], self._actions[j])
+            for j in range(i, len(self._times))
+        ]
+
+    def earliest_swap(self) -> float:
+        """Time of the first repair push (``inf`` when there is none)."""
+        return self._times[0] if self._times else math.inf
+
+    def recovery_latency(self) -> float:
+        """Worst fault-to-repair latency over the timeline (0 if none)."""
+        if not self._actions:
+            return 0.0
+        return max(a.recovery_latency for a in self._actions)

@@ -1,0 +1,492 @@
+"""Fault-honoring packet engine: the reference core plus a fault plane.
+
+This is the event-driven engine of :mod:`repro.sim.packet` extended
+with a dynamic fault plane.  The traffic model is unchanged -- MTU
+segmentation, cut-through forwarding, input-queued FIFOs, credit flow
+control -- and on an empty schedule the run is event-for-event the
+reference run.  Faults add four behaviours:
+
+* **drop at transmit** -- a packet whose next link is down (or whose
+  LFT entry is ``-1`` after a repair left the destination unreachable)
+  is discarded where it stands; the head-of-line advances and the input
+  buffer credit is released immediately, so drops never wedge a queue;
+* **drop in flight** -- a packet on the wire when its link dies is
+  lost; the downstream buffer slot it had reserved is released;
+* **flaky loss** -- packets crossing a flaky cable are dropped at
+  arrival with the window's probability, drawn from a generator seeded
+  by ``(schedule seed, attempt, t0)`` in deterministic event order;
+* **switch death** -- every queue inside the dead switch is purged
+  (packets gone), all its cables go down, and parked senders re-resolve
+  (and drop) instead of waiting forever.
+
+A :class:`HealingController` swaps repaired tables in *live*: packets
+already queued re-resolve their next hop, parked senders are woken, and
+packets injected later follow the repaired routes.
+
+A message with any dropped packet can never complete; the receiver
+discards partial payloads (messages are all-or-nothing, as MPI-level
+retransmission resends whole messages).  The run reports those losses
+in a :class:`FaultRunReport` instead of raising -- silent data loss is
+impossible by construction, loud diagnosis is the caller's job
+(:class:`repro.mpi.DeliveryError`).  ``t0`` offsets the engine onto the
+global fault clock so a retry started at ``t0`` experiences exactly the
+faults scheduled for ``[t0, ...)``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..sim.events import EventQueue, SimulationError
+from ..sim.fluid import MessageRecord
+from ..sim.packet import PacketEngineStats, PacketResult, _segment_count
+from .controller import HealingController, RepairAction
+from .schedule import FaultSchedule
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.packet import PacketSimulator
+
+__all__ = ["FaultRunReport", "LostMessage", "run_faulty"]
+
+
+@dataclass(frozen=True)
+class LostMessage:
+    """One message the fabric failed to deliver."""
+
+    src: int
+    dst: int
+    seq: int        # position within the source port's sequence
+    size: float
+    dropped_packets: int
+    reason: str
+
+
+@dataclass(frozen=True)
+class FaultRunReport:
+    """Fault-plane outcome of one engine run (attached to the
+    :class:`~repro.sim.packet.PacketResult` as ``fault_report``)."""
+
+    t0: float                       # global time the run started at
+    end: float                      # global time the last delivery landed
+    total_messages: int             # real (routed) messages attempted
+    delivered_messages: int
+    delivered_bytes: float
+    dropped_packets: int
+    lost: tuple[LostMessage, ...]
+    repairs: tuple[RepairAction, ...]  # table swaps applied mid-run
+
+    @property
+    def delivered_fraction(self) -> float:
+        if self.total_messages == 0:
+            return 1.0
+        return self.delivered_messages / self.total_messages
+
+
+@dataclass
+class _FMsg:
+    src: int
+    dst: int
+    size: float
+    start: float
+    seq_idx: int = 0
+    inject: float = -1.0
+    finish: float = -1.0
+    packets_left: int = 0
+    dropped: int = 0
+    reason: str = ""
+
+
+@dataclass
+class _FPacket:
+    msg_id: int
+    dst: int
+    size: float
+    is_last: bool
+    ready: float = 0.0
+
+
+@dataclass
+class _Counters:
+    events: int = 0
+    dropped: int = 0
+    unresolved: int = 0   # real messages not yet delivered or doomed
+    pending_ports: int = 0  # ports still working through their sequence
+
+
+def run_faulty(
+    sim: "PacketSimulator",
+    sequences: list[list[tuple[int, float]]],
+    faults: FaultSchedule,
+    controller: HealingController | None = None,
+    t0: float = 0.0,
+    attempt: int = 0,
+) -> tuple[PacketResult, FaultRunReport]:
+    """Run ``sequences`` under ``faults`` starting at global time ``t0``.
+
+    Returns the :class:`PacketResult` (lost messages appear in
+    ``messages`` with ``finish == -1``; latencies/makespan cover
+    deliveries only) and the :class:`FaultRunReport`.  Engine-local
+    time 0 corresponds to global time ``t0``.
+    """
+    fab = sim.fabric
+    N = fab.num_endports
+    if len(sequences) != N:
+        raise ValueError(f"need {N} sequences, got {len(sequences)}")
+    q = EventQueue()
+    cal = sim.cal
+    limit = sim.credit_limit
+    tables_ref = [controller.tables_at(t0) if controller is not None
+                  else sim.tables]
+
+    down = np.zeros(fab.num_ports, dtype=bool)
+    flaky: dict[int, float] = {}   # directed gport -> active loss prob
+    rng = np.random.default_rng(np.random.SeedSequence(
+        [faults.seed & 0xFFFFFFFF, int(attempt),
+         abs(int(round(t0 * 1e3))) & 0xFFFFFFFFFFFF]))
+
+    in_queue: dict[int, deque] = {}
+    occupancy: dict[int, int] = {}
+    out_busy: dict[int, float] = {}
+    out_wait: dict[int, deque] = {}
+    credit_wait: dict[int, deque] = {}
+
+    host_pkts: dict[int, deque] = {p: deque() for p in range(N)}
+    host_free = [0.0] * N
+    seq_pos = [0] * N
+    messages: list[_FMsg] = []
+    applied: list[RepairAction] = []
+    ctr = _Counters()
+
+    cap = sim._link_capacities()
+
+    def segment(size: float) -> list[float]:
+        full, rest = divmod(size, cal.mtu)
+        sizes = [float(cal.mtu)] * int(full)
+        if rest > 1e-12 or not sizes:
+            sizes.append(float(rest) if rest > 1e-12 else float(size))
+        return sizes
+
+    def tick() -> None:
+        ctr.events += 1
+        if ctr.events > sim.max_events:
+            raise SimulationError("packet event budget exhausted")
+
+    def has_credit(send_gp: int) -> bool:
+        if limit is None:
+            return True
+        if fab.peer_node[send_gp] < N:
+            return True
+        return occupancy.get(send_gp, 0) < limit
+
+    def drop_packet(pkt: _FPacket, reason: str) -> None:
+        ctr.dropped += 1
+        msg = messages[pkt.msg_id]
+        if msg.dropped == 0:
+            msg.reason = reason
+            if msg.finish < 0:
+                ctr.unresolved -= 1   # doomed: can never complete
+        msg.dropped += 1
+
+    # -- fault plane ------------------------------------------------------
+    def wake_parked(gp: int) -> None:
+        """Re-dispatch every sender parked on link ``gp`` (output-busy
+        or credit wait): the link state or tables changed under them."""
+        for dq in (out_wait.pop(gp, None), credit_wait.pop(gp, None)):
+            if dq:
+                for sender in dq:
+                    q.schedule(q.now, request_output, sender)
+
+    def set_link_down(gpa: int, gpb: int) -> None:
+        down[gpa] = True
+        down[gpb] = True
+        wake_parked(gpa)
+        wake_parked(gpb)
+
+    def set_link_up(gpa: int, gpb: int) -> None:
+        down[gpa] = False
+        down[gpb] = False
+
+    def kill_switch(node: int) -> None:
+        # Purge the dead switch's input buffers: queues live behind the
+        # *sending* gport of each cable into the node.
+        for gp_out in fab.ports_of(node):
+            in_gp = int(fab.port_peer[gp_out])
+            if in_gp < 0:
+                continue
+            queue = in_queue.get(in_gp)
+            if queue:
+                while queue:
+                    drop_packet(queue.popleft(), "switch died")
+                occupancy[in_gp] = 0
+            wake_parked(in_gp)
+            wake_parked(int(gp_out))
+
+    def flaky_on(gpa: int, gpb: int, loss: float) -> None:
+        flaky[gpa] = loss
+        flaky[gpb] = loss
+
+    def flaky_off(gpa: int, gpb: int) -> None:
+        flaky.pop(gpa, None)
+        flaky.pop(gpb, None)
+
+    def apply_repair(tbls, action: RepairAction) -> None:
+        tables_ref[0] = tbls
+        applied.append(action)
+        # Every parked sender may have a different next hop now.
+        for gp in sorted(set(out_wait) | set(credit_wait)):
+            wake_parked(gp)
+
+    # -- host side --------------------------------------------------------
+    def host_start_message(p: int) -> None:
+        if seq_pos[p] >= len(sequences[p]):
+            ctr.pending_ports -= 1
+            return
+        dst, size = sequences[p][seq_pos[p]]
+        msg = _FMsg(src=p, dst=dst, size=size, start=q.now,
+                    seq_idx=seq_pos[p])
+        seq_pos[p] += 1
+        t_start = max(q.now, host_free[p]) + cal.host_overhead
+        msg_id = len(messages)
+        messages.append(msg)
+        if dst == p or size <= 0:
+            msg.inject = t_start
+            msg.finish = t_start
+            host_free[p] = t_start
+            q.schedule(t_start, host_start_message, p)
+            return
+        ctr.unresolved += 1
+        pieces = segment(size)
+        msg.packets_left = len(pieces)
+        for i, psize in enumerate(pieces):
+            host_pkts[p].append(
+                _FPacket(msg_id, dst, psize, is_last=(i == len(pieces) - 1)))
+        host_free[p] = max(q.now, host_free[p]) + cal.host_overhead
+        q.schedule(host_free[p], host_try_send, p)
+
+    def host_try_send(p: int) -> None:
+        if not host_pkts[p]:
+            return
+        gp = int(fab.port_start[p])  # single-rail up port
+        if q.now < host_free[p] - 1e-12:
+            q.schedule(host_free[p], host_try_send, p)
+            return
+        if down[gp]:
+            # The NIC sees its link dead and discards instantly; the
+            # send chain advances so later (possibly post-repair...
+            # the uplink itself never repairs) messages are attempted.
+            pkt = host_pkts[p].popleft()
+            msg = messages[pkt.msg_id]
+            if msg.inject < 0:
+                msg.inject = q.now
+            drop_packet(pkt, "host uplink down")
+            if host_pkts[p]:
+                q.schedule(q.now, host_try_send, p)
+            elif pkt.is_last:
+                q.schedule(q.now, host_start_message, p)
+            return
+        if not has_credit(gp):
+            credit_wait.setdefault(gp, deque()).append(("host", p))
+            return
+        pkt = host_pkts[p].popleft()
+        msg = messages[pkt.msg_id]
+        if msg.inject < 0:
+            msg.inject = q.now
+        duration = pkt.size / cap[gp]
+        occupancy[gp] = occupancy.get(gp, 0) + 1
+        q.schedule(q.now + cal.wire_latency, arrive, gp, pkt)
+        host_free[p] = q.now + duration
+        if host_pkts[p]:
+            q.schedule(host_free[p], host_try_send, p)
+        elif pkt.is_last:
+            q.schedule(host_free[p], host_start_message, p)
+
+    # -- switch side ------------------------------------------------------
+    def arrive(send_gp: int, pkt: _FPacket) -> None:
+        tick()
+        if down[send_gp]:
+            drop_packet(pkt, "link cut in flight")
+            release_credit(send_gp)
+            return
+        loss = flaky.get(send_gp)
+        if loss is not None and rng.random() < loss:
+            drop_packet(pkt, "flaky loss")
+            release_credit(send_gp)
+            return
+        node = int(fab.peer_node[send_gp])
+        if node < N:
+            tail = q.now + pkt.size / cap[send_gp]
+            q.schedule(tail, deliver, pkt)
+            return
+        pkt.ready = q.now + cal.switch_latency
+        queue = in_queue.setdefault(send_gp, deque())
+        queue.append(pkt)
+        if len(queue) == 1:
+            request_output(("sw", node, send_gp))
+
+    def deliver(pkt: _FPacket) -> None:
+        msg = messages[pkt.msg_id]
+        msg.packets_left -= 1
+        if msg.packets_left == 0 and msg.dropped == 0:
+            msg.finish = q.now
+            ctr.unresolved -= 1
+
+    def request_output(sender) -> None:
+        if sender[0] == "host":
+            host_try_send(sender[1])
+            return
+        _, node, in_gp = sender
+        queue = in_queue.get(in_gp)
+        if not queue:
+            return
+        pkt = queue[0]
+        out = int(tables_ref[0].out_port(node, pkt.dst))
+        if out < 0 or down[out]:
+            # NACK: unroutable (repair declared the destination lost)
+            # or next link dead.  Discard, free the buffer slot now,
+            # keep the queue moving.
+            queue.popleft()
+            drop_packet(pkt, "no route" if out < 0 else "link down")
+            release_credit(in_gp)
+            if queue:
+                q.schedule(q.now, request_output, sender)
+            return
+        if out_busy.get(out, 0.0) > q.now + 1e-12:
+            out_wait.setdefault(out, deque()).append(sender)
+            return
+        if not has_credit(out):
+            credit_wait.setdefault(out, deque()).append(sender)
+            return
+        transmit(node, in_gp, out, pkt)
+
+    def transmit(node: int, in_gp: int, out: int, pkt: _FPacket) -> None:
+        in_queue[in_gp].popleft()
+        start = max(q.now, pkt.ready)
+        duration = pkt.size / cap[out]
+        out_busy[out] = start + duration
+        occupancy[out] = occupancy.get(out, 0) + 1
+        q.schedule(start + cal.wire_latency, arrive, out, pkt)
+        q.schedule(start + duration, output_free, out)
+        q.schedule(start + duration, release_credit, in_gp)
+        if in_queue[in_gp]:
+            q.schedule(start + duration, request_output, ("sw", node, in_gp))
+
+    def output_free(out: int) -> None:
+        waiting = out_wait.get(out)
+        while waiting:
+            sender = waiting.popleft()
+            _, node, in_gp = sender
+            queue = in_queue.get(in_gp)
+            if not queue:
+                continue
+            pkt = queue[0]
+            o = int(tables_ref[0].out_port(node, pkt.dst))
+            if o != out or o < 0 or down[out]:
+                # Tables swapped or the link died while parked:
+                # re-resolve from scratch (may drop or re-route).
+                q.schedule(q.now, request_output, sender)
+                continue
+            if has_credit(out):
+                transmit(node, in_gp, out, pkt)
+                return
+            credit_wait.setdefault(out, deque()).append(sender)
+
+    def release_credit(send_gp: int) -> None:
+        occupancy[send_gp] = occupancy.get(send_gp, 1) - 1
+        waiting = credit_wait.get(send_gp)
+        if waiting:
+            request_output(waiting.popleft())
+
+    # -- schedule the fault plane (engine-local time = global - t0) -------
+    for a, b, start, end in faults.down_intervals(fab):
+        if end <= t0:
+            continue
+        if start <= t0:
+            down[a] = True
+            down[b] = True
+        else:
+            q.schedule(start - t0, set_link_down, a, b)
+        if np.isfinite(end):
+            q.schedule(end - t0, set_link_up, a, b)
+    for e in faults.topology_events():
+        if e.kind == "switch_down" and e.time > t0:
+            q.schedule(e.time - t0, kill_switch, e.node)
+    for a, b, start, end, loss in faults.flaky_intervals(fab):
+        if end <= t0:
+            continue
+        if start <= t0:
+            flaky[a] = loss
+            flaky[b] = loss
+        else:
+            q.schedule(start - t0, flaky_on, a, b, loss)
+        if np.isfinite(end):
+            q.schedule(end - t0, flaky_off, a, b)
+    if controller is not None:
+        for sweep_time, tbls, action in controller.swaps_after(t0):
+            q.schedule(sweep_time - t0, apply_repair, tbls, action)
+
+    for p in range(N):
+        if sequences[p]:
+            ctr.pending_ports += 1
+            q.schedule(0.0, host_start_message, p)
+
+    # Stop as soon as all traffic is resolved; pending fault/repair
+    # bookkeeping beyond that point cannot change the outcome.  In-flight
+    # remnants of doomed messages only matter while an undecided message
+    # could still queue behind them -- and then unresolved > 0.
+    q.run(max_events=None,
+          stop=lambda: ctr.unresolved == 0 and ctr.pending_ports == 0)
+
+    stuck = [m for m in messages if m.finish < 0 and m.dropped == 0
+             and not (m.dst == m.src or m.size <= 0)]
+    if stuck:
+        raise SimulationError(
+            f"{len(stuck)} messages neither delivered nor dropped "
+            "(deadlock in the fault engine)")
+
+    messages.sort(key=lambda m: (m.src, m.seq_idx))
+    records = [
+        MessageRecord(m.src, m.dst, m.size, m.start,
+                      float(m.inject), float(m.finish))
+        for m in messages
+    ]
+    real = [m for m in messages if m.size > 0 and m.src != m.dst]
+    delivered = [m for m in real if m.finish >= 0]
+    lost = tuple(
+        LostMessage(src=m.src, dst=m.dst, seq=m.seq_idx, size=m.size,
+                    dropped_packets=m.dropped, reason=m.reason)
+        for m in real if m.finish < 0
+    )
+    makespan = max((m.finish for m in messages if m.finish >= 0),
+                   default=0.0)
+    lat = np.asarray([m.finish - m.start for m in delivered])
+    stats = PacketEngineStats(
+        engine="reference", fast_path=False, fallback=False,
+        conflicts=0, messages=len(real),
+        packets=sum(_segment_count(m.size, cal.mtu) for m in real),
+        events_saved=0,
+    )
+    report = FaultRunReport(
+        t0=t0, end=t0 + makespan,
+        total_messages=len(real),
+        delivered_messages=len(delivered),
+        delivered_bytes=sum(m.size for m in delivered),
+        dropped_packets=ctr.dropped,
+        lost=lost,
+        repairs=tuple(applied),
+    )
+    result = PacketResult(
+        makespan=makespan,
+        total_bytes=sum(m.size for m in delivered),
+        num_ports=N,
+        active_ports=sum(1 for s in sequences if s),
+        calibration=cal,
+        latencies=lat,
+        messages=records,
+        engine_stats=stats,
+        fault_report=report,
+    )
+    return result, report

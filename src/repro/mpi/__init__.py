@@ -1,5 +1,17 @@
 """Miniature MPI: data-correct collectives priced on the simulated fabric."""
 
-from .communicator import CollectiveResult, Communicator
+from .communicator import (
+    CollectiveResult,
+    Communicator,
+    DeliveryError,
+    FaultMetrics,
+    RetryPolicy,
+)
 
-__all__ = ["CollectiveResult", "Communicator"]
+__all__ = [
+    "CollectiveResult",
+    "Communicator",
+    "DeliveryError",
+    "FaultMetrics",
+    "RetryPolicy",
+]

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -40,7 +41,98 @@ from ..ordering.orders import topology_order
 from ..sim.calibration import LinkCalibration, QDR_PCIE_GEN2
 from ..sim.fluid import FluidSimulator
 
-__all__ = ["Communicator", "CollectiveResult"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..faults.controller import HealingController, RepairAction
+    from ..faults.schedule import FaultSchedule
+
+__all__ = [
+    "Communicator",
+    "CollectiveResult",
+    "DeliveryError",
+    "FaultMetrics",
+    "RetryPolicy",
+]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """At-least-once delivery knobs for a faulty fabric.
+
+    A sender that has not seen the ack for a message after
+    ``ack_timeout`` microseconds retransmits it, waiting
+    ``ack_timeout * backoff**k`` (plus seeded uniform jitter up to
+    ``jitter`` of that value) before retry ``k``.  After
+    ``max_retries`` retransmissions the message is declared
+    undeliverable and the collective raises :class:`DeliveryError`.
+    """
+
+    max_retries: int = 8
+    ack_timeout: float = 50.0     # us before a send is presumed lost
+    backoff: float = 2.0          # exponential base between attempts
+    jitter: float = 0.25          # fraction of the delay randomised
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.ack_timeout <= 0:
+            raise ValueError("ack_timeout must be positive")
+        if self.backoff < 1.0:
+            raise ValueError("backoff must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def delay(self, attempt: int, rng: np.random.Generator) -> float:
+        """Wait before retransmission number ``attempt`` (1-based)."""
+        base = self.ack_timeout * self.backoff ** (attempt - 1)
+        return base * (1.0 + self.jitter * float(rng.random()))
+
+
+@dataclass(frozen=True)
+class FaultMetrics:
+    """What a collective endured on a faulty fabric.
+
+    Attached to the communicator as ``last_faults`` after every
+    collective priced under a fault schedule, and carried by
+    :class:`DeliveryError` when delivery ultimately failed.
+    """
+
+    messages: int                 # unique fabric messages the schedule sent
+    delivered: int                # of those, eventually acknowledged
+    retransmissions: int          # extra send attempts beyond the first
+    retry_rounds: int             # stages-with-retry iterations
+    dropped_packets: int          # packets the fabric destroyed
+    repairs: tuple["RepairAction", ...]
+    time_us: float                # clock when the collective finished/gave up
+
+    @property
+    def delivered_fraction(self) -> float:
+        return self.delivered / self.messages if self.messages else 1.0
+
+    @property
+    def recovery_latency(self) -> float:
+        """Worst failure-to-repair latency observed (0 when no repairs)."""
+        return max((r.recovery_latency for r in self.repairs), default=0.0)
+
+
+class DeliveryError(RuntimeError):
+    """A collective could not deliver every message.
+
+    Raised only after the retry budget is exhausted; ``lost`` names the
+    exact undeliverable ``(src_port, dst_port, stage)`` triples and
+    ``metrics`` is the :class:`FaultMetrics` of the failed attempt, so
+    there is never silent data loss.
+    """
+
+    def __init__(self, lost: tuple[tuple[int, int, int], ...],
+                 metrics: FaultMetrics):
+        self.lost = lost
+        self.metrics = metrics
+        head = ", ".join(f"({s}->{d} @stage {k})" for s, d, k in lost[:4])
+        more = f" and {len(lost) - 4} more" if len(lost) > 4 else ""
+        super().__init__(
+            f"{len(lost)} undeliverable message(s) after retries: "
+            f"{head}{more}")
 
 
 @dataclass
@@ -95,6 +187,9 @@ class Communicator:
         placement: np.ndarray | None = None,
         calibration: LinkCalibration = QDR_PCIE_GEN2,
         simulate: bool = True,
+        faults: "FaultSchedule | None" = None,
+        retry: RetryPolicy | None = None,
+        sweep_delay: float | None = None,
     ):
         self.tables = tables
         self.cal = calibration
@@ -107,6 +202,21 @@ class Communicator:
         self.size = len(self.placement)
         if self.size < 1:
             raise ValueError("communicator needs at least one rank")
+        if retry is not None and faults is None:
+            raise ValueError("retry policy given without a fault schedule")
+        if sweep_delay is not None and faults is None:
+            raise ValueError("sweep_delay given without a fault schedule")
+        self.faults = faults
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.healing: "HealingController | None" = None
+        if faults is not None and sweep_delay is not None:
+            from ..faults.controller import HealingController
+
+            self.healing = HealingController(
+                tables, faults, sweep_delay=sweep_delay)
+        # FaultMetrics of the most recent collective priced under a
+        # fault schedule (None before any, or when faults is None).
+        self.last_faults: FaultMetrics | None = None
 
     # ------------------------------------------------------------------
     def _price(self, ledger: _StageLedger) -> float:
@@ -114,6 +224,8 @@ class Communicator:
         matching blocking MPI collectives)."""
         if not self.simulate:
             return 0.0
+        if self.faults is not None:
+            return self._price_faulty(ledger)
         N = self.tables.fabric.num_endports
         # Per-stage aligned sequences: idle ports carry a zero-byte
         # self-message so barrier positions line up across ports.
@@ -133,6 +245,103 @@ class Communicator:
         res = FluidSimulator(self.tables, self.cal).run_sequences(
             seqs, mode="barrier")
         return res.makespan
+
+    def _price_faulty(self, ledger: _StageLedger) -> float:
+        """Stage-by-stage packet pricing under the fault schedule with
+        at-least-once delivery.
+
+        Each stage's messages run through the fault-honoring reference
+        packet engine at the current clock; messages the fabric lost are
+        retransmitted after a seeded exponential-backoff delay until
+        they land or the retry budget runs out, in which case
+        :class:`DeliveryError` names the exact lost triples.  Sets
+        ``self.last_faults`` either way.
+        """
+        from ..faults.packetsim import run_faulty
+        from ..sim.packet import PacketSimulator
+
+        assert self.faults is not None
+        N = self.tables.fabric.num_endports
+        sim = PacketSimulator(self.tables, self.cal, engine="reference")
+        mask = 0xFFFFFFFF
+        rng = np.random.default_rng(np.random.SeedSequence(
+            [self.retry.seed & mask, self.faults.seed & mask]))
+        clock = 0.0
+        total = delivered = retrans = rounds = dropped = 0
+        repairs: dict[float, "RepairAction"] = {}
+        failed: list[tuple[int, int, int]] = []
+        attempt_no = 0  # global attempt counter: unique rng stream per run
+
+        for stage_idx, stage in enumerate(ledger.stages):
+            # Fold multi-sends (never produced by the implemented
+            # algorithms) the same way the fluid pricer does.
+            pending: dict[int, tuple[int, float]] = {}
+            for src, dst, nbytes in stage:
+                if src == dst or nbytes <= 0:
+                    continue
+                if src in pending:
+                    prev = pending[src]
+                    pending[src] = (prev[0], prev[1] + nbytes)
+                else:
+                    pending[src] = (dst, nbytes)
+            total += len(pending)
+            if not pending:
+                clock += self.cal.host_overhead  # empty (barrier) stage
+                continue
+
+            retry_k = 0
+            while True:
+                seqs: list[list[tuple[int, float]]] = [[] for _ in range(N)]
+                for src in sorted(pending):
+                    seqs[src].append(pending[src])
+                _, rep = run_faulty(
+                    sim, seqs, self.faults, self.healing,
+                    t0=clock, attempt=attempt_no)
+                attempt_no += 1
+                dropped += rep.dropped_packets
+                for act in rep.repairs:
+                    repairs[act.sweep_time] = act
+                clock = max(clock, rep.end)
+                lost_now = {(lm.src, lm.dst) for lm in rep.lost}
+                for src in sorted(pending):
+                    if (src, pending[src][0]) not in lost_now:
+                        del pending[src]
+                        delivered += 1
+                if not pending:
+                    break
+                if retry_k >= self.retry.max_retries:
+                    failed.extend((src, pending[src][0], stage_idx)
+                                  for src in sorted(pending))
+                    break
+                retry_k += 1
+                rounds += 1
+                retrans += len(pending)
+                # The sender notices the loss at the ack timeout, then
+                # backs off before retransmitting.
+                clock += self.retry.delay(retry_k, rng)
+            if failed:
+                break  # terminal: later stages depend on this one
+
+        # Repairs that landed between stage runs (or before the first
+        # message even flew) never execute inside a run's event window,
+        # so fold in every controller action up to the final clock.
+        if self.healing is not None:
+            for act in self.healing.actions:
+                if act.sweep_time <= clock:
+                    repairs[act.sweep_time] = act
+        metrics = FaultMetrics(
+            messages=total,
+            delivered=delivered,
+            retransmissions=retrans,
+            retry_rounds=rounds,
+            dropped_packets=dropped,
+            repairs=tuple(repairs[t] for t in sorted(repairs)),
+            time_us=clock,
+        )
+        self.last_faults = metrics
+        if failed:
+            raise DeliveryError(tuple(failed), metrics)
+        return clock
 
     @staticmethod
     def _as_arrays(data) -> list[np.ndarray]:

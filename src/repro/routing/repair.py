@@ -95,12 +95,17 @@ def repair_tables(tables: ForwardingTables, fabric: Fabric) -> RepairReport:
         fabric=fabric, switch_out=sw_out, host_up=tables.host_up
     )
     # A destination is declared unreachable when its host cable died or
-    # any switch was left without a live candidate toward it
-    # (conservative: some of those switches might never be asked).
+    # any *live* switch was left without a candidate toward it
+    # (conservative: some of those switches might never be asked).  A
+    # switch that died entirely -- every port unconnected, as after
+    # ``with_failed_switches`` -- routes nothing, because no packet can
+    # enter it; its inevitable -1 row must not condemn the fabric.
     unreachable = set(lost_hosts)
     if sw_out.size:
+        alive = (fabric.port_peer >= 0).astype(np.int64)
+        sw_live = np.add.reduceat(alive, fabric.port_start[N:-1]) > 0
         unreachable.update(
-            int(d) for d in np.flatnonzero((sw_out < 0).any(axis=0))
+            int(d) for d in np.flatnonzero((sw_out[sw_live] < 0).any(axis=0))
         )
     return RepairReport(
         tables=new_tables,

@@ -25,6 +25,7 @@ from .cache import (
 )
 from .sweep import (
     ParallelSweeper,
+    ShardFailure,
     chunk_ranges,
     parallel_order_sweep,
     resolve_jobs,
@@ -35,6 +36,7 @@ __all__ = [
     "CacheStats",
     "ParallelSweeper",
     "ResultCache",
+    "ShardFailure",
     "chunk_ranges",
     "cps_digest",
     "default_cache_dir",

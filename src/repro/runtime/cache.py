@@ -175,15 +175,41 @@ class ResultCache:
         return self.root / f"{key}.npy"
 
     def load_array(self, key: str) -> np.ndarray | None:
-        """Return the cached array for ``key`` or None (counts hit/miss)."""
+        """Return the cached array for ``key`` or None (counts hit/miss).
+
+        A present-but-unreadable entry (truncated/corrupted by a crash
+        or disk fault predating the atomic-write scheme) counts as a
+        miss and is evicted, so the slot self-heals on the recompute's
+        ``store_array``.
+        """
         path = self.path_for(key)
         try:
             arr = np.load(path)
-        except (OSError, ValueError):
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, ValueError, EOFError):
+            # Corrupt entry: evict it (and its sidecar) so the key is
+            # cleanly recomputed instead of failing forever.
+            path.unlink(missing_ok=True)
+            path.with_suffix(".json").unlink(missing_ok=True)
             self.stats.misses += 1
             return None
         self.stats.hits += 1
         return arr
+
+    def _atomic_write(self, path: Path, writer, suffix: str) -> None:
+        """Write via temp file + ``os.replace`` so readers (and crashes
+        mid-write) never observe a partial file."""
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=suffix)
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                writer(fh)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
 
     def store_array(
         self, key: str, arr: np.ndarray, meta: dict | None = None
@@ -191,18 +217,14 @@ class ResultCache:
         """Atomically persist ``arr`` (and an optional JSON sidecar)."""
         self.root.mkdir(parents=True, exist_ok=True)
         path = self.path_for(key)
-        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".npy.tmp")
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                np.save(fh, np.ascontiguousarray(arr))
-            os.replace(tmp, path)
-        except BaseException:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
-            raise
+        self._atomic_write(
+            path, lambda fh: np.save(fh, np.ascontiguousarray(arr)),
+            suffix=".npy.tmp")
         if meta is not None:
-            side = path.with_suffix(".json")
-            side.write_text(json.dumps(meta, indent=2, sort_keys=True))
+            payload = json.dumps(meta, indent=2, sort_keys=True).encode()
+            self._atomic_write(
+                path.with_suffix(".json"), lambda fh: fh.write(payload),
+                suffix=".json.tmp")
         self.stats.stores += 1
         return path
 

@@ -24,7 +24,9 @@ factory-callable pickling is involved.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor, as_completed
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -37,6 +39,7 @@ from .cache import ResultCache, sweep_digest
 
 __all__ = [
     "ParallelSweeper",
+    "ShardFailure",
     "chunk_ranges",
     "parallel_order_sweep",
     "resolve_jobs",
@@ -79,6 +82,19 @@ def _sweep_shard(
     return rep.avg_max
 
 
+@dataclass(frozen=True)
+class ShardFailure:
+    """Diagnostic record of one work item the sweep could not finish.
+
+    ``index`` identifies the item: the ``(start, stop)`` seed span for
+    ``order_sweep`` shards, the argument-list position for ``starmap``.
+    """
+
+    index: tuple[int, int] | int
+    reason: str
+    attempts: int
+
+
 @dataclass
 class ParallelSweeper:
     """Fan sweep workloads out over worker processes, with caching.
@@ -94,10 +110,107 @@ class ParallelSweeper:
         Optional :class:`ResultCache`; when set, each sweep cell is
         looked up by content digest before any computation and stored
         after it.
+    shard_timeout:
+        Wall-clock seconds each submission round may take (``None`` =
+        wait forever).  Work still outstanding at the deadline is
+        recorded as failed and its slots are left as partial results
+        (NaN / ``None``) -- a hung worker degrades the sweep instead of
+        killing it.  The pool is recreated so later rounds get fresh
+        workers.
+    shard_retries:
+        How many times a shard that *crashed* (raised, or died with the
+        pool) is resubmitted before being declared failed.  Timeouts
+        are terminal: a shard that outlived the deadline once is not
+        retried.
+    retry_backoff:
+        Base seconds slept before resubmission round ``k``
+        (``retry_backoff * 2**(k-1)``).
+
+    After every sweep, :attr:`last_failures` holds the
+    :class:`ShardFailure` diagnostics of that run (empty on a clean
+    sweep).  Partial results are never written to the cache.
     """
 
     jobs: int | None = 1
     cache: ResultCache | None = None
+    shard_timeout: float | None = None
+    shard_retries: int = 2
+    retry_backoff: float = 0.1
+    last_failures: list[ShardFailure] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def _hardened_map(self, fn, argslist: list[tuple], jobs: int) -> list:
+        """Run ``fn(*args)`` for every args tuple on a worker pool,
+        surviving crashes, pool breakage and (optionally) hangs.
+
+        Returns results positionally; failed items are ``None`` and are
+        appended to :attr:`last_failures`.
+        """
+        results: list = [None] * len(argslist)
+        attempts = [0] * len(argslist)
+        queue = list(range(len(argslist)))
+        round_no = 0
+        pool: ProcessPoolExecutor | None = None
+        try:
+            while queue:
+                if round_no > 0:
+                    time.sleep(self.retry_backoff * 2 ** (round_no - 1))
+                if pool is None:
+                    pool = ProcessPoolExecutor(
+                        max_workers=min(jobs, len(queue)))
+                for i in queue:
+                    attempts[i] += 1
+                futures = {pool.submit(fn, *argslist[i]): i for i in queue}
+                queue = []
+                pending = set(futures)
+                deadline = (None if self.shard_timeout is None
+                            else time.monotonic() + self.shard_timeout)
+                recreate = False
+                while pending:
+                    left = (None if deadline is None
+                            else max(0.0, deadline - time.monotonic()))
+                    done, pending = wait(pending, timeout=left,
+                                         return_when=FIRST_COMPLETED)
+                    if not done:
+                        # Deadline hit: everything still out is a hang.
+                        for fut in pending:
+                            fut.cancel()
+                            i = futures[fut]
+                            self.last_failures.append(ShardFailure(
+                                index=i,
+                                reason=(f"timed out after "
+                                        f"{self.shard_timeout:.1f}s"),
+                                attempts=attempts[i],
+                            ))
+                        pending = set()
+                        recreate = True
+                        continue
+                    for fut in done:
+                        i = futures[fut]
+                        try:
+                            results[i] = fut.result()
+                        except Exception as exc:  # noqa: BLE001 - diagnosed
+                            if isinstance(exc, BrokenProcessPool):
+                                recreate = True
+                            if attempts[i] <= self.shard_retries:
+                                queue.append(i)
+                            else:
+                                self.last_failures.append(ShardFailure(
+                                    index=i,
+                                    reason=f"{type(exc).__name__}: {exc}",
+                                    attempts=attempts[i],
+                                ))
+                if recreate and pool is not None:
+                    # Hung/dead workers: abandon the pool rather than
+                    # joining it; retries get a fresh one.
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = None
+                queue.sort()
+                round_no += 1
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+        return results
 
     def order_sweep(
         self,
@@ -117,6 +230,7 @@ class ParallelSweeper:
         N = tables.fabric.num_endports
         n = num_ranks if num_ranks is not None else N
         cps: CPS = cps_factory(n) if callable(cps_factory) else cps_factory
+        self.last_failures = []
 
         key = None
         if self.cache is not None:
@@ -133,7 +247,9 @@ class ParallelSweeper:
         vals = self._compute(
             tables, cps, N, n, num_orders, seed, switch_links_only
         )
-        if key is not None:
+        # A sweep with failed shards is a partial result (NaN holes):
+        # report it, but never let it poison the cache.
+        if key is not None and not self.last_failures:
             self.cache.store_array(key, vals, meta={
                 "cps": cps.name,
                 "num_ranks": n,
@@ -150,37 +266,43 @@ class ParallelSweeper:
         """Order-preserving parallel ``[fn(*args) for args in argslist]``.
 
         ``fn`` must be a module-level (picklable) callable.  With
-        ``jobs=1`` or a single item this runs inline.
+        ``jobs=1`` or a single item this runs inline.  Items whose
+        worker crashed or timed out come back as ``None`` with a
+        :class:`ShardFailure` appended to :attr:`last_failures`.
         """
+        self.last_failures = []
         jobs = resolve_jobs(self.jobs)
         if jobs <= 1 or len(argslist) <= 1:
             return [fn(*args) for args in argslist]
-        with ProcessPoolExecutor(max_workers=min(jobs, len(argslist))) as ex:
-            futures = [ex.submit(fn, *args) for args in argslist]
-            return [f.result() for f in futures]
+        return self._hardened_map(fn, argslist, jobs)
 
     # ------------------------------------------------------------------
     def _compute(
         self, tables, cps, N, n, num_orders, seed, switch_links_only
     ) -> np.ndarray:
+        self.last_failures = []
         jobs = resolve_jobs(self.jobs)
         if jobs <= 1 or num_orders <= 1:
             return _sweep_shard(
                 tables, cps, N, n, seed, num_orders, switch_links_only
             )
         shards = chunk_ranges(num_orders, jobs * _SHARDS_PER_JOB)
-        vals = np.empty(num_orders, dtype=np.float64)
-        with ProcessPoolExecutor(max_workers=min(jobs, len(shards))) as ex:
-            futures = {
-                ex.submit(
-                    _sweep_shard, tables, cps, N, n,
-                    seed + start, stop - start, switch_links_only,
-                ): (start, stop)
-                for start, stop in shards
-            }
-            for fut in as_completed(futures):
-                start, stop = futures[fut]
-                vals[start:stop] = fut.result()
+        argslist = [
+            (tables, cps, N, n, seed + start, stop - start, switch_links_only)
+            for start, stop in shards
+        ]
+        parts = self._hardened_map(_sweep_shard, argslist, jobs)
+        # Failure diagnostics speak seed spans, not shard positions.
+        self.last_failures = [
+            ShardFailure(index=shards[f.index], reason=f.reason,
+                         attempts=f.attempts)
+            if isinstance(f.index, int) else f
+            for f in self.last_failures
+        ]
+        vals = np.full(num_orders, np.nan, dtype=np.float64)
+        for (start, stop), part in zip(shards, parts):
+            if part is not None:
+                vals[start:stop] = part
         return vals
 
 

@@ -11,7 +11,9 @@ from .events import EventQueue, SimulationError
 from .fluid import FluidResult, FluidSimulator, MessageRecord
 from .metrics import (
     bandwidth_lower_bound,
+    delivered_fraction,
     efficiency,
+    goodput_timeline,
     ideal_sequence_time,
     link_byte_loads,
     utilization_report,
@@ -41,7 +43,9 @@ __all__ = [
     "SimulationError",
     "bandwidth_lower_bound",
     "cps_workload",
+    "delivered_fraction",
     "efficiency",
+    "goodput_timeline",
     "ideal_sequence_time",
     "link_byte_loads",
     "merge_sequences",

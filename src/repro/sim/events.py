@@ -92,11 +92,25 @@ class EventQueue:
             batch.append((callback, args))
         return batch
 
-    def run(self, until: float | None = None, max_events: int | None = None) -> int:
-        """Drain the queue (optionally bounded); returns events executed."""
+    def run(
+        self,
+        until: float | None = None,
+        max_events: int | None = None,
+        stop: Callable[[], bool] | None = None,
+    ) -> int:
+        """Drain the queue (optionally bounded); returns events executed.
+
+        ``stop`` is an optional predicate evaluated before each event:
+        once it returns True the drain ends even though events remain.
+        Engines that schedule bookkeeping far beyond the traffic they
+        simulate (the fault injector's link-up/flaky-window timers) use
+        it to finish as soon as every message is resolved.
+        """
         executed = 0
         while self._heap:
             if until is not None and self._heap[0][0] > until:
+                break
+            if stop is not None and stop():
                 break
             if max_events is not None and executed >= max_events:
                 raise SimulationError(

@@ -40,6 +40,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import asdict, dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -47,6 +48,11 @@ from ..fabric.lft import ForwardingTables
 from .calibration import LinkCalibration, QDR_PCIE_GEN2
 from .events import EventQueue, SimulationError
 from .fluid import MessageRecord
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..faults.controller import HealingController
+    from ..faults.packetsim import FaultRunReport
+    from ..faults.schedule import FaultSchedule
 
 __all__ = ["PacketSimulator", "PacketResult", "PacketEngineStats"]
 
@@ -106,6 +112,10 @@ class PacketResult:
     latencies: np.ndarray = field(default_factory=lambda: np.empty(0))
     messages: list[MessageRecord] = field(default_factory=list)
     engine_stats: PacketEngineStats | None = None
+    #: set when the run was executed under a fault schedule; lost
+    #: messages then appear in ``messages`` with ``finish == -1`` and
+    #: are excluded from ``latencies``/``makespan``/``total_bytes``.
+    fault_report: "FaultRunReport | None" = None
 
     @property
     def aggregate_bandwidth(self) -> float:
@@ -140,6 +150,8 @@ class PacketSimulator:
         credit_limit: int | None = None,
         max_events: int = 5_000_000,
         engine: str = "vector",
+        faults: "FaultSchedule | None" = None,
+        healing: "HealingController | None" = None,
     ):
         if credit_limit is not None and credit_limit < 1:
             raise ValueError("credit_limit must be >= 1 (or None for infinite)")
@@ -147,12 +159,16 @@ class PacketSimulator:
             raise ValueError(
                 f"engine must be one of {self.ENGINES}, got {engine!r}"
             )
+        if healing is not None and faults is None:
+            raise ValueError("healing controller given without a fault schedule")
         self.tables = tables
         self.fabric = tables.fabric
         self.cal = calibration
         self.credit_limit = credit_limit
         self.max_events = max_events
         self.engine = engine
+        self.faults = faults
+        self.healing = healing
 
     # -- shared helpers ----------------------------------------------------
     def _link_capacities(self) -> np.ndarray:
@@ -204,22 +220,36 @@ class PacketSimulator:
         if len(sequences) != N:
             raise ValueError(f"need {N} sequences, got {len(sequences)}")
 
+        fault_mode = self.faults is not None and not self.faults.is_empty()
         if self.engine == "vector":
             from .packet_vector import run_vectorized
 
             records, stats = run_vectorized(self, sequences)
             if records is not None:
+                # Fast path: with faults present this means no fault
+                # window intersected any link occupancy, so the
+                # fault-free analytic timestamps are exact.
                 return self._finalize(records, sequences, stats)
-            # Link occupancy intervals overlap: messages interact, so
-            # defer to the event-driven core for exact arbitration.
-            result = self._run_reference(sequences)
+            # Link occupancy intervals overlap (or intersect a fault
+            # window): messages interact, so defer to the event-driven
+            # core for exact arbitration.
+            result = self._run_faulty(sequences) if fault_mode \
+                else self._run_reference(sequences)
             result.engine_stats = PacketEngineStats(
                 engine="vector", fast_path=False, fallback=True,
                 conflicts=stats.conflicts, messages=stats.messages,
                 packets=stats.packets, events_saved=0,
             )
             return result
+        if fault_mode:
+            return self._run_faulty(sequences)
         return self._run_reference(sequences)
+
+    def _run_faulty(self, sequences) -> PacketResult:
+        from ..faults.packetsim import run_faulty
+
+        result, _ = run_faulty(self, sequences, self.faults, self.healing)
+        return result
 
     # -- reference (per-packet heap event) engine --------------------------
     def _run_reference(

@@ -306,6 +306,24 @@ def run_vectorized(sim: "PacketSimulator", sequences):
         return None, _stats(fallback=True, conflicts=conflicts,
                             messages=n_real, packets=total_packets)
 
+    # Fault plane: the analytic calendar is only exact if no fault
+    # window could have perturbed the run.  Any intersection between a
+    # scheduled fault and a link-occupancy interval -- or a live table
+    # repair before the last delivery -- defers to the fault-honoring
+    # reference core.  An empty schedule takes the exact pre-fault path.
+    faults = getattr(sim, "faults", None)
+    if faults is not None and not faults.is_empty() and int_link:
+        healing = getattr(sim, "healing", None)
+        makespan = float(finish.max()) if M else 0.0
+        if (healing is not None
+                and healing.earliest_swap() < makespan + CONFLICT_MARGIN):
+            return None, _stats(fallback=True, messages=n_real,
+                                packets=total_packets)
+        if faults.overlaps_occupancy(fab, la, ea, xa,
+                                     margin=CONFLICT_MARGIN):
+            return None, _stats(fallback=True, messages=n_real,
+                                packets=total_packets)
+
     records = [
         MessageRecord(int(src[m]), int(dst[m]), float(size[m]),
                       float(start[m]), float(inject[m]), float(finish[m]))

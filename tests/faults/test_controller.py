@@ -1,0 +1,153 @@
+"""HealingController: sweep timeline, live-table lookup, repair quality."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultEvent, FaultSchedule, HealingController
+from repro.faults.schedule import FLAKY, LINK_DOWN, LINK_UP, SWITCH_DOWN
+from repro.routing.validate import trace_route
+
+
+def _sw_up_gport(fab):
+    """A live switch-to-switch uplink (repairable around)."""
+    up = np.flatnonzero(fab.port_goes_up()
+                        & (fab.port_owner >= fab.num_endports)
+                        & (fab.port_peer >= 0))
+    return int(up[0])
+
+
+class TestTimeline:
+    def test_empty_schedule(self, fig1_tables):
+        hc = HealingController(fig1_tables, FaultSchedule())
+        assert hc.actions == ()
+        assert hc.tables_at(0.0) is fig1_tables
+        assert hc.tables_at(1e9) is fig1_tables
+        assert math.isinf(hc.earliest_swap())
+        assert hc.recovery_latency() == 0.0
+        assert hc.swaps_after(0.0) == []
+
+    def test_single_cut_sweep(self, fig1_tables):
+        fab = fig1_tables.fabric
+        gp = _sw_up_gport(fab)
+        faults = FaultSchedule(events=(
+            FaultEvent(time=10.0, kind=LINK_DOWN, gport=gp),))
+        hc = HealingController(fig1_tables, faults, sweep_delay=25.0)
+        assert len(hc.actions) == 1
+        act = hc.actions[0]
+        assert act.fault_time == 10.0
+        assert act.sweep_time == 35.0
+        assert act.recovery_latency == 25.0
+        assert act.dead_cables == 2       # both directed gports
+        assert act.repaired_entries > 0
+        assert act.unreachable == ()      # sw-sw cut is always repairable
+        assert hc.earliest_swap() == 35.0
+
+    def test_tables_at_bisect(self, fig1_tables):
+        gp = _sw_up_gport(fig1_tables.fabric)
+        faults = FaultSchedule(events=(
+            FaultEvent(time=10.0, kind=LINK_DOWN, gport=gp),))
+        hc = HealingController(fig1_tables, faults, sweep_delay=25.0)
+        assert hc.tables_at(34.999) is fig1_tables
+        repaired = hc.tables_at(35.0)     # swap applies at sweep time
+        assert repaired is not fig1_tables
+        assert hc.tables_at(1e9) is repaired
+
+    def test_sweep_observes_recovered_cable(self, fig1_tables):
+        """A cable back up before the sweep needs no repair."""
+        gp = _sw_up_gport(fig1_tables.fabric)
+        faults = FaultSchedule(events=(
+            FaultEvent(time=10.0, kind=LINK_DOWN, gport=gp),
+            FaultEvent(time=12.0, kind=LINK_UP, gport=gp),
+        ))
+        hc = HealingController(fig1_tables, faults, sweep_delay=50.0)
+        # Two sweeps (one per event), both see a healthy fabric.
+        assert all(a.dead_cables == 0 and a.repaired_entries == 0
+                   for a in hc.actions)
+
+    def test_flaky_triggers_no_sweep(self, fig1_tables):
+        gp = _sw_up_gport(fig1_tables.fabric)
+        faults = FaultSchedule(events=(
+            FaultEvent(time=5.0, kind=FLAKY, gport=gp, until=50.0, loss=0.5),))
+        hc = HealingController(fig1_tables, faults)
+        assert hc.actions == ()
+
+    def test_one_sweep_per_distinct_event_time(self, fig1_tables):
+        fab = fig1_tables.fabric
+        up = np.flatnonzero(fab.port_goes_up()
+                            & (fab.port_owner >= fab.num_endports)
+                            & (fab.port_peer >= 0))
+        faults = FaultSchedule(events=(
+            FaultEvent(time=10.0, kind=LINK_DOWN, gport=int(up[0])),
+            FaultEvent(time=10.0, kind=LINK_DOWN, gport=int(up[1])),
+            FaultEvent(time=20.0, kind=LINK_DOWN, gport=int(up[2])),
+        ))
+        hc = HealingController(fig1_tables, faults, sweep_delay=5.0)
+        assert [a.sweep_time for a in hc.actions] == [15.0, 25.0]
+
+    def test_swaps_after_is_strict(self, fig1_tables):
+        gp = _sw_up_gport(fig1_tables.fabric)
+        faults = FaultSchedule(events=(
+            FaultEvent(time=10.0, kind=LINK_DOWN, gport=gp),))
+        hc = HealingController(fig1_tables, faults, sweep_delay=25.0)
+        assert len(hc.swaps_after(0.0)) == 1
+        assert hc.swaps_after(35.0) == []   # strictly after
+
+    def test_negative_sweep_delay_rejected(self, fig1_tables):
+        with pytest.raises(ValueError, match="sweep_delay"):
+            HealingController(fig1_tables, FaultSchedule(), sweep_delay=-1.0)
+
+
+class TestRepairQuality:
+    def test_repaired_tables_avoid_dead_cable(self, fig1_tables):
+        fab = fig1_tables.fabric
+        gp = _sw_up_gport(fab)
+        peer = int(fab.port_peer[gp])
+        faults = FaultSchedule(events=(
+            FaultEvent(time=10.0, kind=LINK_DOWN, gport=gp),))
+        hc = HealingController(fig1_tables, faults, sweep_delay=5.0)
+        repaired = hc.tables_at(100.0)
+        N = fab.num_endports
+        for src in range(N):
+            for dst in range(N):
+                if src == dst:
+                    continue
+                path = trace_route(repaired, src, dst)
+                assert gp not in path and peer not in path
+
+    def test_leaf_death_loses_exactly_its_hosts(self, fig1_tables):
+        fab = fig1_tables.fabric
+        leaf = fab.num_endports            # first switch is a leaf
+        attached = sorted(
+            int(fab.peer_node[gp]) for gp in fab.ports_of(leaf)
+            if 0 <= fab.port_peer[gp]
+            and fab.peer_node[gp] < fab.num_endports)
+        faults = FaultSchedule(events=(
+            FaultEvent(time=10.0, kind=SWITCH_DOWN, node=leaf),))
+        hc = HealingController(fig1_tables, faults, sweep_delay=5.0)
+        [act] = hc.actions
+        assert sorted(act.unreachable) == attached
+
+    def test_spine_death_fully_repairable(self, fig1_tables):
+        fab = fig1_tables.fabric
+        spine = fab.num_nodes - 1          # last node is a top switch
+        assert fab.node_level[spine] == fab.node_level.max()
+        faults = FaultSchedule(events=(
+            FaultEvent(time=10.0, kind=SWITCH_DOWN, node=spine),))
+        hc = HealingController(fig1_tables, faults, sweep_delay=5.0)
+        [act] = hc.actions
+        assert act.unreachable == ()
+        assert act.repaired_entries > 0
+
+
+class TestDeterminism:
+    def test_identical_inputs_identical_timeline(self, fig1_tables):
+        fab = fig1_tables.fabric
+        faults = FaultSchedule.random(fab, seed=11, horizon=200.0, mtbf=40.0)
+        a = HealingController(fig1_tables, faults, sweep_delay=20.0)
+        b = HealingController(fig1_tables, faults, sweep_delay=20.0)
+        assert a.actions == b.actions
+        for t in (0.0, 50.0, 150.0, 500.0):
+            ta, tb = a.tables_at(t), b.tables_at(t)
+            assert np.array_equal(ta.switch_out, tb.switch_out)

@@ -1,0 +1,218 @@
+"""FaultSchedule: validation, interval semantics, serialisation, seeding."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultEvent, FaultSchedule
+from repro.faults.schedule import FLAKY, LINK_DOWN, LINK_UP, SWITCH_DOWN
+
+
+class TestEventValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultEvent(time=1.0, kind="meteor", gport=0)
+
+    def test_negative_or_nonfinite_time(self):
+        with pytest.raises(ValueError, match="finite"):
+            FaultEvent(time=-1.0, kind=LINK_DOWN, gport=0)
+        with pytest.raises(ValueError, match="finite"):
+            FaultEvent(time=math.inf, kind=LINK_DOWN, gport=0)
+
+    def test_flaky_loss_bounds(self):
+        with pytest.raises(ValueError, match="loss"):
+            FaultEvent(time=0.0, kind=FLAKY, gport=0, until=1.0, loss=0.0)
+        with pytest.raises(ValueError, match="loss"):
+            FaultEvent(time=0.0, kind=FLAKY, gport=0, until=1.0, loss=1.5)
+        FaultEvent(time=0.0, kind=FLAKY, gport=0, until=1.0, loss=1.0)
+
+    def test_flaky_window_must_be_ordered(self):
+        with pytest.raises(ValueError, match="end after"):
+            FaultEvent(time=2.0, kind=FLAKY, gport=0, until=2.0, loss=0.5)
+
+    def test_switch_down_needs_node(self):
+        with pytest.raises(ValueError, match="node"):
+            FaultEvent(time=0.0, kind=SWITCH_DOWN)
+
+    def test_link_events_need_gport(self):
+        for kind in (LINK_DOWN, LINK_UP):
+            with pytest.raises(ValueError, match="gport"):
+                FaultEvent(time=0.0, kind=kind)
+
+
+class TestScheduleBasics:
+    def test_events_sorted_by_time(self):
+        s = FaultSchedule(events=(
+            FaultEvent(time=5.0, kind=LINK_DOWN, gport=1),
+            FaultEvent(time=1.0, kind=LINK_DOWN, gport=2),
+            FaultEvent(time=3.0, kind=LINK_UP, gport=2),
+        ))
+        assert [e.time for e in s] == [1.0, 3.0, 5.0]
+        assert len(s) == 3
+
+    def test_empty(self):
+        s = FaultSchedule()
+        assert s.is_empty() and len(s) == 0 and s.horizon == 0.0
+
+    def test_horizon_covers_flaky_until(self):
+        s = FaultSchedule(events=(
+            FaultEvent(time=2.0, kind=FLAKY, gport=0, until=9.0, loss=0.5),
+            FaultEvent(time=4.0, kind=LINK_DOWN, gport=1),
+        ))
+        assert s.horizon == 9.0
+
+    def test_horizon_ignores_infinite_until(self):
+        s = FaultSchedule(events=(
+            FaultEvent(time=2.0, kind=FLAKY, gport=0, loss=0.5),))
+        assert s.horizon == 2.0
+
+    def test_topology_events_exclude_flaky(self):
+        s = FaultSchedule(events=(
+            FaultEvent(time=1.0, kind=FLAKY, gport=0, until=2.0, loss=0.5),
+            FaultEvent(time=2.0, kind=LINK_DOWN, gport=1),
+            FaultEvent(time=3.0, kind=SWITCH_DOWN, node=4),
+        ))
+        kinds = [e.kind for e in s.topology_events()]
+        assert kinds == [LINK_DOWN, SWITCH_DOWN]
+
+
+class TestIntervals:
+    def _up_gport(self, fab, host=0):
+        """A live gport on host ``host``'s uplink."""
+        gp = int(fab.port_start[host])
+        assert fab.port_peer[gp] >= 0
+        return gp
+
+    def test_down_up_pair(self, fig1_fabric):
+        gp = self._up_gport(fig1_fabric)
+        peer = int(fig1_fabric.port_peer[gp])
+        s = FaultSchedule(events=(
+            FaultEvent(time=2.0, kind=LINK_DOWN, gport=gp),
+            FaultEvent(time=7.0, kind=LINK_UP, gport=peer),  # either end works
+        ))
+        assert s.down_intervals(fig1_fabric) == [
+            (min(gp, peer), max(gp, peer), 2.0, 7.0)]
+
+    def test_unrecovered_cut_is_open_ended(self, fig1_fabric):
+        gp = self._up_gport(fig1_fabric)
+        s = FaultSchedule(events=(FaultEvent(time=2.0, kind=LINK_DOWN, gport=gp),))
+        [(a, b, start, end)] = s.down_intervals(fig1_fabric)
+        assert start == 2.0 and math.isinf(end)
+
+    def test_unmatched_link_up_is_noop(self, fig1_fabric):
+        gp = self._up_gport(fig1_fabric)
+        s = FaultSchedule(events=(FaultEvent(time=2.0, kind=LINK_UP, gport=gp),))
+        assert s.down_intervals(fig1_fabric) == []
+
+    def test_redundant_link_down_ignored(self, fig1_fabric):
+        gp = self._up_gport(fig1_fabric)
+        s = FaultSchedule(events=(
+            FaultEvent(time=2.0, kind=LINK_DOWN, gport=gp),
+            FaultEvent(time=3.0, kind=LINK_DOWN, gport=gp),
+            FaultEvent(time=5.0, kind=LINK_UP, gport=gp),
+        ))
+        # One window, closed by the single link_up.
+        assert len(s.down_intervals(fig1_fabric)) == 1
+        assert s.down_intervals(fig1_fabric)[0][2:] == (2.0, 5.0)
+
+    def test_switch_down_kills_every_cable_forever(self, fig1_fabric):
+        node = fig1_fabric.num_endports  # first switch (a leaf)
+        live = [int(gp) for gp in fig1_fabric.ports_of(node)
+                if fig1_fabric.port_peer[gp] >= 0]
+        s = FaultSchedule(events=(FaultEvent(time=4.0, kind=SWITCH_DOWN, node=node),))
+        wins = s.down_intervals(fig1_fabric)
+        assert len(wins) == len(live)
+        assert all(start == 4.0 and math.isinf(end) for _, _, start, end in wins)
+
+    def test_dead_gports_at(self, fig1_fabric):
+        gp = self._up_gport(fig1_fabric)
+        peer = int(fig1_fabric.port_peer[gp])
+        s = FaultSchedule(events=(
+            FaultEvent(time=2.0, kind=LINK_DOWN, gport=gp),
+            FaultEvent(time=7.0, kind=LINK_UP, gport=gp),
+        ))
+        assert s.dead_gports_at(fig1_fabric, 1.0).size == 0
+        assert sorted(s.dead_gports_at(fig1_fabric, 3.0)) == sorted([gp, peer])
+        assert s.dead_gports_at(fig1_fabric, 7.0).size == 0  # end-exclusive
+
+    def test_flaky_intervals(self, fig1_fabric):
+        gp = self._up_gport(fig1_fabric)
+        peer = int(fig1_fabric.port_peer[gp])
+        s = FaultSchedule(events=(
+            FaultEvent(time=1.0, kind=FLAKY, gport=gp, until=5.0, loss=0.25),))
+        assert s.flaky_intervals(fig1_fabric) == [
+            (min(gp, peer), max(gp, peer), 1.0, 5.0, 0.25)]
+
+    def test_overlaps_occupancy(self, fig1_fabric):
+        gp = self._up_gport(fig1_fabric)
+        s = FaultSchedule(events=(
+            FaultEvent(time=10.0, kind=LINK_DOWN, gport=gp),
+            FaultEvent(time=20.0, kind=LINK_UP, gport=gp),
+        ))
+        links = np.array([gp, gp + 1], dtype=np.int64)
+        # Occupancy ends before the fault window opens: no overlap.
+        assert not s.overlaps_occupancy(
+            fig1_fabric, links, np.array([0.0, 0.0]), np.array([9.0, 9.0]))
+        # Occupancy crosses into the window.
+        assert s.overlaps_occupancy(
+            fig1_fabric, links, np.array([5.0, 0.0]), np.array([12.0, 9.0]))
+        # A different cable entirely.
+        other = np.array([gp + 1], dtype=np.int64)
+        assert not s.overlaps_occupancy(
+            fig1_fabric, other, np.array([5.0]), np.array([12.0]))
+        assert not s.overlaps_occupancy(
+            fig1_fabric, np.array([], dtype=np.int64),
+            np.array([]), np.array([]))
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        s = FaultSchedule(events=(
+            FaultEvent(time=1.0, kind=LINK_DOWN, gport=3),
+            FaultEvent(time=2.0, kind=SWITCH_DOWN, node=7),
+            FaultEvent(time=3.0, kind=FLAKY, gport=5, until=9.0, loss=0.125),
+            FaultEvent(time=4.0, kind=FLAKY, gport=5, loss=0.5),  # inf until
+        ), seed=42)
+        back = FaultSchedule.from_json(s.to_json())
+        assert back == s
+
+    def test_json_is_plain_data(self):
+        import json
+
+        s = FaultSchedule(events=(
+            FaultEvent(time=3.0, kind=FLAKY, gport=5, loss=0.5),), seed=1)
+        text = json.dumps(s.to_json())  # must not choke on inf
+        assert FaultSchedule.from_json(json.loads(text)) == s
+
+
+class TestRandom:
+    def test_deterministic(self, fig1_fabric):
+        a = FaultSchedule.random(fig1_fabric, seed=7, horizon=500.0, mtbf=50.0)
+        b = FaultSchedule.random(fig1_fabric, seed=7, horizon=500.0, mtbf=50.0)
+        assert a == b
+        assert a.seed == 7
+
+    def test_seed_matters(self, fig1_fabric):
+        drawn = {FaultSchedule.random(fig1_fabric, seed=s, horizon=500.0,
+                                      mtbf=50.0).events
+                 for s in range(8)}
+        assert len(drawn) > 1
+
+    def test_events_reference_real_hardware(self, fig1_fabric):
+        fab = fig1_fabric
+        for seed in range(20):
+            s = FaultSchedule.random(fab, seed=seed, horizon=300.0, mtbf=30.0)
+            for e in s:
+                if e.kind == SWITCH_DOWN:
+                    assert fab.num_endports <= e.node < fab.num_nodes
+                else:
+                    assert 0 <= e.gport < fab.num_ports
+                    assert fab.port_peer[e.gport] >= 0
+
+    def test_mtbf_scales_event_count(self, fig1_fabric):
+        rare = FaultSchedule.random(fig1_fabric, seed=3, horizon=1000.0,
+                                    mtbf=1000.0)
+        frequent = FaultSchedule.random(fig1_fabric, seed=3, horizon=1000.0,
+                                        mtbf=20.0)
+        assert len(frequent) > len(rare)

@@ -1,0 +1,193 @@
+"""At-least-once collectives: retry policy, DeliveryError, healing."""
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultEvent, FaultSchedule
+from repro.faults.schedule import LINK_DOWN, LINK_UP
+from repro.mpi import Communicator, DeliveryError, RetryPolicy
+from repro.routing.validate import trace_route
+
+
+def _sw_cut(tables, src, dst):
+    """A switch-to-switch gport on the route src -> dst."""
+    fab = tables.fabric
+    N = fab.num_endports
+    for gp in trace_route(tables, src, dst):
+        peer = int(fab.port_peer[gp])
+        if fab.port_owner[gp] >= N and fab.port_owner[peer] >= N:
+            return gp
+    raise AssertionError("route never crosses a sw-sw cable")
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError, match="ack_timeout"):
+            RetryPolicy(ack_timeout=0.0)
+        with pytest.raises(ValueError, match="backoff"):
+            RetryPolicy(backoff=0.5)
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=1.5)
+
+    def test_delay_grows_exponentially(self):
+        pol = RetryPolicy(ack_timeout=10.0, backoff=2.0, jitter=0.0)
+        rng = np.random.default_rng(0)
+        assert pol.delay(1, rng) == 10.0
+        assert pol.delay(2, rng) == 20.0
+        assert pol.delay(3, rng) == 40.0
+
+    def test_jitter_bounds(self):
+        pol = RetryPolicy(ack_timeout=10.0, backoff=1.0, jitter=0.5)
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            d = pol.delay(1, rng)
+            assert 10.0 <= d <= 15.0
+
+
+class TestCommunicatorWiring:
+    def test_retry_requires_faults(self, fig1_tables):
+        with pytest.raises(ValueError, match="without a fault schedule"):
+            Communicator(fig1_tables, retry=RetryPolicy())
+
+    def test_sweep_delay_requires_faults(self, fig1_tables):
+        with pytest.raises(ValueError, match="without a fault schedule"):
+            Communicator(fig1_tables, sweep_delay=10.0)
+
+    def test_last_faults_none_without_schedule(self, fig1_tables):
+        comm = Communicator(fig1_tables)
+        comm.allreduce([np.ones(4) for _ in range(comm.size)])
+        assert comm.last_faults is None
+
+
+class TestEmptySchedule:
+    def test_clean_run_metrics(self, fig1_tables):
+        comm = Communicator(fig1_tables, faults=FaultSchedule())
+        n = comm.size
+        data = [np.full(8, float(r)) for r in range(n)]
+        res = comm.allreduce(data)
+        m = comm.last_faults
+        assert m is not None
+        assert m.delivered_fraction == 1.0
+        assert m.retransmissions == 0
+        assert m.dropped_packets == 0
+        assert m.repairs == ()
+        expect = np.sum(np.stack(data), axis=0)
+        for v in res.values:
+            assert np.array_equal(v, expect)
+
+
+class TestRetryRecovery:
+    def test_transient_cut_recovers(self, fig1_tables):
+        """A cable down for a while: retries carry the data through."""
+        gp = _sw_cut(fig1_tables, 3, 4)
+        faults = FaultSchedule(events=(
+            FaultEvent(time=0.0, kind=LINK_DOWN, gport=gp),
+            FaultEvent(time=120.0, kind=LINK_UP, gport=gp),
+        ))
+        comm = Communicator(
+            fig1_tables, faults=faults,
+            retry=RetryPolicy(max_retries=8, ack_timeout=40.0, seed=1))
+        n = comm.size
+        data = [np.full(16, float(r)) for r in range(n)]
+        res = comm.allreduce(data)
+        m = comm.last_faults
+        assert m.delivered_fraction == 1.0
+        assert m.retransmissions > 0
+        assert m.retry_rounds > 0
+        expect = np.sum(np.stack(data), axis=0)
+        for v in res.values:
+            assert np.array_equal(v, expect)
+
+    def test_permanent_cut_raises_with_exact_triples(self, fig1_tables):
+        gp = _sw_cut(fig1_tables, 3, 4)
+        faults = FaultSchedule(events=(
+            FaultEvent(time=0.0, kind=LINK_DOWN, gport=gp),))
+        comm = Communicator(
+            fig1_tables, faults=faults,
+            retry=RetryPolicy(max_retries=2, ack_timeout=10.0, seed=1))
+        n = comm.size
+        data = [np.full(16, float(r)) for r in range(n)]
+        with pytest.raises(DeliveryError) as exc:
+            comm.allreduce(data)
+        err = exc.value
+        assert err.lost
+        for src, dst, stage in err.lost:
+            assert 0 <= src < n and 0 <= dst < n and stage >= 0
+        assert err.metrics.delivered_fraction < 1.0
+        assert "undeliverable" in str(err)
+        # Metrics are also left on the communicator for post-mortems.
+        assert comm.last_faults == err.metrics
+
+    def test_healing_rescues_permanent_cut(self, fig1_tables):
+        gp = _sw_cut(fig1_tables, 3, 4)
+        faults = FaultSchedule(events=(
+            FaultEvent(time=0.0, kind=LINK_DOWN, gport=gp),))
+        comm = Communicator(
+            fig1_tables, faults=faults,
+            retry=RetryPolicy(max_retries=8, ack_timeout=20.0, seed=1),
+            sweep_delay=30.0)
+        n = comm.size
+        data = [np.full(16, float(r)) for r in range(n)]
+        res = comm.allreduce(data)
+        m = comm.last_faults
+        assert m.delivered_fraction == 1.0
+        assert len(m.repairs) == 1
+        assert m.recovery_latency == 30.0
+        expect = np.sum(np.stack(data), axis=0)
+        for v in res.values:
+            assert np.array_equal(v, expect)
+
+
+class TestAllCollectivesUnderFaults:
+    """Every collective either completes correctly or raises loudly."""
+
+    @pytest.mark.parametrize("name", [
+        "allgather", "broadcast", "alltoall", "reduce",
+        "scatter", "gather", "scan", "barrier",
+    ])
+    def test_completes_with_healing(self, fig1_tables, name):
+        gp = _sw_cut(fig1_tables, 3, 4)
+        faults = FaultSchedule(events=(
+            FaultEvent(time=0.0, kind=LINK_DOWN, gport=gp),))
+        comm = Communicator(
+            fig1_tables, faults=faults,
+            retry=RetryPolicy(max_retries=8, ack_timeout=20.0, seed=2),
+            sweep_delay=25.0)
+        n = comm.size
+        if name == "barrier":
+            comm.barrier()
+        elif name == "broadcast":
+            comm.broadcast(np.arange(8.0))
+        elif name == "scatter":
+            comm.scatter([np.full(4, float(r)) for r in range(n)])
+        elif name == "alltoall":
+            matrix = [[np.full(2, float(i * n + j)) for j in range(n)]
+                      for i in range(n)]
+            comm.alltoall(matrix)
+        else:
+            data = [np.full(8, float(r)) for r in range(n)]
+            getattr(comm, name)(data)
+        m = comm.last_faults
+        assert m is not None
+        assert m.delivered_fraction == 1.0
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_metrics(self, fig1_tables):
+        fab = fig1_tables.fabric
+        faults = FaultSchedule.random(fab, seed=5, horizon=150.0, mtbf=30.0)
+        outs = []
+        for _ in range(2):
+            comm = Communicator(
+                fig1_tables, faults=faults,
+                retry=RetryPolicy(max_retries=6, ack_timeout=25.0, seed=5),
+                sweep_delay=40.0)
+            data = [np.full(8, float(r)) for r in range(comm.size)]
+            try:
+                res = comm.allreduce(data)
+                outs.append(("ok", res.time_us, comm.last_faults))
+            except DeliveryError as err:
+                outs.append(("err", err.lost, err.metrics))
+        assert outs[0] == outs[1]

@@ -1,0 +1,119 @@
+"""Property-based tests: fault schedules, repair locality, switch death."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fabric import build_fabric
+from repro.faults import FaultSchedule
+from repro.faults.packetsim import run_faulty
+from repro.routing import route_dmodk
+from repro.routing.repair import repair_tables
+from repro.routing.validate import trace_route
+from repro.sim import PacketSimulator
+from repro.topology import pgft
+
+SPEC = pgft(2, [4, 4], [1, 2], [1, 2])
+FAB = build_fabric(SPEC)
+BASE = route_dmodk(FAB)
+N = FAB.num_endports
+SW_UP = np.flatnonzero(FAB.port_goes_up()
+                       & (FAB.port_owner >= N)
+                       & (FAB.port_peer >= 0))
+
+
+class TestRepairLocality:
+    """Repair must not disturb routes the failure never touched."""
+
+    @given(st.sets(st.integers(0, len(SW_UP) - 1), min_size=1, max_size=3))
+    @settings(max_examples=25, deadline=None)
+    def test_untouched_routes_bit_identical(self, picks):
+        dead = SW_UP[sorted(picks)]
+        dead_set = {int(g) for g in dead} | {
+            int(FAB.port_peer[g]) for g in dead}
+        degraded = FAB.with_failed_cables(dead)
+        rep = repair_tables(BASE, degraded)
+        for src in range(N):
+            for dst in range(N):
+                if src == dst:
+                    continue
+                before = trace_route(BASE, src, dst)
+                if any(gp in dead_set for gp in before):
+                    continue  # the failure touched this route
+                after = trace_route(rep.tables, src, dst)
+                assert after == before, (
+                    f"repair rerouted untouched {src}->{dst}")
+
+    @given(st.integers(0, len(SW_UP) - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_single_cut_repair_only_edits_dead_entries(self, pick):
+        gp = int(SW_UP[pick])
+        degraded = FAB.with_failed_cables([gp])
+        rep = repair_tables(BASE, degraded)
+        changed = BASE.switch_out != rep.tables.switch_out
+        # Every edited entry previously pointed into the dead cable.
+        dead_pair = {gp, int(FAB.port_peer[gp])}
+        assert all(int(v) in dead_pair
+                   for v in BASE.switch_out[changed])
+
+
+class TestSwitchDeath:
+    @given(st.integers(N, FAB.num_nodes - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_with_failed_switches_severs_symmetrically(self, node):
+        fab2 = FAB.with_failed_switches([node])
+        for gp in FAB.ports_of(node):
+            peer = int(FAB.port_peer[gp])
+            if peer < 0:
+                continue
+            assert fab2.port_peer[gp] == -1
+            assert fab2.port_peer[peer] == -1
+        # Untouched cables survive verbatim.
+        touched = set()
+        for gp in FAB.ports_of(node):
+            peer = int(FAB.port_peer[gp])
+            if peer >= 0:
+                touched.update((int(gp), peer))
+        keep = np.setdiff1d(np.arange(FAB.num_ports), sorted(touched))
+        assert np.array_equal(fab2.port_peer[keep], FAB.port_peer[keep])
+
+    def test_bad_node_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="no such node"):
+            FAB.with_failed_switches([FAB.num_nodes])
+
+    @given(st.integers(N, FAB.num_nodes - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_dead_switch_repair_never_blames_other_destinations(self, node):
+        """A dead switch's all-dead row must not poison reachability."""
+        fab2 = FAB.with_failed_switches([node])
+        rep = repair_tables(BASE, fab2)
+        # Only hosts physically attached to the dead node can be lost.
+        attached = {int(FAB.peer_node[gp]) for gp in FAB.ports_of(node)
+                    if 0 <= FAB.port_peer[gp]
+                    and FAB.peer_node[gp] < N}
+        assert set(rep.unreachable) <= attached
+
+
+class TestScheduleProperties:
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_random_schedule_pure_function_of_seed(self, seed):
+        a = FaultSchedule.random(FAB, seed=seed, horizon=200.0, mtbf=40.0)
+        b = FaultSchedule.random(FAB, seed=seed, horizon=200.0, mtbf=40.0)
+        assert a == b
+        assert FaultSchedule.from_json(a.to_json()) == a
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_run_accounting_under_random_damage(self, seed):
+        """delivered + lost == attempted for any schedule; identical
+        seeds give identical reports (byte-for-byte chaos)."""
+        faults = FaultSchedule.random(FAB, seed=seed, horizon=15.0, mtbf=3.0)
+        seqs = [[((p + 1) % N, 2048.0)] for p in range(N)]
+        sim = PacketSimulator(BASE, engine="reference")
+        _, rep_a = run_faulty(sim, seqs, faults)
+        _, rep_b = run_faulty(sim, seqs, faults)
+        assert rep_a == rep_b
+        assert rep_a.delivered_messages + len(rep_a.lost) == rep_a.total_messages

@@ -1,0 +1,186 @@
+"""Crash/hang survival: hardened sweeper shards and crash-safe cache."""
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.runtime import ParallelSweeper, ResultCache, ShardFailure
+
+
+# -- module-level workers (picklable for process pools) -----------------
+
+def _double(x):
+    return x * 2
+
+
+def _crash_on_odd(x):
+    if x % 2:
+        raise RuntimeError(f"shard {x} exploded")
+    return x * 2
+
+
+def _always_crash(x):
+    raise RuntimeError("doomed")
+
+
+def _flaky_until_marker(x, marker_dir):
+    """Fail the first time each argument is seen, succeed after."""
+    marker = os.path.join(marker_dir, f"seen-{x}")
+    if not os.path.exists(marker):
+        with open(marker, "w"):
+            pass
+        raise RuntimeError("transient")
+    return x * 2
+
+
+def _hang_on_zero(x):
+    # Far beyond the 1.5 s shard deadline, short enough that the
+    # orphaned worker doesn't stall interpreter teardown for long.
+    if x == 0:
+        time.sleep(6.0)
+    return x * 2
+
+
+def _die_on_zero(x):
+    if x == 0:
+        os._exit(13)  # kills the worker process, breaking the pool
+    return x * 2
+
+
+class TestInlineFallback:
+    def test_jobs1_is_inline_and_exact(self):
+        sw = ParallelSweeper(jobs=1)
+        assert sw.starmap(_double, [(i,) for i in range(5)]) == [
+            0, 2, 4, 6, 8]
+        assert sw.last_failures == []
+
+    def test_inline_crash_propagates(self):
+        # Inline execution keeps the plain-function contract: no
+        # swallowing, the caller sees the exception.
+        sw = ParallelSweeper(jobs=1)
+        with pytest.raises(RuntimeError, match="exploded"):
+            sw.starmap(_crash_on_odd, [(1,)])
+
+
+@pytest.mark.slow
+class TestCrashSurvival:
+    def test_crashed_shard_yields_partial_result(self):
+        sw = ParallelSweeper(jobs=2, shard_retries=1, retry_backoff=0.01)
+        out = sw.starmap(_always_crash, [(i,) for i in range(3)])
+        assert out == [None, None, None]
+        assert len(sw.last_failures) == 3
+        for f in sw.last_failures:
+            assert isinstance(f, ShardFailure)
+            assert "doomed" in f.reason
+            assert f.attempts == 2  # initial + 1 retry
+
+    def test_mixed_crash_keeps_good_results(self):
+        sw = ParallelSweeper(jobs=2, shard_retries=0, retry_backoff=0.01)
+        out = sw.starmap(_crash_on_odd, [(i,) for i in range(4)])
+        assert out == [0, None, 4, None]
+        assert sorted(f.index for f in sw.last_failures) == [1, 3]
+
+    def test_transient_crash_retried_to_success(self, tmp_path):
+        sw = ParallelSweeper(jobs=2, shard_retries=2, retry_backoff=0.01)
+        out = sw.starmap(
+            _flaky_until_marker, [(i, str(tmp_path)) for i in range(3)])
+        assert out == [0, 2, 4]
+        assert sw.last_failures == []
+
+    def test_worker_death_recorded_not_fatal(self):
+        """os._exit in a worker breaks the pool; the sweep survives.
+
+        (Two items: a single-item starmap runs inline, where a worker
+        suicide would take the interpreter with it.)
+        """
+        sw = ParallelSweeper(jobs=2, shard_retries=1, retry_backoff=0.01)
+        out = sw.starmap(_die_on_zero, [(0,), (1,)])
+        assert out[0] is None
+        assert out[1] == 2          # rescued on the recreated pool
+        assert any(f.index == 0 for f in sw.last_failures)
+        # The sweeper recovered a working pool for the next call.
+        assert sw.starmap(_double, [(21,), (22,)]) == [42, 44]
+
+
+@pytest.mark.slow
+class TestTimeouts:
+    def test_hung_shard_times_out(self):
+        sw = ParallelSweeper(jobs=2, shard_timeout=1.5, retry_backoff=0.01)
+        t0 = time.monotonic()
+        out = sw.starmap(_hang_on_zero, [(0,), (1,)])
+        assert time.monotonic() - t0 < 30.0
+        assert out[0] is None
+        assert out[1] == 2          # the fast shard still lands
+        [f] = [f for f in sw.last_failures if f.index == 0]
+        assert "timed out" in f.reason
+        # Timeouts are terminal: one attempt only.
+        assert f.attempts == 1
+        # Pool was recreated; the sweeper still works.
+        assert sw.starmap(_double, [(3,), (4,)]) == [6, 8]
+
+    def test_no_timeout_by_default(self):
+        sw = ParallelSweeper(jobs=2, retry_backoff=0.01)
+        out = sw.starmap(_double, [(i,) for i in range(4)])
+        assert out == [0, 2, 4, 6]
+        assert sw.last_failures == []
+
+
+class TestCrashSafeCache:
+    def _store(self, tmp_path, key="k", meta=None):
+        cache = ResultCache(root=tmp_path)
+        cache.store_array(key, np.arange(6.0), meta=meta)
+        return cache
+
+    def test_corrupt_entry_evicted_and_recomputed(self, tmp_path):
+        cache = self._store(tmp_path, meta={"n": 6})
+        path = cache.path_for("k")
+        # Simulate a crash mid-write under the pre-atomic scheme: the
+        # file exists but holds garbage.
+        path.write_bytes(b"\x93NUMPY garbage")
+        assert cache.load_array("k") is None
+        assert not path.exists()
+        assert not path.with_suffix(".json").exists()
+        # The slot self-heals: store again, load round-trips.
+        cache.store_array("k", np.arange(6.0))
+        assert np.array_equal(cache.load_array("k"), np.arange(6.0))
+
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        cache = self._store(tmp_path)
+        path = cache.path_for("k")
+        path.write_bytes(path.read_bytes()[:16])
+        assert cache.load_array("k") is None
+        assert cache.stats.misses >= 1
+
+    def test_empty_file_is_a_miss(self, tmp_path):
+        cache = self._store(tmp_path)
+        cache.path_for("k").write_bytes(b"")
+        assert cache.load_array("k") is None
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        cache = self._store(tmp_path, meta={"a": 1})
+        leftovers = [p for p in os.listdir(tmp_path) if ".tmp" in p]
+        assert leftovers == []
+        stored = sorted(p for p in os.listdir(tmp_path))
+        assert any(p.endswith(".npy") for p in stored)
+        assert any(p.endswith(".json") for p in stored)
+
+    def test_sidecar_written_atomically_and_valid(self, tmp_path):
+        cache = self._store(tmp_path, meta={"rows": 3, "tag": "x"})
+        sidecar = cache.path_for("k").with_suffix(".json")
+        assert json.loads(sidecar.read_text()) == {"rows": 3, "tag": "x"}
+
+    def test_failed_writer_cleans_up_temp(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+
+        class Boom(Exception):
+            pass
+
+        def bad_writer(fh):
+            raise Boom
+
+        with pytest.raises(Boom):
+            cache._atomic_write(cache.path_for("k"), bad_writer, ".npy.tmp")
+        assert os.listdir(tmp_path) == []

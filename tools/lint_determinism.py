@@ -35,7 +35,8 @@ import sys
 from pathlib import Path
 
 DEFAULT_PATHS = ("src/repro/routing", "src/repro/runtime",
-                 "src/repro/check", "src/repro/collectives")
+                 "src/repro/check", "src/repro/collectives",
+                 "src/repro/faults")
 
 #: dict-view methods whose iteration order mirrors insertion order of a
 #: dict -- fine for literals, unordered when the dict was built from an
