@@ -1,0 +1,109 @@
+"""Fault-space sweep: incremental delta vs cold re-certification.
+
+The whole point of building the fault-space analyzer on the symbolic
+certifier's ``keep_links`` cache: certifying 675 degraded n324 fabrics
+(every cable, every switch) must cost *deltas*, not 675 cold
+certifications.  The cold engine re-walks every flow of every stage
+per fault; the incremental engine batch-rewalks only the flows whose
+healthy path crossed a dead cable (repair locality guarantees those
+are the only ones that can move) and patches the healthy per-stage
+link-load maxima sparsely.
+
+The asserted ratio (>= 10x, routinely higher) is tabulated in
+``artifacts/BENCH_faultspace.json`` together with the differential
+check: both engines must produce bit-identical verdicts, stage maxima
+and counterexamples across the full single-fault space.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.check.faultspace import (
+    certify_prepared,
+    enumerate_fault_units,
+    prepare_fault_cases,
+    sample_fault_combos,
+)
+from repro.experiments.common import sampled_shift
+from repro.fabric import build_fabric
+from repro.ordering import topology_subset
+from repro.routing import route_dmodk
+from repro.topology import paper_topologies
+
+EXCLUDE = 36          # Cont.-288 job: idle capacity worth certifying
+MAX_SHIFT_STAGES = 128
+
+
+@pytest.fixture(scope="module")
+def sweep324():
+    spec = paper_topologies()["n324"]
+    fab = build_fabric(spec)
+    active = topology_subset(fab.num_endports, EXCLUDE, seed=0)
+    tables = route_dmodk(fab, active=active)
+    cps = sampled_shift(len(active), MAX_SHIFT_STAGES)
+    placement = np.sort(np.asarray(active, dtype=np.int64))
+    units = enumerate_fault_units(fab, units="both")
+    combos = sample_fault_combos(units, max_faults=1, samples=0, seed=0)
+    prepared = prepare_fault_cases(tables, combos, strategy="balanced",
+                                   active=active, check_valleys=False)
+    return tables, cps, placement, active, prepared
+
+
+def test_incremental_sweep_vs_cold_n324(benchmark, sweep324):
+    """The headline ratio: sweeping all 675 single faults of n324 via
+    the symbolic delta cache must beat cold re-certification >= 10x,
+    with bit-identical results."""
+    tables, cps, placement, active, prepared = sweep324
+    assert len(prepared) == 675       # 648 cables + 27 switches
+
+    t0 = time.perf_counter()
+    cold = certify_prepared(tables, prepared, cps, placement,
+                            active=active, engine="cold")
+    t_cold = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    inc = benchmark.pedantic(
+        certify_prepared, args=(tables, prepared, cps, placement),
+        kwargs=dict(active=active, engine="incremental"),
+        rounds=1, iterations=1)
+    t_inc = time.perf_counter() - t0
+
+    # Differential: the delta engine must be invisible in the results.
+    assert len(inc.records) == len(cold.records) == 675
+    for a, b in zip(inc.records, cold.records):
+        assert a.verdict == b.verdict, a.label
+        assert a.stage_maxima == b.stage_maxima, a.label
+        assert a.violation == b.violation, a.label
+    # Full coverage: every fault gets a verdict (certificate, minimal
+    # counterexample, or job-relevant disconnection).
+    assert all(r.verdict in ("contention-free", "refuted", "disconnected")
+               for r in inc.records)
+
+    speedup = t_cold / t_inc
+    benchmark.extra_info["num_faults"] = len(prepared)
+    benchmark.extra_info["num_stages"] = len(cps.stages)
+    benchmark.extra_info["cold_s"] = round(t_cold, 3)
+    benchmark.extra_info["incremental_s"] = round(t_inc, 3)
+    benchmark.extra_info["speedup"] = round(speedup, 1)
+    benchmark.extra_info["verdicts"] = inc.verdict_counts()
+    benchmark.extra_info["certified_fraction"] = round(
+        inc.certified_fraction, 4)
+    benchmark.extra_info["stages_touched"] = inc.stages_touched
+    benchmark.extra_info["flows_recomputed"] = inc.flows_recomputed
+    assert speedup >= 10, (t_cold, t_inc)
+
+
+def test_incremental_sweep_throughput_n324(benchmark, sweep324):
+    """Steady-state incremental sweep cost (the number an operator
+    pays to re-audit the whole single-fault space after a config
+    change)."""
+    tables, cps, placement, active, prepared = sweep324
+    result = benchmark.pedantic(
+        certify_prepared, args=(tables, prepared, cps, placement),
+        kwargs=dict(active=active, engine="incremental"),
+        rounds=3, iterations=1)
+    benchmark.extra_info["faults_per_run"] = len(prepared)
+    benchmark.extra_info["verdicts"] = result.verdict_counts()
+    assert len(result.records) == len(prepared)

@@ -45,7 +45,10 @@ def pytest_sessionfinish(session, exitstatus):
         return
     by_module: dict[str, list[dict]] = defaultdict(list)
     for bench in bench_session.benchmarks:
+        # bench_faultspace.py -> BENCH_faultspace.json: the artifact is
+        # named for what it measures, not the collection-glob prefix.
         module = Path(str(bench.fullname).split("::", 1)[0]).stem
+        module = module.removeprefix("bench_")
         stats = getattr(bench, "stats", None)
         try:
             mean = stats.mean if stats is not None and stats.data else None

@@ -26,6 +26,8 @@ See ``docs/CHECKS.md`` for the diagnostic-code catalogue.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..fabric.lft import ForwardingTables
 from .certify import ContentionCertifierPass, placement_digest
 from .common import colliding_pairs_payload, link_loc, sample_pairs
@@ -38,6 +40,19 @@ from .diagnostics import (
     describe_code,
 )
 from .fault_lint import FaultSchedulePass
+from .faultspace import (
+    FaultRecord,
+    FaultSpacePass,
+    FaultSpaceResult,
+    FaultUnit,
+    PreparedFault,
+    enumerate_fault_units,
+    flow_valleys,
+    prepare_fault_cases,
+    sample_fault_combos,
+    sweep_fault_space,
+    up_port_spread,
+)
 from .passes import CheckContext, CheckPass, CheckResult, Pipeline, ScheduleCase
 from .routing_lint import (
     CdgCyclePass,
@@ -74,12 +89,17 @@ __all__ = [
     "DownPortBalancePass",
     "ENGINES",
     "EngineAgreementPass",
+    "FaultRecord",
     "FaultSchedulePass",
+    "FaultSpacePass",
+    "FaultSpaceResult",
+    "FaultUnit",
     "IncrementalStats",
     "Loc",
     "MinimalityPass",
     "Pipeline",
     "PlacementLintPass",
+    "PreparedFault",
     "ReachabilityPass",
     "ScheduleCase",
     "Severity",
@@ -95,13 +115,19 @@ __all__ = [
     "colliding_pairs_payload",
     "default_pipeline",
     "describe_code",
+    "enumerate_fault_units",
+    "flow_valleys",
     "link_loc",
     "placement_digest",
     "precheck_tables",
+    "prepare_fault_cases",
     "run_check",
+    "sample_fault_combos",
     "sample_pairs",
+    "sweep_fault_space",
     "symbolic_flow_links",
     "symbolic_stage_max",
+    "up_port_spread",
 ]
 
 #: pass names in canonical pipeline order (CLI ``--passes`` accepts these)
@@ -121,6 +147,7 @@ PASS_ORDER = (
     "certify",
     "symbolic-certify",
     "differential",
+    "fault-space",
 )
 
 #: certification engines accepted by ``default_pipeline``/``run_check``
@@ -135,7 +162,8 @@ def default_pipeline(
     updown_sample: int | None = 250_000,
     certify: bool = True,
     engine: str = "enumerate",
-    symbolic_active=None,
+    symbolic_active: np.ndarray | None = None,
+    fault_space: dict | None = None,
 ) -> Pipeline:
     """The canonical full pipeline, optionally restricted to ``only``.
 
@@ -144,6 +172,11 @@ def default_pipeline(
     certification alike.  ``engine`` selects the certification
     engine(s); ``symbolic_active`` is the job's active end-port set for
     job-aware symbolic certification (Cont.-X).
+
+    The fault-space sweep is opt-in (it certifies *hundreds* of
+    degraded fabrics): pass ``fault_space`` -- keyword arguments for
+    :class:`FaultSpacePass`, ``{}`` for the defaults -- or name
+    ``"fault-space"`` in ``only``.
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; known: {list(ENGINES)}")
@@ -168,6 +201,8 @@ def default_pipeline(
             passes.append(SymbolicContentionPass(active=symbolic_active))
         if engine == "both":
             passes.append(EngineAgreementPass())
+    if fault_space is not None or (only is not None and "fault-space" in only):
+        passes.append(FaultSpacePass(**(fault_space or {})))
     if only is not None:
         unknown = only - set(PASS_ORDER)
         if unknown:
@@ -182,12 +217,14 @@ def run_check(ctx: CheckContext,
               updown_sample: int | None = 250_000,
               certify: bool = True,
               engine: str = "enumerate",
-              symbolic_active=None,
+              symbolic_active: np.ndarray | None = None,
+              fault_space: dict | None = None,
               max_diags_per_code: int = 25) -> CheckResult:
     """Run the default pipeline over a prepared context."""
     pipeline = default_pipeline(only=only, updown_sample=updown_sample,
                                 certify=certify, engine=engine,
-                                symbolic_active=symbolic_active)
+                                symbolic_active=symbolic_active,
+                                fault_space=fault_space)
     return pipeline.run(ctx, max_diags_per_code=max_diags_per_code)
 
 

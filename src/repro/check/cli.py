@@ -27,6 +27,12 @@ Examples::
     # job-aware Cont.-X: exclude 10 random end-ports, dense-rank routing
     python -m repro.check --topo n324 --engine both --cps ring --exclude 10
 
+    # sweep every single cable/switch fault, certify each repaired fabric
+    python -m repro.check --topo n324 --cps shift --exclude 36 --fault-space
+
+    # the same findings as GitHub code-scanning input
+    python -m repro.check --topo n324 --cps shift --format sarif
+
     # refute random routing with a named stage+link counterexample
     python -m repro.check --topo n324 --routing random --cps shift
 
@@ -47,13 +53,22 @@ from pathlib import Path
 import numpy as np
 
 from ..collectives import by_name, hierarchical_recursive_doubling, shift
+from ..collectives.cps import CPS
 from ..fabric import build_fabric
+from ..fabric.lft import ForwardingTables
+from ..fabric.model import Fabric
 from ..fabric.topofile import load as load_topofile
 from ..ordering import random_order, topology_order, topology_subset
 from ..ordering.adversarial import adversarial_ring_order
 from ..routing import route_dmodk, route_ftree, route_minhop, route_random
+from ..routing.repair import REPAIR_STRATEGIES
 from ..topology import paper_topologies, pgft
+from ..topology.spec import PGFTSpec
 from . import CODES, ENGINES, PASS_ORDER, CheckContext, ScheduleCase, run_check
+from .faultspace import FAULT_UNIT_KINDS, SWEEP_ENGINES
+from .sarif import dumps_sarif
+
+FORMATS = ("text", "json", "sarif")
 
 __all__ = ["main"]
 
@@ -61,7 +76,7 @@ ROUTERS = ("dmodk", "random", "minhop", "ftree", "none")
 ORDERS = ("topology", "reversed", "random", "adversarial")
 
 
-def _parse_spec(text: str):
+def _parse_spec(text: str) -> PGFTSpec:
     parts = [seg.strip() for seg in text.split(";")]
     if len(parts) != 4:
         raise SystemExit("--spec must be 'h; m1,..; w1,..; p1,..'")
@@ -69,7 +84,7 @@ def _parse_spec(text: str):
     return pgft(int(parts[0]), vec(parts[1]), vec(parts[2]), vec(parts[3]))
 
 
-def _load_fabric(args):
+def _load_fabric(args: argparse.Namespace) -> Fabric:
     given = [x is not None for x in (args.topo, args.spec, args.topofile)]
     if sum(given) != 1:
         raise SystemExit("give exactly one of --topo / --spec / --topofile")
@@ -84,7 +99,9 @@ def _load_fabric(args):
     return build_fabric(topos[args.topo])
 
 
-def _route(fabric, args, active=None):
+def _route(fabric: Fabric, args: argparse.Namespace,
+           active: np.ndarray | None = None
+           ) -> tuple[ForwardingTables | None, str]:
     name = args.routing
     if name == "none":
         return None, ""
@@ -99,7 +116,8 @@ def _route(fabric, args, active=None):
     raise SystemExit(f"unknown routing engine {name!r}")  # pragma: no cover
 
 
-def _make_active(fabric, args):
+def _make_active(fabric: Fabric,
+                 args: argparse.Namespace) -> np.ndarray | None:
     """Active end-port set for job-aware (Cont.-X) certification."""
     if not args.exclude:
         return None
@@ -109,14 +127,15 @@ def _make_active(fabric, args):
                            seed=args.exclude_seed)
 
 
-def _sampled_shift(n: int, max_stages: int):
+def _sampled_shift(n: int, max_stages: int) -> CPS:
     if n - 1 <= max_stages:
         return shift(n)
     step = (n - 1) // max_stages
     return shift(n, displacements=range(1, n, step))
 
 
-def _make_cps(name: str, fabric, args, num_ranks=None):
+def _make_cps(name: str, fabric: Fabric, args: argparse.Namespace,
+              num_ranks: int | None = None) -> CPS:
     n = num_ranks if num_ranks is not None else fabric.num_endports
     if name == "recdbl-hier":
         if fabric.spec is None:
@@ -130,7 +149,8 @@ def _make_cps(name: str, fabric, args, num_ranks=None):
         raise SystemExit(str(exc)) from exc
 
 
-def _make_order(fabric, args, active=None) -> np.ndarray:
+def _make_order(fabric: Fabric, args: argparse.Namespace,
+                active: np.ndarray | None = None) -> np.ndarray:
     n = fabric.num_endports
     if active is not None:
         # Dense ranks on the active ports only (partially populated job).
@@ -204,9 +224,42 @@ def build_parser() -> argparse.ArgumentParser:
                           "without building tables, 'both' cross-checks "
                           "the two (default: %(default)s)")
 
+    fs = parser.add_argument_group("fault-space sweep")
+    fs.add_argument("--fault-space", action="store_true",
+                    help="statically sweep the fault space: repair, "
+                         "quality-score and re-certify every degraded "
+                         "fabric (RQL0xx diagnostics)")
+    fs.add_argument("--fault-units", choices=FAULT_UNIT_KINDS + ("both",),
+                    default="both",
+                    help="fail cables, whole switches, or both "
+                         "(default: %(default)s)")
+    fs.add_argument("--max-faults", type=int, default=1, metavar="K",
+                    help="also sample combinations of up to K simultaneous "
+                         "faults (default: %(default)s = singles only)")
+    fs.add_argument("--fault-samples", type=int, default=16, metavar="N",
+                    help="sampled combos per multi-fault size "
+                         "(default: %(default)s)")
+    fs.add_argument("--fault-seed", type=int, default=0)
+    fs.add_argument("--repair", choices=REPAIR_STRATEGIES + ("auto",),
+                    default="balanced",
+                    help="repair under test; 'auto' picks the better "
+                         "static score per fault (default: %(default)s)")
+    fs.add_argument("--fault-engine", choices=SWEEP_ENGINES,
+                    default="incremental",
+                    help="'incremental' re-certifies via the symbolic "
+                         "delta cache, 'cold' re-walks every flow "
+                         "(default: %(default)s)")
+    fs.add_argument("--load-bound", type=int, default=None, metavar="L",
+                    help="RQL011 worst-link destination-multiplicity bound "
+                         "(default: healthy max + faults per combo)")
+
     out = parser.add_argument_group("output")
+    out.add_argument("--format", choices=FORMATS, default=None,
+                     help="report format (default: text); 'sarif' emits a "
+                          "SARIF 2.1.0 log for GitHub code scanning")
     out.add_argument("--json", action="store_true",
-                     help="machine-readable report on stdout")
+                     help="machine-readable report on stdout "
+                          "(alias for --format json)")
     out.add_argument("--cert-out", metavar="FILE", default=None,
                      help="write certificates (JSON list) to FILE")
     out.add_argument("--max-diags", type=int, default=25, metavar="N",
@@ -225,7 +278,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv=None) -> int:
+def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.list_codes:
         _list_codes()
@@ -262,6 +315,23 @@ def main(argv=None) -> int:
                 label=f"{name}/{args.order}",
             ))
 
+    fault_space = None
+    if args.fault_space:
+        if tables is None:
+            raise SystemExit("--fault-space repairs materialised tables; "
+                             "use a table-building engine "
+                             "(--engine enumerate/both, --routing dmodk)")
+        if not schedule:
+            raise SystemExit("--fault-space certifies degraded schedules; "
+                             "give --cps")
+        fault_space = dict(units=args.fault_units,
+                           max_faults=args.max_faults,
+                           samples=args.fault_samples,
+                           seed=args.fault_seed,
+                           strategy=args.repair,
+                           engine=args.fault_engine,
+                           load_bound=args.load_bound)
+
     ctx = CheckContext(fabric=fabric, tables=tables, schedule=schedule,
                        routing_name=routing_name, active=active)
     only = None
@@ -269,15 +339,23 @@ def main(argv=None) -> int:
         only = {p.strip() for p in args.passes.split(",")}
     result = run_check(ctx, only=only, updown_sample=args.updown_sample,
                        certify=not args.no_certify, engine=args.engine,
-                       symbolic_active=active,
+                       symbolic_active=active, fault_space=fault_space,
                        max_diags_per_code=args.max_diags)
 
     if args.cert_out:
         Path(args.cert_out).write_text(
             json.dumps(result.certificates, indent=2) + "\n")
 
-    if args.json:
-        print(json.dumps(result.to_json(), indent=2))
+    fmt = args.format or ("json" if args.json else "text")
+    if fmt == "sarif":
+        uri = args.topofile if args.topofile is not None else \
+            f"{args.topo or 'pgft'}.topo"
+        print(dumps_sarif(result, artifact_uri=uri))
+    elif fmt == "json":
+        payload = result.to_json()
+        if "faultspace" in result.artifacts:
+            payload["faultspace"] = result.artifacts["faultspace"]
+        print(json.dumps(payload, indent=2))
     else:
         print(result.report.render_text())
         summary = result.report.summary()

@@ -12,6 +12,7 @@ from typing import Any
 
 import numpy as np
 
+from ..fabric.model import Fabric
 from .diagnostics import Loc
 
 __all__ = ["link_loc", "sample_pairs", "colliding_pairs_payload",
@@ -22,7 +23,7 @@ __all__ = ["link_loc", "sample_pairs", "colliding_pairs_payload",
 MAX_COUNTEREXAMPLE_PAIRS = 8
 
 
-def link_loc(fab, gp: int, **extra) -> Loc:
+def link_loc(fab: Fabric, gp: int, **extra: Any) -> Loc:
     """Structured location of a directed link (source global port id)."""
     owner = int(fab.port_owner[gp])
     return Loc(switch=fab.node_names[owner], gport=int(gp),

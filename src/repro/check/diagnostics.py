@@ -167,6 +167,46 @@ CODES: dict[str, tuple[Severity, str]] = {
                "enumerating certifiers reached different verdicts or "
                "counterexamples for the same case. One of the engines (or "
                "the tables) is wrong; this is always a bug worth a report."),
+    # -- RQL0xx: degraded-fabric routing quality (fault-space sweep) ---------
+    "RQL001": (Severity.ERROR,
+               "Repair left a physically reachable destination unrouted: "
+               "the degraded fabric still connects every surviving host, "
+               "but some live switch has no forwarding entry toward one. "
+               "A repair-strategy bug; the data lists the destinations."),
+    "RQL002": (Severity.WARNING,
+               "Fault disconnects end-ports (host uplink cut or leaf "
+               "switch death): no repair can restore them, so contention "
+               "certification of the full job is skipped. The repair "
+               "still routes the surviving fabric."),
+    "RQL010": (Severity.WARNING,
+               "Surviving-up-port balance broken: after repair, some "
+               "switch spreads destinations unevenly over its live up "
+               "ports (max load above the ceil bound). The balanced "
+               "repair strategy meets the bound; naive round-robin "
+               "may not."),
+    "RQL011": (Severity.WARNING,
+               "Repair inflates the worst-link destination multiplicity "
+               "beyond the configured bound (default: healthy maximum "
+               "plus one per fault unit -- the pigeonhole floor). "
+               "Detours are stacking onto already-loaded links."),
+    "RQL020": (Severity.WARNING,
+               "Previously held contention certificate invalidated: the "
+               "healthy (fabric, CPS, placement) case was certified "
+               "contention-free, but under this fault the repaired "
+               "routing places two or more concurrent flows on one "
+               "directed link. The data carries the minimal "
+               "counterexample (stage, link, colliding pairs)."),
+    "RQL030": (Severity.ERROR,
+               "Repaired route descends and then ascends again (an "
+               "up*/down* valley): deadlock-prone under credit flow "
+               "control. BFS-minimal repairs never do this on a "
+               "connected fat tree; seeing it means the repair or the "
+               "degraded wiring is broken."),
+    "RQL090": (Severity.INFO,
+               "Fault-space sweep summary: faults covered, verdict "
+               "counts, certified fraction and the engine/strategy used. "
+               "Also reports a sweep skipped for a structural reason "
+               "(e.g. the healthy schedule is already refuted)."),
 }
 
 
@@ -250,7 +290,7 @@ class DiagnosticReport:
     total, so summaries stay exact on badly broken fabrics).
     """
 
-    def __init__(self, max_diags_per_code: int = 25):
+    def __init__(self, max_diags_per_code: int = 25) -> None:
         self.max_diags_per_code = max_diags_per_code
         self.diagnostics: list[Diagnostic] = []
         self.counts: dict[str, int] = {}

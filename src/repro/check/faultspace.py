@@ -1,0 +1,922 @@
+"""Fault-space static analysis (``RQL0xx``): certify degraded-fabric
+routing *quality*, not just survival.
+
+PR 5's healing restores reachability after a failure; this module asks
+the stronger question statically, for **every** fault the spec admits:
+after the repair under test, how good is the degraded routing?  For
+each fault unit (any single cable, any single switch; sampled
+k-bounded combinations) the sweep
+
+(a) applies the repair under test (:func:`repro.routing.repair`,
+    ``naive`` or ``balanced``),
+(b) scores the result statically -- surviving-up-port load spread,
+    per-link flow multiplicity via the same accounting as
+    :mod:`repro.analysis.hsd`, up/down valley freedom on the detoured
+    routes -- and
+(c) obtains a contention certificate or a minimal counterexample for
+    the schedule under test through the symbolic certifier's
+    incremental mode, so an n324 sweep costs per-fault *deltas*, not
+    cold certifications.
+
+The incremental engine is exact: it reuses the healthy case's cached
+closed-form link traversal (``certify(..., keep_links=True)``) through
+a CSR-style index, re-walks only the flows whose healthy path crossed
+a dead cable, and reconstructs counterexamples from cache + delta.
+``engine="cold"`` re-certifies each degraded fabric from scratch by
+enumeration; the two produce bit-identical records (the test suite
+diffs them), and ``BENCH_faultspace.json`` tracks the speedup.
+
+Findings surface as stable ``RQL0xx`` diagnostics through
+:class:`FaultSpacePass` (``python -m repro.check --fault-space``); the
+full machine-readable sweep lands in the ``faultspace`` artifact.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from ..analysis.hsd import walk_flow_links
+from ..collectives.cps import CPS
+from ..collectives.schedule import stage_flows
+from ..fabric.lft import ForwardingTables
+from ..fabric.model import Fabric
+from ..routing.repair import (
+    REPAIR_STRATEGIES,
+    RepairReport,
+    destination_multiplicity,
+    repair_tables,
+    score_repair,
+)
+from .common import colliding_pairs_payload, link_loc
+from .diagnostics import Diagnostic, DiagnosticReport, Loc
+from .passes import CheckContext, CheckPass
+from .symbolic import CaseState, SymbolicCertifier, _sparse_loads
+
+__all__ = [
+    "FAULT_UNIT_KINDS",
+    "SWEEP_ENGINES",
+    "FaultUnit",
+    "PreparedFault",
+    "FaultRecord",
+    "FaultSpaceResult",
+    "enumerate_fault_units",
+    "sample_fault_combos",
+    "prepare_fault_cases",
+    "certify_prepared",
+    "sweep_fault_space",
+    "up_port_spread",
+    "flow_valleys",
+    "FaultSpacePass",
+]
+
+#: fault-unit kinds the enumerator produces
+FAULT_UNIT_KINDS = ("cable", "switch")
+
+#: degraded-case certification engines: ``incremental`` reuses the
+#: healthy symbolic state, ``cold`` re-enumerates every degraded case
+SWEEP_ENGINES = ("incremental", "cold")
+
+
+# ----------------------------------------------------------------------
+# Fault-space enumeration
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FaultUnit:
+    """One atomic fault: a cable cut or a switch death.
+
+    ``gports`` lists *both* directed global port ids of every cable the
+    unit kills (a cable unit has two, a switch unit two per attached
+    cable), sorted -- the exact set handed to
+    :meth:`Fabric.with_failed_cables` and the incremental certifier.
+    """
+
+    kind: str
+    label: str
+    gports: tuple[int, ...]
+    node: int = -1
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_UNIT_KINDS:
+            raise ValueError(f"unknown fault-unit kind {self.kind!r}; "
+                             f"known: {FAULT_UNIT_KINDS}")
+
+
+def enumerate_fault_units(fabric: Fabric, units: str = "both",
+                          include_host_cables: bool = True,
+                          ) -> tuple[FaultUnit, ...]:
+    """Every single-fault unit of a fabric, in deterministic order.
+
+    ``units`` selects ``"cable"``, ``"switch"`` or ``"both"``; cables
+    come first (by lower global port id), then switches (by node id).
+    ``include_host_cables=False`` drops host uplinks -- their loss is a
+    disconnection, not a routing problem, so sweeps focused on repair
+    quality may exclude them.
+    """
+    if units not in ("cable", "switch", "both"):
+        raise ValueError(f"units must be 'cable', 'switch' or 'both', "
+                         f"got {units!r}")
+    N = fabric.num_endports
+    out: list[FaultUnit] = []
+    if units in ("cable", "both"):
+        peers = fabric.port_peer
+        for gp in range(fabric.num_ports):
+            peer = int(peers[gp])
+            if peer < gp:        # dead port or canonical side already seen
+                continue
+            owner = int(fabric.port_owner[gp])
+            peer_owner = int(fabric.port_owner[peer])
+            if not include_host_cables and (owner < N or peer_owner < N):
+                continue
+            out.append(FaultUnit(
+                kind="cable",
+                label=f"cable {fabric.node_names[owner]}/"
+                      f"{int(fabric.local_port(gp))}--"
+                      f"{fabric.node_names[peer_owner]}/"
+                      f"{int(fabric.local_port(peer))}",
+                gports=(gp, peer)))
+    if units in ("switch", "both"):
+        for node in range(N, fabric.num_nodes):
+            dead: set[int] = set()
+            for gp in fabric.ports_of(node):
+                peer = int(fabric.port_peer[gp])
+                if peer >= 0:
+                    dead.add(int(gp))
+                    dead.add(peer)
+            if not dead:
+                continue
+            out.append(FaultUnit(
+                kind="switch",
+                label=f"switch {fabric.node_names[node]}",
+                gports=tuple(sorted(dead)),
+                node=node))
+    return tuple(out)
+
+
+def sample_fault_combos(units: Sequence[FaultUnit], max_faults: int,
+                        samples: int, seed: int = 0,
+                        ) -> tuple[tuple[FaultUnit, ...], ...]:
+    """k-bounded multi-fault combinations, deterministically sampled.
+
+    Every single-unit combo is always included (the exhaustive k=1
+    layer); for each ``k`` in ``2..max_faults``, ``samples`` distinct
+    k-subsets are drawn from a seeded generator.  Combos are tuples in
+    enumeration order, with no duplicates.
+    """
+    combos: list[tuple[FaultUnit, ...]] = [(u,) for u in units]
+    if max_faults <= 1 or len(units) < 2:
+        return tuple(combos)
+    rng = np.random.default_rng(seed)
+    seen: set[tuple[int, ...]] = set()
+    for k in range(2, max_faults + 1):
+        if k > len(units):
+            break
+        total = math.comb(len(units), k)
+        want = min(samples, total)
+        guard = 0
+        while len([c for c in seen if len(c) == k]) < want:
+            pick = tuple(sorted(rng.choice(len(units), size=k,
+                                           replace=False).tolist()))
+            guard += 1
+            if pick in seen:
+                if guard > 50 * want:
+                    break  # pathological tiny spaces; keep what we have
+                continue
+            seen.add(pick)
+            combos.append(tuple(units[i] for i in pick))
+    return tuple(combos)
+
+
+# ----------------------------------------------------------------------
+# Per-fault preparation (repair + static quality)
+# ----------------------------------------------------------------------
+def up_port_spread(tables: ForwardingTables,
+                   active: np.ndarray | None = None,
+                   ) -> list[tuple[int, int, int, int]]:
+    """Destination spread over each switch's *live* up ports.
+
+    Returns ``(node, live_up_ports, max_load, ceil_bound)`` per switch
+    that has at least one live up port, where ``ceil_bound`` is the best
+    achievable max (``ceil(total / live)``).  A ``max_load`` above the
+    bound means the repair spread detours unevenly -- the ``RQL010``
+    condition.  Fully even healthy D-Mod-K meets the bound everywhere.
+    """
+    fab = tables.fabric
+    N = fab.num_endports
+    counts = destination_multiplicity(tables, active=active)
+    goes_up = fab.port_goes_up()
+    live = fab.port_peer >= 0
+    out: list[tuple[int, int, int, int]] = []
+    for node in range(N, fab.num_nodes):
+        ports = fab.ports_of(node)
+        up = ports[goes_up[ports] & live[ports]]
+        if not len(up):
+            continue
+        loads = counts[up]
+        total = int(loads.sum())
+        bound = -(-total // len(up))
+        out.append((node, len(up), int(loads.max()), bound))
+    return out
+
+
+def flow_valleys(tables: ForwardingTables, src: np.ndarray,
+                 dst: np.ndarray) -> np.ndarray:
+    """Indices of flows whose route descends and then ascends again (an
+    up*/down* "valley" -- deadlock-prone under credit flow control).
+
+    A tiny hop-by-hop walker (the analysis twin of
+    :func:`repro.analysis.hsd.walk_flow_links` keeps no hop structure,
+    which the valley predicate needs).  Unroutable flows raise, exactly
+    like the walker.
+    """
+    fab = tables.fabric
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    goes_up = fab.port_goes_up()
+    idx = np.flatnonzero(src != dst)
+    if not len(idx):
+        return np.empty(0, dtype=np.int64)
+    gp = tables.host_out_port(src[idx], dst[idx])
+    cur = fab.peer_node[gp].astype(np.int64)
+    tgt = dst[idx]
+    went_down = np.zeros(len(idx), dtype=bool)
+    valley = np.zeros(len(idx), dtype=bool)
+    hits: list[np.ndarray] = []
+    h = int(fab.node_level.max())
+    for _ in range(2 * h + 2):
+        moving = cur != tgt
+        if not moving.all():   # retiring flows carry their verdict out
+            hits.append(idx[~moving & valley])
+        if not moving.any():
+            break
+        idx, cur, tgt = idx[moving], cur[moving], tgt[moving]
+        went_down, valley = went_down[moving], valley[moving]
+        gp = tables.out_port(cur, tgt)
+        if (gp < 0).any():
+            raise ValueError("flow hit an unrouted destination")
+        up = goes_up[gp]
+        valley |= went_down & up
+        went_down |= ~up
+        cur = fab.peer_node[gp].astype(np.int64)
+        if (cur < 0).any():
+            raise ValueError("flow walked into a dead cable")
+    else:
+        hits.append(idx[valley])
+    return np.unique(np.concatenate(hits)) if hits else \
+        np.empty(0, dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class PreparedFault:
+    """One degraded case, repaired and statically scored -- the unit the
+    certification engines consume."""
+
+    units: tuple[FaultUnit, ...]
+    dead_gports: tuple[int, ...]
+    repair: RepairReport
+    worst_multiplicity: int
+    spread_violations: tuple[tuple[int, int, int, int], ...]
+    valley_flows: int = 0
+
+    @property
+    def label(self) -> str:
+        return " + ".join(u.label for u in self.units)
+
+    @property
+    def kind(self) -> str:
+        kinds = {u.kind for u in self.units}
+        return kinds.pop() if len(kinds) == 1 else "mixed"
+
+
+def prepare_fault_cases(tables: ForwardingTables,
+                        combos: Iterable[tuple[FaultUnit, ...]],
+                        strategy: str = "balanced",
+                        active: np.ndarray | None = None,
+                        check_valleys: bool = True,
+                        ) -> list[PreparedFault]:
+    """Apply the repair under test to every fault combo and score it.
+
+    The static quality score -- worst-link destination multiplicity,
+    per-switch up-port spread violations and up/down valleys on the
+    detoured routes -- is engine-independent, so it is computed here
+    once; :func:`certify_prepared` then only decides contention freedom.
+    """
+    fabric = tables.fabric
+    active_set = None if active is None else {
+        int(a) for a in np.asarray(active, dtype=np.int64)}
+    out: list[PreparedFault] = []
+    for combo in combos:
+        dead = sorted({g for u in combo for g in u.gports})
+        degraded = fabric.with_failed_cables(np.asarray(dead, dtype=np.int64))
+        rep = repair_tables(tables, degraded, strategy=strategy)
+        counts = destination_multiplicity(rep.tables, active=active)
+        spread = tuple(
+            (node, live, mx, bound)
+            for node, live, mx, bound in up_port_spread(rep.tables,
+                                                        active=active)
+            if mx > bound)
+        lost = set(rep.unreachable) if active_set is None else \
+            set(rep.unreachable) & active_set
+        valleys = 0
+        if check_valleys and not lost:
+            valleys = _count_valleys(tables, rep.tables, active)
+        out.append(PreparedFault(
+            units=tuple(combo), dead_gports=tuple(dead), repair=rep,
+            worst_multiplicity=int(counts.max()) if counts.size else 0,
+            spread_violations=spread, valley_flows=valleys))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Certification engines
+# ----------------------------------------------------------------------
+class _SweepIndex:
+    """CSR-style index over a healthy case's cached closed-form links.
+
+    Built once per (CPS, placement) from a ``keep_links``-certified
+    :class:`CaseState`; each :meth:`recertify` call is then a pure delta:
+    dead-cable lookup, one batched walk of the detoured flows through
+    the repaired tables, and sparse count arithmetic.  Requires the
+    healthy case to be contention-free (every cached per-link count is
+    at most 1); the general
+    :meth:`SymbolicCertifier.recertify_link_failure` handles the rest.
+    """
+
+    def __init__(self, state: CaseState, num_ports: int) -> None:
+        stages = state.stages
+        if any(st.gports is None for st in stages):
+            raise ValueError("sweep index needs certify(keep_links=True)")
+        self.num_ports = int(num_ports)
+        self.state = state
+        self.stage_labels = [st.label for st in state.cps.stages]
+        self.old_max = np.array(
+            [int(st.link_counts.max()) if len(st.link_counts) else 0
+             for st in stages], dtype=np.int64)
+        if self.old_max.size and self.old_max.max() > 1:
+            raise ValueError("sweep index requires a contention-free "
+                             "healthy case (use the general recertifier)")
+        self.n_links = np.array([len(st.link_ids) for st in stages],
+                                dtype=np.int64)
+        # flows per stage, with global offsets so (stage, flow) flattens
+        flow_lens = np.array([len(st.src) for st in stages], dtype=np.int64)
+        self.flow_off = np.concatenate([[0], np.cumsum(flow_lens)])
+        self.all_src = np.concatenate(
+            [st.src for st in stages]) if flow_lens.sum() else \
+            np.empty(0, dtype=np.int64)
+        self.all_dst = np.concatenate(
+            [st.dst for st in stages]) if flow_lens.sum() else \
+            np.empty(0, dtype=np.int64)
+        self.total_flows = int(flow_lens.sum())
+        # flat (stage, flow, gport) traversal entries
+        entry_stage = np.concatenate(
+            [np.full(len(st.gports), s, dtype=np.int64)
+             for s, st in enumerate(stages)]) if stages else \
+            np.empty(0, dtype=np.int64)
+        entry_flow = np.concatenate(
+            [st.flow_idx for st in stages]) if stages else \
+            np.empty(0, dtype=np.int64)
+        entry_g = np.concatenate(
+            [st.gports for st in stages]) if stages else \
+            np.empty(0, dtype=np.int64)
+        # view 1: sorted by gport (dead cable -> touched entries)
+        order_g = np.argsort(entry_g, kind="stable")
+        self.g_sorted = entry_g[order_g]
+        self.g_stage = entry_stage[order_g]
+        self.g_flow = entry_flow[order_g]
+        # view 2: sorted by flattened (stage, flow) (flow -> its links)
+        self.fk_width = int(flow_lens.max()) + 1 if len(flow_lens) else 1
+        fk = entry_stage * self.fk_width + entry_flow
+        order_f = np.argsort(fk, kind="stable")
+        self.fk_sorted = fk[order_f]
+        self.fk_g = entry_g[order_f]
+        # sparse old counts keyed by stage * num_ports + gport (sorted by
+        # construction: stages ascend, per-stage link_ids are sorted)
+        self.cnt_keys = np.concatenate(
+            [s * self.num_ports + st.link_ids
+             for s, st in enumerate(stages)]) if stages else \
+            np.empty(0, dtype=np.int64)
+        self.cnt_vals = np.concatenate(
+            [st.link_counts for st in stages]) if stages else \
+            np.empty(0, dtype=np.int64)
+
+    def _expand(self, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+        lens = hi - lo
+        total = int(lens.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int64)
+        offs = np.concatenate([[0], np.cumsum(lens)[:-1]])
+        return np.repeat(lo - offs, lens) + np.arange(total, dtype=np.int64)
+
+    def recertify(self, repaired_tables: ForwardingTables,
+                  dead_gports: Sequence[int],
+                  ) -> tuple[list[int], dict[str, Any] | None, int, int]:
+        """Exact per-stage maxima + first counterexample for one fault.
+
+        Returns ``(stage_maxima, first_violation_or_None,
+        stages_touched, flows_rewalked)``.  Matches the cold enumerated
+        engine bit for bit: same maxima, same offending link (lowest
+        gport at the max count), same colliding-pair payload.
+        """
+        P = self.num_ports
+        dead = np.asarray(sorted(dead_gports), dtype=np.int64)
+        lo = np.searchsorted(self.g_sorted, dead, side="left")
+        hi = np.searchsorted(self.g_sorted, dead, side="right")
+        sel = self._expand(lo, hi)
+        if not len(sel):
+            return self.old_max.tolist(), None, 0, 0
+        # the (stage, flow) pairs whose healthy path crossed a dead cable
+        aff = np.unique(self.g_stage[sel] * self.fk_width + self.g_flow[sel])
+        aff_stage = aff // self.fk_width
+        aff_flow = aff % self.fk_width
+        touched = int(len(np.unique(aff_stage)))
+        # links those flows used (the subtraction side of the delta)
+        fl = np.searchsorted(self.fk_sorted, aff, side="left")
+        fh = np.searchsorted(self.fk_sorted, aff, side="right")
+        take = self._expand(fl, fh)
+        sub_key = (self.fk_sorted[take] // self.fk_width) * P \
+            + self.fk_g[take]
+        # one batched walk of every detoured flow through the repair
+        glob = self.flow_off[aff_stage] + aff_flow
+        wfi, wg = walk_flow_links(repaired_tables, self.all_src[glob],
+                                  self.all_dst[glob])
+        add_key = aff_stage[wfi] * P + wg
+        # sparse count update on the union of delta links
+        uk = np.unique(np.concatenate([sub_key, add_key]))
+        pos = np.searchsorted(self.cnt_keys, uk)
+        pos_ok = (pos < len(self.cnt_keys))
+        old_c = np.zeros(len(uk), dtype=np.int64)
+        safe = pos.copy()
+        safe[~pos_ok] = 0
+        match = pos_ok & (self.cnt_keys[safe] == uk)
+        old_c[match] = self.cnt_vals[safe[match]]
+        new_c = old_c.copy()
+        np.subtract.at(new_c, np.searchsorted(uk, sub_key), 1)
+        np.add.at(new_c, np.searchsorted(uk, add_key), 1)
+        d_stage = uk // P
+        # per-stage new maximum: the unchanged links keep count <= 1, and
+        # at least one of them survives iff the stage has more links than
+        # delta links that existed before the fault
+        maxima = self.old_max.copy()
+        exist = np.zeros(len(self.old_max), dtype=np.int64)
+        np.add.at(exist, d_stage[old_c > 0], 1)
+        base = (self.n_links > exist).astype(np.int64)
+        dmax = np.zeros(len(self.old_max), dtype=np.int64)
+        np.maximum.at(dmax, d_stage, new_c)
+        ts = np.unique(d_stage)
+        maxima[ts] = np.maximum(base[ts], dmax[ts])
+        violation: dict[str, Any] | None = None
+        bad = np.flatnonzero(maxima > 1)
+        if len(bad):
+            s = int(bad[0])
+            in_s = d_stage == s
+            cand_g = (uk % P)[in_s & (new_c == maxima[s])]
+            gp = int(cand_g.min())
+            # colliding flows: healthy users of the link minus detoured
+            # flows, plus detoured flows whose repaired walk lands on it
+            j0 = int(np.searchsorted(self.g_sorted, gp, side="left"))
+            j1 = int(np.searchsorted(self.g_sorted, gp, side="right"))
+            on_stage = self.g_stage[j0:j1] == s
+            old_flows = self.g_flow[j0:j1][on_stage]
+            aff_in_s = aff_flow[aff_stage == s]
+            old_keep = old_flows[~np.isin(old_flows, aff_in_s)]
+            new_hit = aff_flow[wfi[(wg == gp) & (aff_stage[wfi] == s)]]
+            on_link = np.unique(np.concatenate(
+                [old_keep, new_hit])).astype(np.int64)
+            st = self.state.stages[s]
+            violation = {
+                "stage": s, "stage_label": self.stage_labels[s],
+                "gport": gp, "link_load": int(maxima[s]),
+                **colliding_pairs_payload(st.src, st.dst, on_link),
+            }
+        return maxima.tolist(), violation, touched, int(len(aff))
+
+
+def _cold_certify(tables: ForwardingTables, cps: CPS,
+                  placement: np.ndarray,
+                  ) -> tuple[list[int], dict[str, Any] | None]:
+    """Cold re-certification of one degraded case by full enumeration;
+    the baseline the incremental engine is benchmarked against."""
+    maxima: list[int] = []
+    violation: dict[str, Any] | None = None
+    for i, st in enumerate(cps):
+        src, dst = stage_flows(st, placement)
+        if not len(src):
+            maxima.append(0)
+            continue
+        flow_idx, gports = walk_flow_links(tables, src, dst)
+        ids, counts = _sparse_loads(gports)
+        stage_max = int(counts.max()) if len(counts) else 0
+        maxima.append(stage_max)
+        if stage_max > 1 and violation is None:
+            gp = int(ids[int(np.argmax(counts))])
+            on_link = np.unique(flow_idx[gports == gp])
+            violation = {
+                "stage": i, "stage_label": st.label, "gport": gp,
+                "link_load": stage_max,
+                **colliding_pairs_payload(src, dst, on_link),
+            }
+    return maxima, violation
+
+
+# ----------------------------------------------------------------------
+# Sweep records and driver
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FaultRecord:
+    """Outcome of one fault combo: repair stats, static quality and the
+    contention verdict of the schedule under test."""
+
+    label: str
+    kind: str
+    num_units: int
+    dead_cables: int
+    strategy: str
+    repaired_entries: int
+    unreachable: tuple[int, ...]
+    worst_multiplicity: int
+    spread_violations: tuple[tuple[int, int, int, int], ...]
+    valley_flows: int
+    stage_maxima: tuple[int, ...]
+    verdict: str                       # contention-free | refuted |
+    violation: dict[str, Any] | None   # disconnected | unchecked
+    gports: tuple[int, ...] = ()
+
+    def to_json(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "label": self.label, "kind": self.kind,
+            "num_units": self.num_units, "dead_cables": self.dead_cables,
+            "strategy": self.strategy,
+            "repaired_entries": self.repaired_entries,
+            "unreachable": list(self.unreachable),
+            "worst_multiplicity": self.worst_multiplicity,
+            "spread_violations": [list(v) for v in self.spread_violations],
+            "valley_flows": self.valley_flows,
+            "max_link_load": max(self.stage_maxima, default=0),
+            "verdict": self.verdict,
+        }
+        if self.violation is not None:
+            out["violation"] = self.violation
+        return out
+
+
+@dataclass
+class FaultSpaceResult:
+    """A full sweep: one record per fault combo plus engine statistics."""
+
+    records: list[FaultRecord]
+    engine: str
+    strategy: str
+    cps_name: str
+    num_stages: int
+    healthy_max_multiplicity: int
+    load_bound: int
+    stages_touched: int = 0
+    flows_recomputed: int = 0
+
+    def verdict_counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for r in self.records:
+            out[r.verdict] = out.get(r.verdict, 0) + 1
+        return {k: out[k] for k in sorted(out)}
+
+    @property
+    def certified_fraction(self) -> float:
+        checked = [r for r in self.records
+                   if r.verdict in ("contention-free", "refuted")]
+        if not checked:
+            return 0.0
+        good = sum(1 for r in checked if r.verdict == "contention-free")
+        return good / len(checked)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "engine": self.engine,
+            "strategy": self.strategy,
+            "cps": self.cps_name,
+            "num_stages": self.num_stages,
+            "healthy_max_multiplicity": self.healthy_max_multiplicity,
+            "load_bound": self.load_bound,
+            "num_faults": len(self.records),
+            "verdicts": self.verdict_counts(),
+            "certified_fraction": self.certified_fraction,
+            "stages_touched": self.stages_touched,
+            "flows_recomputed": self.flows_recomputed,
+            "records": [r.to_json() for r in self.records],
+        }
+
+
+def certify_prepared(tables: ForwardingTables,
+                     prepared: Sequence[PreparedFault],
+                     cps: CPS, placement: np.ndarray,
+                     active: np.ndarray | None = None,
+                     engine: str = "incremental",
+                     load_bound: int | None = None,
+                     healthy_state: CaseState | None = None,
+                     ) -> FaultSpaceResult:
+    """Contention-certify every prepared fault under one schedule.
+
+    The certification phase proper: repairs and static scores come in
+    via ``prepared`` (see :func:`prepare_fault_cases`), so benchmarking
+    this function compares pure incremental-vs-cold certification cost.
+    ``healthy_state`` lets callers reuse a ``keep_links`` certification
+    of the healthy fabric across sweeps.
+    """
+    if engine not in SWEEP_ENGINES:
+        raise ValueError(f"unknown sweep engine {engine!r}; "
+                         f"known: {SWEEP_ENGINES}")
+    spec = tables.fabric.spec
+    placement = np.asarray(placement, dtype=np.int64)
+    healthy_mult = int(destination_multiplicity(tables, active=active).max())
+    max_units = max((len(p.units) for p in prepared), default=1)
+    bound = load_bound if load_bound is not None \
+        else healthy_mult + max_units
+    index: _SweepIndex | None = None
+    if engine == "incremental":
+        if spec is None:
+            raise ValueError("the incremental engine needs a PGFT spec "
+                             "(symbolic closed form); use engine='cold'")
+        if healthy_state is None:
+            certifier = SymbolicCertifier(spec, active)
+            healthy, healthy_state = certifier.certify(cps, placement,
+                                                       keep_links=True)
+            if healthy.refuted:
+                raise ValueError(
+                    "healthy schedule is already refuted; the fault-space "
+                    "delta engine needs a contention-free baseline "
+                    "(use engine='cold')")
+        index = _SweepIndex(healthy_state, tables.fabric.num_ports)
+    result = FaultSpaceResult(
+        records=[], engine=engine, strategy=prepared[0].repair.strategy
+        if prepared else "", cps_name=cps.name,
+        num_stages=len(cps.stages), healthy_max_multiplicity=healthy_mult,
+        load_bound=bound)
+    active_set = None if active is None else {
+        int(a) for a in np.asarray(active, dtype=np.int64)}
+    for p in prepared:
+        rep = p.repair
+        # Only endpoints the job actually uses block certification: a
+        # Cont.-X job is indifferent to a disconnected idle host.
+        lost_relevant = rep.unreachable if active_set is None else \
+            tuple(sorted(set(rep.unreachable) & active_set))
+        if lost_relevant:
+            record = FaultRecord(
+                label=p.label, kind=p.kind, num_units=len(p.units),
+                dead_cables=len(p.dead_gports),
+                strategy=rep.strategy,
+                repaired_entries=rep.repaired_entries,
+                unreachable=rep.unreachable,
+                worst_multiplicity=p.worst_multiplicity,
+                spread_violations=p.spread_violations,
+                valley_flows=p.valley_flows, stage_maxima=(),
+                verdict="disconnected", violation=None,
+                gports=p.dead_gports)
+            result.records.append(record)
+            continue
+        if engine == "incremental":
+            assert index is not None
+            maxima, violation, touched, rewalked = index.recertify(
+                rep.tables, p.dead_gports)
+            result.stages_touched += touched
+            result.flows_recomputed += rewalked
+        else:
+            maxima, violation = _cold_certify(rep.tables, cps, placement)
+        verdict = "refuted" if max(maxima, default=0) > 1 \
+            else "contention-free"
+        result.records.append(FaultRecord(
+            label=p.label, kind=p.kind, num_units=len(p.units),
+            dead_cables=len(p.dead_gports),
+            strategy=rep.strategy,
+            repaired_entries=rep.repaired_entries,
+            unreachable=rep.unreachable,
+            worst_multiplicity=p.worst_multiplicity,
+            spread_violations=p.spread_violations,
+            valley_flows=p.valley_flows,
+            stage_maxima=tuple(maxima),
+            verdict=verdict, violation=violation,
+            gports=p.dead_gports))
+    return result
+
+
+def _count_valleys(base: ForwardingTables, repaired: ForwardingTables,
+                   active: np.ndarray | None) -> int:
+    """Valley count over the all-to-all flows toward every destination
+    whose forwarding entry the repair re-pointed."""
+    fab = repaired.fabric
+    N = fab.num_endports
+    changed = np.flatnonzero((repaired.switch_out != base.switch_out)
+                             .any(axis=0))
+    if active is not None:
+        changed = changed[np.isin(changed, np.asarray(active,
+                                                      dtype=np.int64))]
+    if not len(changed):
+        return 0
+    ends = np.arange(N, dtype=np.int64) if active is None \
+        else np.unique(np.asarray(active, dtype=np.int64))
+    src = np.repeat(ends, len(changed))
+    dst = np.tile(changed, len(ends))
+    return int(len(flow_valleys(repaired, src, dst)))
+
+
+def sweep_fault_space(tables: ForwardingTables, cps: CPS,
+                      placement: np.ndarray,
+                      units: str = "both",
+                      max_faults: int = 1,
+                      samples: int = 16,
+                      seed: int = 0,
+                      strategy: str = "balanced",
+                      engine: str = "incremental",
+                      active: np.ndarray | None = None,
+                      load_bound: int | None = None,
+                      include_host_cables: bool = True,
+                      check_valleys: bool = True,
+                      ) -> FaultSpaceResult:
+    """Enumerate, repair, score and certify the whole fault space.
+
+    The one-call driver: :func:`enumerate_fault_units` +
+    :func:`sample_fault_combos` + :func:`prepare_fault_cases` +
+    :func:`certify_prepared`.
+    """
+    if strategy not in REPAIR_STRATEGIES + ("auto",):
+        raise ValueError(f"unknown repair strategy {strategy!r}")
+    units_t = enumerate_fault_units(tables.fabric, units=units,
+                                    include_host_cables=include_host_cables)
+    combos = sample_fault_combos(units_t, max_faults=max_faults,
+                                 samples=samples, seed=seed)
+    if strategy == "auto":
+        nav = prepare_fault_cases(tables, combos, strategy="naive",
+                                  active=active,
+                                  check_valleys=check_valleys)
+        bal = prepare_fault_cases(tables, combos, strategy="balanced",
+                                  active=active,
+                                  check_valleys=check_valleys)
+        prepared = [b if score_repair(b.repair) <= score_repair(n.repair)
+                    else n for n, b in zip(nav, bal)]
+    else:
+        prepared = prepare_fault_cases(tables, combos, strategy=strategy,
+                                       active=active,
+                                       check_valleys=check_valleys)
+    return certify_prepared(tables, prepared, cps, placement,
+                            active=active, engine=engine,
+                            load_bound=load_bound)
+
+
+# ----------------------------------------------------------------------
+# The pipeline pass
+# ----------------------------------------------------------------------
+class FaultSpacePass(CheckPass):
+    """Sweep the fault space of the context's fabric and surface the
+    routing-quality findings as ``RQL0xx`` diagnostics.
+
+    Runs one sweep per schedule case.  Certified degraded cases land as
+    compact per-fault certificates in the ``faultspace`` artifact; the
+    diagnostics name (capped per code) every fault whose repair loses
+    endpoints, breaks balance, exceeds the load bound, valleys, or
+    invalidates the healthy contention certificate.
+    """
+
+    name = "fault-space"
+    needs_tables = True
+    needs_schedule = True
+
+    def __init__(self, units: str = "both", max_faults: int = 1,
+                 samples: int = 16, seed: int = 0,
+                 strategy: str = "balanced", engine: str = "incremental",
+                 load_bound: int | None = None,
+                 check_valleys: bool = True) -> None:
+        self.units = units
+        self.max_faults = max_faults
+        self.samples = samples
+        self.seed = seed
+        self.strategy = strategy
+        self.engine = engine
+        self.load_bound = load_bound
+        self.check_valleys = check_valleys
+
+    def run(self, ctx: CheckContext, report: DiagnosticReport) -> None:
+        tables = ctx.tables
+        assert tables is not None
+        engine = self.engine
+        if ctx.routing_name not in ("", "dmodk") and engine == "incremental":
+            engine = "cold"   # the delta engine proves the D-Mod-K form
+        sweeps: dict[str, Any] = {}
+        ctx.artifacts["faultspace"] = sweeps
+        for case in ctx.schedule:
+            try:
+                result = sweep_fault_space(
+                    tables, case.cps, case.placement,
+                    units=self.units, max_faults=self.max_faults,
+                    samples=self.samples, seed=self.seed,
+                    strategy=self.strategy, engine=engine,
+                    active=ctx.active, load_bound=self.load_bound,
+                    check_valleys=self.check_valleys)
+            except ValueError as exc:
+                report.add(Diagnostic(
+                    code="RQL090",
+                    message=f"{case.name()}: fault-space sweep skipped "
+                            f"({exc})"))
+                continue
+            sweeps[case.name()] = result.to_json()
+            self._emit(case.name(), result, tables.fabric, report)
+
+    def _emit(self, case: str, result: FaultSpaceResult, fabric: Fabric,
+              report: DiagnosticReport) -> None:
+        for r in result.records:
+            loc = Loc() if not r.gports else \
+                link_loc(fabric, int(r.gports[0]))
+            if r.unreachable:
+                expected = self._expected_losses(fabric, r)
+                lost = set(r.unreachable)
+                if lost - expected:
+                    report.add(Diagnostic(
+                        code="RQL001", loc=loc,
+                        message=(f"{case}: fault [{r.label}] leaves "
+                                 f"{len(lost - expected)} physically "
+                                 f"reachable destination(s) unrouted "
+                                 f"after {r.strategy} repair: "
+                                 f"{sorted(lost - expected)[:8]}"),
+                        data={"case": case, "fault": r.label,
+                              "unrouted": sorted(lost - expected)}))
+                elif r.verdict == "disconnected":
+                    report.add(Diagnostic(
+                        code="RQL002", loc=loc,
+                        message=(f"{case}: fault [{r.label}] disconnects "
+                                 f"{len(lost)} end-port(s); repair routes "
+                                 "the surviving fabric (certification "
+                                 "skipped)"),
+                        data={"case": case, "fault": r.label,
+                              "lost": sorted(lost)}))
+            if r.verdict == "disconnected":
+                continue
+            if r.spread_violations:
+                node, live, mx, bound = r.spread_violations[0]
+                report.add(Diagnostic(
+                    code="RQL010", loc=loc,
+                    message=(f"{case}: fault [{r.label}] + {r.strategy} "
+                             f"repair spreads destinations unevenly over "
+                             f"{fabric.node_names[node]}'s {live} "
+                             f"surviving up ports (max {mx} > ceil bound "
+                             f"{bound}); {len(r.spread_violations)} "
+                             "switch(es) affected"),
+                    data={"case": case, "fault": r.label,
+                          "violations": [list(v) for v in
+                                         r.spread_violations]}))
+            if r.worst_multiplicity > result.load_bound:
+                report.add(Diagnostic(
+                    code="RQL011", loc=loc,
+                    message=(f"{case}: fault [{r.label}] + {r.strategy} "
+                             f"repair inflates the worst-link destination "
+                             f"multiplicity to {r.worst_multiplicity} "
+                             f"(bound {result.load_bound}, healthy "
+                             f"{result.healthy_max_multiplicity})"),
+                    data={"case": case, "fault": r.label,
+                          "worst_multiplicity": r.worst_multiplicity,
+                          "load_bound": result.load_bound}))
+            if r.valley_flows:
+                report.add(Diagnostic(
+                    code="RQL030", loc=loc,
+                    message=(f"{case}: fault [{r.label}] + {r.strategy} "
+                             f"repair routes {r.valley_flows} flow(s) "
+                             "through an up-after-down valley "
+                             "(deadlock-prone under credit flow control)"),
+                    data={"case": case, "fault": r.label,
+                          "valley_flows": r.valley_flows}))
+            if r.verdict == "refuted":
+                v = r.violation or {}
+                if "gport" in v:
+                    loc = link_loc(fabric, int(v["gport"]),
+                                   stage=v.get("stage"))
+                report.add(Diagnostic(
+                    code="RQL020", loc=loc,
+                    message=(f"{case}: fault [{r.label}] invalidates the "
+                             f"healthy contention certificate -- stage "
+                             f"{v.get('stage')} places "
+                             f"{v.get('link_load')} concurrent flows on "
+                             f"one directed link after {r.strategy} "
+                             "repair"),
+                    data={"case": case, "fault": r.label, **v}))
+        counts = result.verdict_counts()
+        report.add(Diagnostic(
+            code="RQL090",
+            message=(f"{case}: fault-space sweep covered "
+                     f"{len(result.records)} fault(s) "
+                     f"[engine={result.engine}, "
+                     f"strategy={result.strategy}]: "
+                     + ", ".join(f"{v} {k}" for k, v in sorted(counts.items()))
+                     + f"; certified fraction "
+                       f"{result.certified_fraction:.3f}"),
+            data={"case": case, **result.to_json()}))
+
+    @staticmethod
+    def _expected_losses(fabric: Fabric, r: FaultRecord) -> set[int]:
+        """End-ports whose loss is physically forced by the fault: hosts
+        whose own uplink died (directly, or with their leaf switch)."""
+        N = fabric.num_endports
+        lost: set[int] = set()
+        for gp in r.gports:
+            owner = int(fabric.port_owner[gp])
+            if owner < N:
+                lost.add(owner)
+        return lost

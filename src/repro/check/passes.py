@@ -154,7 +154,7 @@ class Pipeline:
     fully populated context.
     """
 
-    def __init__(self, passes: list[CheckPass]):
+    def __init__(self, passes: list[CheckPass]) -> None:
         self.passes = list(passes)
 
     def run(self, ctx: CheckContext,

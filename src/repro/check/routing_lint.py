@@ -26,6 +26,7 @@ import numpy as np
 
 from ..analysis.hsd import down_port_destination_counts, walk_flow_links
 from ..routing.deadlock import channel_dependencies, find_cycle
+from ..fabric.lft import ForwardingTables
 from ..routing.minhop import bfs_distances
 from .common import link_loc as _link_loc
 from .common import sample_pairs
@@ -62,7 +63,8 @@ class ReachabilityPass(CheckPass):
                                   loc=Loc(lid=int(d))))
 
     @staticmethod
-    def _classify(tables, src: int, dst: int) -> tuple[str, str]:
+    def _classify(tables: ForwardingTables, src: int,
+                  dst: int) -> tuple[str, str]:
         """Re-trace one failing pair scalar-ly to name the failure."""
         fab = tables.fabric
         limit = 2 * (int(fab.node_level.max()) + 1) + 2
@@ -99,7 +101,7 @@ class UpDownPass(CheckPass):
     needs_tables = True
 
     def __init__(self, sample: int | None = 250_000, seed: int = 0,
-                 strict: bool = False):
+                 strict: bool = False) -> None:
         self.sample = sample
         self.seed = seed
         self.strict = strict
@@ -185,7 +187,7 @@ class DmodkConformancePass(CheckPass):
     name = "dmodk-conformance"
     needs_tables = True
 
-    def __init__(self, always: bool = False):
+    def __init__(self, always: bool = False) -> None:
         self.always = always
 
     def applicable(self, ctx: CheckContext) -> bool:
@@ -261,7 +263,7 @@ class UpPortBalancePass(CheckPass):
     name = "up-balance"
     needs_tables = True
 
-    def __init__(self, threshold: float = 0.5):
+    def __init__(self, threshold: float = 0.5) -> None:
         self.threshold = threshold
 
     def run(self, ctx: CheckContext, report: DiagnosticReport) -> None:

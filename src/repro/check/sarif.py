@@ -1,0 +1,123 @@
+"""SARIF 2.1.0 emitter for ``repro.check`` diagnostics.
+
+`SARIF <https://docs.oasis-open.org/sarif/sarif/v2.1.0/sarif-v2.1.0.html>`_
+is the interchange format GitHub code scanning ingests, so
+``python -m repro.check --format sarif`` lets CI surface fabric
+findings (wiring lint, refuted certificates, ``RQL`` routing-quality
+regressions) as first-class code-scanning annotations.
+
+The mapping is deliberately small and stable:
+
+* every registered diagnostic code becomes a SARIF *rule* (id, default
+  level, one-line help text from :data:`repro.check.CODES`);
+* every finding becomes a *result* pointing at the analyzed topology
+  artifact (the ``--topofile`` when one was given, a pseudo-URI
+  otherwise) with the structured fabric location -- switch, port,
+  stage, ... -- carried as a SARIF *logical location* and the
+  finding's machine payload under ``properties``.
+
+Fabric findings have no source line, so physical locations stay
+file-level; the logical location string (``switch=SW1-0003 port=5``)
+is what reviewers see in the annotation title.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .diagnostics import CODES, Diagnostic, Severity
+from .passes import CheckResult
+
+__all__ = ["SARIF_SCHEMA", "SARIF_VERSION", "dumps_sarif", "to_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+#: repro severities -> SARIF result levels
+_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def _rule(code: str) -> dict[str, Any]:
+    sev, desc = CODES[code]
+    return {
+        "id": code,
+        "shortDescription": {"text": desc.split(". ")[0].rstrip(".") + "."},
+        "fullDescription": {"text": desc},
+        "defaultConfiguration": {"level": _LEVELS[sev]},
+    }
+
+
+def _result(diag: Diagnostic, rule_index: dict[str, int],
+            artifact_uri: str) -> dict[str, Any]:
+    location: dict[str, Any] = {
+        "physicalLocation": {
+            "artifactLocation": {"uri": artifact_uri},
+        },
+    }
+    where = diag.loc.render()
+    if where:
+        location["logicalLocations"] = [{
+            "fullyQualifiedName": where,
+            "kind": "member",
+        }]
+    severity = diag.severity
+    assert severity is not None  # filled in by Diagnostic.__post_init__
+    out: dict[str, Any] = {
+        "ruleId": diag.code,
+        "ruleIndex": rule_index[diag.code],
+        "level": _LEVELS[severity],
+        "message": {"text": diag.message},
+        "locations": [location],
+    }
+    props: dict[str, Any] = dict(diag.data)
+    loc_json = diag.loc.to_json()
+    if loc_json:
+        props["loc"] = loc_json
+    if props:
+        out["properties"] = props
+    return out
+
+
+def to_sarif(result: CheckResult,
+             artifact_uri: str = "fabric.topo") -> dict[str, Any]:
+    """Render a :class:`~repro.check.CheckResult` as a SARIF 2.1.0 log.
+
+    ``artifact_uri`` names the analyzed topology input; GitHub anchors
+    the annotations to that path when it exists in the repository.
+    """
+    codes = sorted({d.code for d in result.report})
+    rule_index = {c: i for i, c in enumerate(codes)}
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro.check",
+                    "informationUri":
+                        "https://github.com/conf-ipps/fat-tree-repro",
+                    "version": "1.0.0",
+                    "rules": [_rule(c) for c in codes],
+                },
+            },
+            "columnKind": "utf16CodeUnits",
+            "properties": {
+                "passes": list(result.passes_run),
+                "summary": result.report.summary(),
+            },
+            "results": [_result(d, rule_index, artifact_uri)
+                        for d in result.report],
+        }],
+    }
+
+
+def dumps_sarif(result: CheckResult,
+                artifact_uri: str = "fabric.topo") -> str:
+    """:func:`to_sarif`, serialized exactly as the CLI prints it."""
+    return json.dumps(to_sarif(result, artifact_uri=artifact_uri), indent=2)

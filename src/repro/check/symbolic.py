@@ -51,6 +51,7 @@ import numpy as np
 
 from ..analysis.hsd import walk_flow_links
 from ..collectives.cps import CPS
+from ..fabric.lft import ForwardingTables
 from ..collectives.schedule import stage_flow_keys, stage_flows
 from ..routing.dmodk import dense_ranks, q_profile
 from ..runtime.cache import active_digest, cps_digest, spec_digest
@@ -209,7 +210,8 @@ def decode_link(spec: PGFTSpec, gport: int) -> dict[str, Any]:
                      f"of {spec}")
 
 
-def symbolic_link_loc(spec: PGFTSpec, gport: int, **extra) -> Loc:
+def symbolic_link_loc(spec: PGFTSpec, gport: int,
+                      **extra: Any) -> Loc:
     """``Loc`` of a directed link, derived purely from the spec."""
     d = decode_link(spec, gport)
     return Loc(switch=d["owner"], gport=int(gport), port=d["port"],
@@ -264,12 +266,21 @@ def canonical_peer(spec: PGFTSpec, gport: int) -> int:
 # ----------------------------------------------------------------------
 @dataclass
 class _StageState:
-    """Per-stage residue-class summary kept for incremental deltas."""
+    """Per-stage residue-class summary kept for incremental deltas.
+
+    ``flow_idx``/``gports`` are the raw per-link traversal arrays
+    (``certify(..., keep_links=True)``): with them cached, a
+    link-failure delta touches only ``np.isin`` lookups -- no
+    closed-form re-evaluation at all -- which is what makes a whole
+    fault-space sweep cost deltas rather than cold certifications.
+    """
 
     src: np.ndarray
     dst: np.ndarray
     link_ids: np.ndarray      # sorted unique link gports
     link_counts: np.ndarray   # flows per link (parallel to link_ids)
+    flow_idx: np.ndarray | None = None   # cached traversal (optional)
+    gports: np.ndarray | None = None
 
 
 @dataclass
@@ -367,15 +378,19 @@ class SymbolicCertifier:
     only the touched flows recomputed.
     """
 
-    def __init__(self, spec: PGFTSpec, active: np.ndarray | None = None):
+    def __init__(self, spec: PGFTSpec,
+                 active: np.ndarray | None = None) -> None:
         self.spec = spec
         self.active = None if active is None else np.unique(
             np.asarray(active, dtype=np.int64))
         self.ridx = dense_ranks(spec.num_endports, self.active)
 
     # -- full pass ------------------------------------------------------
-    def certify(self, cps: CPS, placement: np.ndarray
-                ) -> tuple[SymbolicResult, CaseState]:
+    def certify(self, cps: CPS, placement: np.ndarray,
+                keep_links: bool = False) -> tuple[SymbolicResult, CaseState]:
+        """Certify one case; ``keep_links`` additionally caches the raw
+        per-stage traversal arrays in the returned state so subsequent
+        :meth:`recertify_link_failure` calls are pure delta lookups."""
         placement = np.asarray(placement, dtype=np.int64)
         state = CaseState(cps=cps, placement=placement.copy(),
                           active=self.active, ridx=self.ridx)
@@ -395,8 +410,10 @@ class SymbolicCertifier:
             flow_idx, gports = symbolic_flow_links(self.spec, src, dst,
                                                    self.ridx)
             ids, counts = _sparse_loads(gports)
-            state.stages.append(_StageState(src=src, dst=dst,
-                                            link_ids=ids, link_counts=counts))
+            state.stages.append(_StageState(
+                src=src, dst=dst, link_ids=ids, link_counts=counts,
+                flow_idx=flow_idx if keep_links else None,
+                gports=gports if keep_links else None))
             stage_max = int(counts.max()) if len(counts) else 0
             maxima.append(stage_max)
             if stage_max <= 1:
@@ -489,8 +506,9 @@ class SymbolicCertifier:
         return result, new_state, stats
 
     # -- single-link failure -------------------------------------------
-    def recertify_link_failure(self, state: CaseState, repaired_tables,
-                               dead_gports,
+    def recertify_link_failure(self, state: CaseState,
+                               repaired_tables: ForwardingTables,
+                               dead_gports: Any,
                                ) -> tuple[SymbolicResult, IncrementalStats]:
         """Re-certify after cable removals healed by
         :func:`repro.routing.repair.repair_tables`.
@@ -501,6 +519,15 @@ class SymbolicCertifier:
         became dead, so live paths are untouched).  ``repaired_tables``
         must be the repair of canonical D-Mod-K tables for this spec and
         active set; ``dead_gports`` may name either side of each cable.
+
+        When ``state`` carries cached traversals
+        (``certify(..., keep_links=True)``) the delta needs no
+        closed-form evaluation at all: affected flows come from an
+        ``isin`` over the cache, and a refuted stage's counterexample is
+        reconstructed from cache + repaired-walk delta -- the flows on
+        the offending link are the unaffected flows whose healthy path
+        already used it plus the detoured flows whose repaired path
+        lands on it (repair locality guarantees those are all of them).
         """
         spec = self.spec
         dead = np.atleast_1d(np.asarray(dead_gports, dtype=np.int64))
@@ -517,25 +544,39 @@ class SymbolicCertifier:
             total_flows += len(src)
             stats.flows_total += len(src)
             hit = np.isin(old.link_ids, both)
+            add_fi = add = aff = None
             if not hit.any():
                 ids, counts = old.link_ids, old.link_counts
             else:
                 stats.stages_touched += 1
-                flow_idx, gports = symbolic_flow_links(spec, src, dst,
-                                                       state.ridx)
+                if old.gports is not None and old.flow_idx is not None:
+                    flow_idx, gports = old.flow_idx, old.gports
+                else:
+                    flow_idx, gports = symbolic_flow_links(spec, src, dst,
+                                                           state.ridx)
                 aff = np.unique(flow_idx[np.isin(gports, both)])
                 stats.flows_recomputed += len(aff)
                 on = np.isin(flow_idx, aff)
                 sub = gports[on]
-                _, add = walk_flow_links(repaired_tables, src[aff], dst[aff])
+                add_fi, add = walk_flow_links(repaired_tables,
+                                              src[aff], dst[aff])
                 ids, counts = _apply_delta(old.link_ids, old.link_counts,
                                            sub, add)
             stage_max = int(counts.max()) if len(counts) else 0
             maxima.append(stage_max)
             if stage_max > 1:
                 gp = int(ids[int(np.argmax(counts))])
-                flow_idx, gports = walk_flow_links(repaired_tables, src, dst)
-                on_link = np.unique(flow_idx[gports == gp])
+                if aff is not None and old.gports is not None \
+                        and old.flow_idx is not None:
+                    keep = ~np.isin(old.flow_idx, aff)
+                    on_old = old.flow_idx[keep][old.gports[keep] == gp]
+                    on_new = aff[add_fi[add == gp]] \
+                        if add_fi is not None else np.empty(0, dtype=np.int64)
+                    on_link = np.unique(np.concatenate([on_old, on_new]))
+                else:
+                    flow_idx, gports = walk_flow_links(repaired_tables,
+                                                       src, dst)
+                    on_link = np.unique(flow_idx[gports == gp])
                 violations.append({
                     "stage": i, "stage_label": st.label, "gport": gp,
                     "link_load": stage_max,
@@ -560,7 +601,7 @@ class SymbolicContentionPass(CheckPass):
     name = "symbolic-certify"
     needs_schedule = True
 
-    def __init__(self, active: np.ndarray | None = None):
+    def __init__(self, active: np.ndarray | None = None) -> None:
         self.active = active
 
     def run(self, ctx: CheckContext, report: DiagnosticReport) -> None:

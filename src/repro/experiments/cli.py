@@ -20,8 +20,8 @@ from __future__ import annotations
 
 import sys
 
-from . import ablation, chaos, contention_free, failures, fig1, fig2, fig3
-from . import generations, latency
+from . import ablation, chaos, contention_free, degradation, failures
+from . import fig1, fig2, fig3, generations, latency
 from . import multijob, ring_adversarial, table1, table3
 
 __all__ = ["main", "EXPERIMENTS"]
@@ -37,6 +37,7 @@ EXPERIMENTS = {
     "ablation": ablation,
     "multijob": multijob,
     "failures": failures,
+    "degradation": degradation,
     "chaos": chaos,
     "latency": latency,
     "generations": generations,

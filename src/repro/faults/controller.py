@@ -15,6 +15,15 @@ exactly that loop on top of :func:`repro.routing.repair.repair_tables`:
   follow the repaired routes, packets already queued re-resolve their
   next hop against the new tables.
 
+The ``strategy`` argument picks *which* repair each sweep pushes:
+``"naive"`` round-robin, ``"balanced"`` least-loaded (quality-aware),
+or ``"auto"`` -- compute both and keep the one with the better static
+score (:func:`repro.routing.repair.score_repair`: fewest lost
+destinations, then lowest worst-link destination multiplicity).  That
+is the live-path counterpart of the ``repro.check.faultspace`` static
+sweep: the same scoring that certifies degraded fabrics offline
+chooses the repair pushed to the switches.
+
 Because the dead-cable evolution is a pure function of the schedule,
 the whole timeline is precomputed at construction: lookups during a run
 are O(log n) bisects, and two runs against the same controller see
@@ -28,7 +37,12 @@ import math
 from dataclasses import dataclass
 
 from ..fabric.lft import ForwardingTables
-from ..routing.repair import repair_tables
+from ..routing.repair import (
+    REPAIR_STRATEGIES,
+    RepairReport,
+    repair_tables,
+    score_repair,
+)
 from .schedule import FaultSchedule
 
 __all__ = ["HealingController", "RepairAction"]
@@ -43,6 +57,8 @@ class RepairAction:
     dead_cables: int             # directed gports down at sweep time
     repaired_entries: int        # (switch, dest) entries re-pointed
     unreachable: tuple[int, ...]  # destinations no repair can restore
+    strategy: str = "naive"      # which repair the sweep pushed
+    worst_multiplicity: int = 0  # static worst-link load of the push
 
     @property
     def recovery_latency(self) -> float:
@@ -57,12 +73,17 @@ class HealingController:
         tables: ForwardingTables,
         faults: FaultSchedule,
         sweep_delay: float = 50.0,
+        strategy: str = "naive",
     ):
         if sweep_delay < 0:
             raise ValueError("sweep_delay must be >= 0")
+        if strategy not in REPAIR_STRATEGIES + ("auto",):
+            raise ValueError(f"unknown repair strategy {strategy!r}; "
+                             f"known: {REPAIR_STRATEGIES + ('auto',)}")
         self.base_tables = tables
         self.faults = faults
         self.sweep_delay = float(sweep_delay)
+        self.strategy = strategy
         fabric = tables.fabric
         # One sweep per distinct topology-event time; a later event
         # inside the same sweep window simply triggers its own sweep.
@@ -75,16 +96,30 @@ class HealingController:
         for sweep_time in sorted(sweeps):
             dead = faults.dead_gports_at(fabric, sweep_time)
             degraded = fabric.with_failed_cables(dead)
-            rep = repair_tables(tables, degraded)
+            rep = self._pick_repair(tables, degraded)
             self._times.append(sweep_time)
             self._tables.append(rep.tables)
+            score = score_repair(rep)
             self._actions.append(RepairAction(
                 fault_time=sweeps[sweep_time],
                 sweep_time=sweep_time,
                 dead_cables=len(dead),
                 repaired_entries=rep.repaired_entries,
                 unreachable=rep.unreachable,
+                strategy=rep.strategy,
+                worst_multiplicity=score[1],
             ))
+
+    def _pick_repair(self, tables: ForwardingTables,
+                     degraded) -> RepairReport:
+        if self.strategy != "auto":
+            return repair_tables(tables, degraded, strategy=self.strategy)
+        # min() keeps the first candidate on ties -- prefer the
+        # quality-aware repair when the static scores are equal, the
+        # same tie-break sweep_fault_space(strategy="auto") applies.
+        candidates = [repair_tables(tables, degraded, strategy=s)
+                      for s in ("balanced", "naive")]
+        return min(candidates, key=score_repair)
 
     @property
     def actions(self) -> tuple[RepairAction, ...]:

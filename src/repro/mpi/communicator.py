@@ -460,7 +460,7 @@ class Communicator:
                 received: list[dict] = [None] * n
                 for i in range(n):
                     j = (i + 1) % n
-                    nbytes = sum(v.nbytes for v in carry[i].values())
+                    nbytes = sum(carry[i][k].nbytes for k in sorted(carry[i]))
                     ledger.send(i, j, nbytes)
                     received[j] = dict(carry[i])
                 for j in range(n):
@@ -475,7 +475,7 @@ class Communicator:
                 snapshot = [dict(st) for st in state]
                 for i in range(n):
                     j = i ^ (1 << s)
-                    nbytes = sum(v.nbytes for v in snapshot[i].values())
+                    nbytes = sum(snapshot[i][k].nbytes for k in sorted(snapshot[i]))
                     ledger.send(i, j, nbytes)
                     state[j].update(snapshot[i])
                 ledger.commit()
@@ -486,7 +486,7 @@ class Communicator:
                 snapshot = [dict(st) for st in state]
                 for i in range(n):
                     j = (i + (1 << s)) % n
-                    nbytes = sum(v.nbytes for v in snapshot[i].values())
+                    nbytes = sum(snapshot[i][k].nbytes for k in sorted(snapshot[i]))
                     ledger.send(i, j, nbytes)
                     state[j].update(snapshot[i])
                 ledger.commit()
@@ -702,7 +702,7 @@ class Communicator:
                 rel = (i - root) % n
                 if rel % (1 << (s + 1)) == (1 << s) and i in held:
                     j = (root + rel - (1 << s)) % n
-                    nbytes = sum(v.nbytes for v in held[i].values())
+                    nbytes = sum(held[i][k].nbytes for k in sorted(held[i]))
                     ledger.send(i, j, nbytes)
                     moves.append((i, j))
             for i, j in moves:

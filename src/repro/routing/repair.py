@@ -2,14 +2,31 @@
 
 Real subnet managers re-route around dead cables without recomputing
 the whole fabric from scratch.  This module does the same for our
-tables: entries that point at a dead port are re-assigned to a live
-port on a *shortest path* through the degraded fabric, spreading the
-detoured destinations round-robin over the candidates.
+tables, with two strategies:
 
-The result keeps D-Mod-K's behaviour everywhere the original routing
-survives -- contention is only introduced where physics forces it (a
-detour shares a live link with its original traffic).  The failures
-experiment quantifies that graceful degradation.
+* ``naive`` -- entries that point at a dead port (or stopped being on a
+  shortest path) are re-assigned round-robin (``dest % candidates``)
+  over the live shortest-path ports.  Cheap, reachability-restoring,
+  but the modular spread can collide: two detoured destinations may
+  land on the same surviving up-port, inflating that link's flow
+  multiplicity by 2 where physics only forces 1.
+
+* ``balanced`` -- the quality-aware Dmodk-style repair (after
+  Gliksberg et al., "High-Quality Fault-Resiliency in Fat-Tree
+  Networks"): the same *fault-local* entry set is re-pointed, but each
+  detoured destination greedily picks the **least-loaded** surviving
+  candidate port (load = destinations currently assigned to it,
+  D-Mod-K's own spread included), with a ``dest``-rotated tie-break
+  that keeps the closed form's modular flavour.  The result is a
+  per-switch spread within one of the ceiling bound -- degraded
+  fabrics stay near-balanced, which is what keeps contention local.
+
+Both strategies touch exactly the same (switch, destination) entries
+-- everywhere the original routing survives, the tables are
+bit-identical to D-Mod-K.  That locality is what the incremental
+symbolic re-certifier exploits: only flows whose healthy path crossed
+a dead cable can have moved.  The failures/degradation experiments
+quantify the quality gap between the two strategies.
 """
 
 from __future__ import annotations
@@ -22,7 +39,18 @@ from ..fabric.lft import ForwardingTables
 from ..fabric.model import Fabric
 from .minhop import bfs_distances
 
-__all__ = ["repair_tables", "RepairReport"]
+__all__ = [
+    "repair_tables",
+    "repair_tables_balanced",
+    "RepairReport",
+    "REPAIR_STRATEGIES",
+    "destination_multiplicity",
+    "worst_link_multiplicity",
+    "score_repair",
+]
+
+#: registered repair strategies (``repair_tables(..., strategy=)``)
+REPAIR_STRATEGIES = ("naive", "balanced")
 
 
 @dataclass(frozen=True)
@@ -33,21 +61,88 @@ class RepairReport:
     repaired_entries: int        # (switch, dest) entries re-pointed
     dead_ports: int
     unreachable: tuple[int, ...]  # destinations no longer reachable
+    strategy: str = "naive"
 
     @property
     def ok(self) -> bool:
         return not self.unreachable
 
 
-def repair_tables(tables: ForwardingTables, fabric: Fabric) -> RepairReport:
-    """Re-point dead entries of ``tables`` onto the degraded ``fabric``.
+def destination_multiplicity(tables: ForwardingTables,
+                             active: np.ndarray | None = None) -> np.ndarray:
+    """Destinations routed through each directed switch link.
 
-    ``fabric`` must be the degraded twin of ``tables.fabric`` (same
-    port numbering; some cables removed, e.g. via
-    :meth:`Fabric.with_failed_cables`).
+    Returns a per-global-port count of how many (reachable) destination
+    entries of ``tables.switch_out`` use that port -- the static
+    all-to-all flow-multiplicity accounting behind the ``RQL`` quality
+    scores: a port serving ``k`` destinations carries up to ``k``
+    concurrent flows under all-to-all traffic (healthy D-Mod-K makes
+    this spread perfectly even).  ``active`` restricts the count to a
+    job's destinations.  Host injection ports are not counted (a host
+    link always carries exactly its own traffic).
     """
+    sw_out = tables.switch_out
+    if active is not None:
+        sw_out = sw_out[:, np.unique(np.asarray(active, dtype=np.int64))]
+    used = sw_out[sw_out >= 0]
+    counts = np.zeros(tables.fabric.num_ports, dtype=np.int64)
+    if used.size:
+        np.add.at(counts, used, 1)
+    return counts
+
+
+def worst_link_multiplicity(tables: ForwardingTables,
+                            active: np.ndarray | None = None) -> int:
+    """Max of :func:`destination_multiplicity` -- the worst-link load
+    a repair is scored by (lower is better; healthy D-Mod-K is the
+    floor)."""
+    counts = destination_multiplicity(tables, active=active)
+    return int(counts.max()) if counts.size else 0
+
+
+def score_repair(report: RepairReport) -> tuple[int, int, int]:
+    """Static quality key of a repair (ascending = better).
+
+    Orders first by destinations lost, then by the worst-link
+    destination multiplicity, then by how many entries were touched --
+    the comparison :class:`~repro.faults.HealingController` uses to
+    pick the live repair.
+    """
+    return (len(report.unreachable),
+            worst_link_multiplicity(report.tables),
+            report.repaired_entries)
+
+
+def _needed_entries(tables: ForwardingTables, fabric: Fabric,
+                    dists: np.ndarray, dead: np.ndarray,
+                    sw_out: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Rows/dests of entries that must be re-pointed.
+
+    An entry must be repaired when it points at a dead port OR is no
+    longer on a shortest path: keeping a non-minimal survivor can
+    bounce traffic back toward the failure (a routing loop), so the
+    repair is transitive -- every entry re-validates, and
+    strictly-descending distances make loops impossible.
+    """
+    N = fabric.num_endports
+    entry_dead = dead[sw_out]
+    next_node = np.where(entry_dead, -1, fabric.peer_node[sw_out])
+    nodes = N + np.arange(sw_out.shape[0])
+    dest_idx = np.arange(N)
+    d_here = dists[dest_idx[None, :], nodes[:, None]]
+    d_next = np.where(next_node >= 0,
+                      dists[dest_idx[None, :], next_node], -2)
+    needs = entry_dead | (d_next != d_here - 1)
+    return np.nonzero(needs)
+
+
+def _repair(tables: ForwardingTables, fabric: Fabric,
+            strategy: str) -> RepairReport:
     if fabric.num_ports != tables.fabric.num_ports:
         raise ValueError("degraded fabric does not match the tables' fabric")
+    if strategy not in REPAIR_STRATEGIES:
+        raise ValueError(f"unknown repair strategy {strategy!r}; "
+                         f"known: {REPAIR_STRATEGIES}")
     N = fabric.num_endports
     dead = fabric.port_peer < 0
     sw_out = tables.switch_out.copy()
@@ -59,20 +154,17 @@ def repair_tables(tables: ForwardingTables, fabric: Fabric) -> RepairReport:
     repaired = 0
     if sw_out.size:
         dists = bfs_distances(fabric, np.arange(N))  # (N, V) on degraded net
-        # An entry must be repaired when it points at a dead port OR is
-        # no longer on a shortest path: keeping a non-minimal survivor
-        # can bounce traffic back toward the failure (a routing loop),
-        # so the repair is transitive -- every entry re-validates, and
-        # strictly-descending distances make loops impossible.
-        entry_dead = dead[sw_out]
-        next_node = np.where(entry_dead, -1, fabric.peer_node[sw_out])
-        nodes = N + np.arange(sw_out.shape[0])
-        dest_idx = np.arange(N)
-        d_here = dists[dest_idx[None, :], nodes[:, None]]
-        d_next = np.where(next_node >= 0,
-                          dists[dest_idx[None, :], next_node], -2)
-        needs = entry_dead | (d_next != d_here - 1)
-        rows, dests = np.nonzero(needs)
+        rows, dests = _needed_entries(tables, fabric, dists, dead, sw_out)
+        # Load per directed port: destinations currently assigned to it,
+        # with the entries about to be re-pointed removed first so the
+        # balanced strategy rebalances against the *surviving* spread.
+        load = np.zeros(fabric.num_ports, dtype=np.int64)
+        if strategy == "balanced":
+            sw_tmp = sw_out.copy()
+            sw_tmp[rows, dests] = -1
+            used = sw_tmp[sw_tmp >= 0]
+            if used.size:
+                np.add.at(load, used, 1)
         for row, dest in zip(rows.tolist(), dests.tolist()):
             if dest in lost_hosts:
                 sw_out[row, dest] = -1
@@ -88,7 +180,16 @@ def repair_tables(tables: ForwardingTables, fabric: Fabric) -> RepairReport:
             if len(cand) == 0:
                 sw_out[row, dest] = -1
                 continue
-            sw_out[row, dest] = int(cand[dest % len(cand)])
+            if strategy == "naive":
+                pick = int(cand[dest % len(cand)])
+            else:
+                # Least-loaded surviving candidate; scan from the
+                # D-Mod-K-ish rotation point so ties spread modularly
+                # and the choice stays a pure function of the inputs.
+                rot = np.roll(cand, -(dest % len(cand)))
+                pick = int(rot[int(np.argmin(load[rot]))])
+                load[pick] += 1
+            sw_out[row, dest] = pick
             repaired += 1
 
     new_tables = ForwardingTables(
@@ -112,4 +213,26 @@ def repair_tables(tables: ForwardingTables, fabric: Fabric) -> RepairReport:
         repaired_entries=repaired,
         dead_ports=int(dead.sum()),
         unreachable=tuple(sorted(unreachable)),
+        strategy=strategy,
     )
+
+
+def repair_tables(tables: ForwardingTables, fabric: Fabric,
+                  strategy: str = "naive") -> RepairReport:
+    """Re-point dead entries of ``tables`` onto the degraded ``fabric``.
+
+    ``fabric`` must be the degraded twin of ``tables.fabric`` (same
+    port numbering; some cables removed, e.g. via
+    :meth:`Fabric.with_failed_cables`).  ``strategy`` selects how
+    detoured destinations spread over the surviving candidates:
+    ``"naive"`` round-robin (historical behaviour), ``"balanced"``
+    least-loaded with rotated tie-break (see the module docstring).
+    """
+    return _repair(tables, fabric, strategy)
+
+
+def repair_tables_balanced(tables: ForwardingTables,
+                           fabric: Fabric) -> RepairReport:
+    """The quality-aware repair: :func:`repair_tables` with
+    ``strategy="balanced"``."""
+    return _repair(tables, fabric, "balanced")

@@ -216,7 +216,7 @@ class TestCli:
         assert set(EXPERIMENTS) == {
             "fig1", "fig2", "fig3", "table1", "table3",
             "ring-adversarial", "contention-free", "ablation", "multijob",
-            "failures", "latency", "generations", "chaos",
+            "failures", "degradation", "latency", "generations", "chaos",
         }
 
     def test_list(self, capsys):

@@ -12,7 +12,12 @@ from repro.routing import (
     check_reachability,
     route_dmodk,
 )
-from repro.routing.repair import repair_tables
+from repro.routing.repair import (
+    repair_tables,
+    repair_tables_balanced,
+    score_repair,
+    worst_link_multiplicity,
+)
 from repro.topology import rlft_max
 
 
@@ -119,3 +124,83 @@ class TestRepair:
         other = build_fabric(rlft_max(3, 2))
         with pytest.raises(ValueError, match="match"):
             repair_tables(base, other)
+
+    def test_unknown_strategy_rejected(self, healthy):
+        _, fab, base = healthy
+        with pytest.raises(ValueError, match="strategy"):
+            repair_tables(base, fab, strategy="optimal")
+
+
+class TestRepairEdgeCases:
+    def _leaf_and_spine(self, fab):
+        levels = fab.node_level
+        leaf = int(np.flatnonzero(levels == 1)[0])
+        spine = int(np.flatnonzero(levels == levels.max())[0])
+        return leaf, spine
+
+    def test_failed_top_level_switch_repairable(self, healthy):
+        # Losing one whole spine leaves sibling spines on every route:
+        # the repair must restore full reachability, deadlock-free.
+        _, fab, base = healthy
+        _, spine = self._leaf_and_spine(fab)
+        rep = repair_tables(base, fab.with_failed_switches([spine]),
+                            strategy="balanced")
+        assert rep.ok
+        assert rep.repaired_entries > 0
+        check_reachability(rep.tables)
+        assert_deadlock_free(rep.tables)
+
+    def test_all_leaf_uplinks_dead_reports_not_crashes(self, healthy):
+        # Severing every up port of one leaf strands its whole host
+        # group; the repair must report them unreachable, not raise.
+        _, fab, base = healthy
+        leaf, _ = self._leaf_and_spine(fab)
+        ports = fab.ports_of(leaf)
+        ups = ports[fab.port_goes_up()[ports]]
+        hosts = {int(fab.port_owner[int(fab.port_peer[g])])
+                 for g in ports[~fab.port_goes_up()[ports]]}
+        rep = repair_tables(base, fab.with_failed_cables(ups))
+        assert not rep.ok
+        assert hosts <= set(rep.unreachable)
+
+    def test_repair_idempotent_under_repeated_fault(self, healthy):
+        # Applying the same fault to an already-repaired table set must
+        # be a fixed point: nothing left to re-point, tables unchanged.
+        _, fab, base = healthy
+        gp = int(_switch_uplinks(fab)[0])
+        degraded = fab.with_failed_cables([gp])
+        rep1 = repair_tables(base, degraded, strategy="balanced")
+        rep2 = repair_tables(rep1.tables,
+                             degraded.with_failed_cables([gp]),
+                             strategy="balanced")
+        assert rep2.repaired_entries == 0
+        assert np.array_equal(rep2.tables.switch_out,
+                              rep1.tables.switch_out)
+
+
+class TestStrategies:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_balanced_never_worse_on_worst_link(self, healthy, seed):
+        _, fab, base = healthy
+        rng = np.random.default_rng(seed)
+        dead = rng.choice(_switch_uplinks(fab), size=3, replace=False)
+        degraded = fab.with_failed_cables(dead)
+        nav = repair_tables(base, degraded, strategy="naive")
+        bal = repair_tables_balanced(base, degraded)
+        assert worst_link_multiplicity(bal.tables) <= \
+            worst_link_multiplicity(nav.tables)
+        assert bal.strategy == "balanced" and nav.strategy == "naive"
+
+    def test_balanced_spread_within_one_of_bound(self, healthy):
+        _, fab, base = healthy
+        dead = _switch_uplinks(fab)[[0, 5]]
+        bal = repair_tables_balanced(base, fab.with_failed_cables(dead))
+        assert bal.ok
+        check_reachability(bal.tables)
+
+    def test_score_orders_lost_before_load(self, healthy):
+        _, fab, base = healthy
+        host_port = int(fab.port_start[3])
+        lossy = repair_tables(base, fab.with_failed_cables([host_port]))
+        clean = repair_tables(base, fab)
+        assert score_repair(clean) < score_repair(lossy)

@@ -22,9 +22,12 @@ to a list/np.unique.  A finding can be waived with a trailing
 escape (e.g. a pure membership reduction).
 
 Usage: ``python tools/lint_determinism.py [paths...]``
-Defaults to ``src/repro/routing``, ``src/repro/runtime``,
-``src/repro/check`` (diagnostics and certificates are diffed in CI)
-and ``src/repro/collectives``.
+Defaults to every package that carries the determinism contract:
+``src/repro/routing``, ``src/repro/runtime``, ``src/repro/check``
+(diagnostics and certificates are diffed in CI),
+``src/repro/collectives``, ``src/repro/faults`` (precomputed repair
+timelines must replay identically) and ``src/repro/mpi`` (delivery
+traces are compared across runs).
 Exit code 1 when findings exist, 0 otherwise.  Stdlib only.
 """
 
@@ -36,7 +39,7 @@ from pathlib import Path
 
 DEFAULT_PATHS = ("src/repro/routing", "src/repro/runtime",
                  "src/repro/check", "src/repro/collectives",
-                 "src/repro/faults")
+                 "src/repro/faults", "src/repro/mpi")
 
 #: dict-view methods whose iteration order mirrors insertion order of a
 #: dict -- fine for literals, unordered when the dict was built from an
