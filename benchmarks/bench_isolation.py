@@ -1,0 +1,90 @@
+"""Per-class isolation certification: symbolic vs enumerating engine.
+
+Same scaling story as ``bench_symbolic``, per traffic class: the
+enumerating engine must materialise type-aware tables (O(switches *
+end-ports) entries) before it can walk one class flow, while the
+symbolic engine evaluates eq. (1) over the typed rank vector directly.
+At the paper's maximal 3-level 24-ary RLFT (27 648 end-ports, storage
+class staggered across every leaf) the gap is asserted >= 10x and
+tabulated in ``artifacts/BENCH_isolation.json``.
+"""
+
+import time
+
+import pytest
+
+from repro.check import CheckContext, run_check
+from repro.fabric import NodeTypeMap, build_fabric
+from repro.routing import route_typeaware
+from repro.topology import rlft_max
+
+SPEC_27K = rlft_max(24, 3)          # PGFT(3; 24,24,48; 1,24,24; 1,1,1)
+MAX_STAGES = 8
+
+
+def _typed_fabric(spec):
+    fab = build_fabric(spec)
+    fab.node_types = NodeTypeMap.staggered(spec, {"storage": 2})
+    return fab
+
+
+def symbolic_isolation(spec):
+    """Certify every class from the typed closed form -- no tables."""
+    fab = _typed_fabric(spec)
+    ctx = CheckContext(fabric=fab, tables=None, routing_name="typeaware")
+    result = run_check(ctx, only={"isolation"},
+                       isolation=dict(engine="symbolic",
+                                      max_stages=MAX_STAGES))
+    return result.artifacts["isolation"]
+
+
+def enumerated_isolation(spec):
+    """Everything the enumerating engine pays from a cold start."""
+    fab = _typed_fabric(spec)
+    tables = route_typeaware(fab)
+    ctx = CheckContext(fabric=fab, tables=tables, routing_name="typeaware")
+    result = run_check(ctx, only={"isolation"},
+                       isolation=dict(engine="enumerate",
+                                      max_stages=MAX_STAGES,
+                                      check_conformance=False))
+    return result.artifacts["isolation"]
+
+
+def test_symbolic_isolation_27k(benchmark):
+    """Certify both classes of the 27 648-port fabric symbolically."""
+    n = SPEC_27K.num_endports
+    assert n >= 27_000
+    iso = benchmark.pedantic(symbolic_isolation, args=(SPEC_27K,),
+                             rounds=3, iterations=1)
+    assert iso["per_class_worst"] == {"compute": 1, "storage": 1}
+    assert iso["certified"] == 2 and iso["refuted"] == 0
+    benchmark.extra_info["num_endports"] = n
+    benchmark.extra_info["classes"] = iso["classes"]
+    benchmark.extra_info["cross_class_bound"] = iso["cross_class_bound"]
+
+
+@pytest.mark.slow
+def test_isolation_crossover_27k(benchmark):
+    """The headline ratio: per-class symbolic certification must beat
+    cold-start enumeration >= 10x at 27k end-ports."""
+    t0 = time.perf_counter()
+    enum_iso = enumerated_isolation(SPEC_27K)
+    t_enum = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    sym_iso = benchmark.pedantic(symbolic_isolation, args=(SPEC_27K,),
+                                 rounds=1, iterations=1)
+    t_sym = time.perf_counter() - t0
+
+    # differential, at scale: both engines agree on every bound
+    assert sym_iso["per_class_worst"] == enum_iso["per_class_worst"]
+    assert sym_iso["cross_class_bound"] == enum_iso["cross_class_bound"]
+    assert sym_iso["max_combined_load"] == enum_iso["max_combined_load"]
+
+    speedup = t_enum / t_sym
+    benchmark.extra_info["num_endports"] = SPEC_27K.num_endports
+    benchmark.extra_info["enumerated_s"] = round(t_enum, 3)
+    benchmark.extra_info["symbolic_s"] = round(t_sym, 3)
+    benchmark.extra_info["speedup"] = round(speedup, 1)
+    benchmark.extra_info["per_class_worst"] = sym_iso["per_class_worst"]
+    assert speedup >= 10, (t_enum, t_sym)

@@ -55,7 +55,13 @@ from .collectives import (
     shift,
     tournament,
 )
-from .fabric import Fabric, ForwardingTables, build_fabric
+from .fabric import (
+    Fabric,
+    ForwardingTables,
+    NodeTypeMap,
+    build_fabric,
+    parse_types,
+)
 from .faults import (
     FaultEvent,
     FaultRunReport,
@@ -77,7 +83,13 @@ from .ordering import (
     random_order,
     topology_order,
 )
-from .routing import route_dmodk, route_minhop, route_random
+from .routing import (
+    route_dmodk,
+    route_minhop,
+    route_random,
+    route_typeaware,
+    typed_ranks,
+)
 from .runtime import ParallelSweeper, ResultCache, parallel_order_sweep
 from .sim import (
     FluidSimulator,
@@ -114,6 +126,7 @@ __all__ = [
     "ForwardingTables",
     "HSDReport",
     "HealingController",
+    "NodeTypeMap",
     "PGFT",
     "PGFTSpec",
     "PacketSimulator",
@@ -135,6 +148,7 @@ __all__ = [
     "pairwise_exchange",
     "paper_topologies",
     "parallel_order_sweep",
+    "parse_types",
     "pgft",
     "physical_placement",
     "random_order",
@@ -146,6 +160,7 @@ __all__ = [
     "route_dmodk",
     "route_minhop",
     "route_random",
+    "route_typeaware",
     "run_faulty",
     "sequence_hsd",
     "shift",
@@ -153,6 +168,7 @@ __all__ = [
     "stage_max_hsd",
     "topology_order",
     "tournament",
+    "typed_ranks",
     "two_level",
     "walk_flow_links",
     "xgft",

@@ -32,6 +32,7 @@ from ..fabric.lft import ForwardingTables
 __all__ = [
     "walk_flow_links",
     "stage_link_loads",
+    "stage_class_link_loads",
     "stage_max_hsd",
     "sequence_hsd",
     "HSDReport",
@@ -108,6 +109,38 @@ def stage_link_loads(
     loads = np.zeros(tables.fabric.num_ports, dtype=np.int64)
     np.add.at(loads, gports, 1)
     return loads
+
+
+def stage_class_link_loads(
+    tables: ForwardingTables,
+    src: np.ndarray,
+    dst: np.ndarray,
+    flow_class: np.ndarray,
+    num_classes: int | None = None,
+) -> np.ndarray:
+    """Per-traffic-class flows per directed link for one stage.
+
+    ``flow_class[i]`` is the class index of flow ``i``; the result has
+    shape ``(num_classes, num_ports)`` and sums over classes to
+    :func:`stage_link_loads`.  One table walk serves every class: loads
+    are recovered with a single ``bincount`` over
+    ``(class, port)`` keys, the same trick
+    :func:`batched_sequence_hsd` uses for placements.  This is the
+    dynamic (table-walking) side of the isolation analyzer's per-class
+    accounting; the symbolic side never touches tables at all.
+    """
+    flow_class = np.asarray(flow_class, dtype=np.int64)
+    src = np.asarray(src, dtype=np.int64)
+    if flow_class.shape != src.shape:
+        raise ValueError("flow_class/src shape mismatch")
+    C = int(num_classes) if num_classes is not None \
+        else int(flow_class.max()) + 1 if len(flow_class) else 1
+    if len(flow_class) and (flow_class.min() < 0 or flow_class.max() >= C):
+        raise ValueError("flow_class references a class index out of range")
+    num_ports = tables.fabric.num_ports
+    flow_idx, gports = walk_flow_links(tables, src, dst)
+    keys = flow_class[flow_idx] * num_ports + gports
+    return np.bincount(keys, minlength=C * num_ports).reshape(C, num_ports)
 
 
 def stage_max_hsd(

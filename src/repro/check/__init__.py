@@ -53,6 +53,13 @@ from .faultspace import (
     sweep_fault_space,
     up_port_spread,
 )
+from .isolation import (
+    ISOLATION_ENGINES,
+    ClassSchedule,
+    IsolationPass,
+    build_class_schedules,
+    routing_ranks,
+)
 from .passes import CheckContext, CheckPass, CheckResult, Pipeline, ScheduleCase
 from .routing_lint import (
     CdgCyclePass,
@@ -71,6 +78,7 @@ from .symbolic import (
     SymbolicContentionPass,
     SymbolicResult,
     canonical_peer,
+    symbolic_class_loads,
     symbolic_flow_links,
     symbolic_stage_max,
 )
@@ -82,6 +90,7 @@ __all__ = [
     "CheckContext",
     "CheckPass",
     "CheckResult",
+    "ClassSchedule",
     "ContentionCertifierPass",
     "Diagnostic",
     "DiagnosticReport",
@@ -94,7 +103,9 @@ __all__ = [
     "FaultSpacePass",
     "FaultSpaceResult",
     "FaultUnit",
+    "ISOLATION_ENGINES",
     "IncrementalStats",
+    "IsolationPass",
     "Loc",
     "MinimalityPass",
     "Pipeline",
@@ -111,6 +122,7 @@ __all__ = [
     "UpDownPass",
     "UpPortBalancePass",
     "WiringLintPass",
+    "build_class_schedules",
     "canonical_peer",
     "colliding_pairs_payload",
     "default_pipeline",
@@ -121,10 +133,12 @@ __all__ = [
     "placement_digest",
     "precheck_tables",
     "prepare_fault_cases",
+    "routing_ranks",
     "run_check",
     "sample_fault_combos",
     "sample_pairs",
     "sweep_fault_space",
+    "symbolic_class_loads",
     "symbolic_flow_links",
     "symbolic_stage_max",
     "up_port_spread",
@@ -148,6 +162,7 @@ PASS_ORDER = (
     "symbolic-certify",
     "differential",
     "fault-space",
+    "isolation",
 )
 
 #: certification engines accepted by ``default_pipeline``/``run_check``
@@ -164,6 +179,7 @@ def default_pipeline(
     engine: str = "enumerate",
     symbolic_active: np.ndarray | None = None,
     fault_space: dict | None = None,
+    isolation: dict | None = None,
 ) -> Pipeline:
     """The canonical full pipeline, optionally restricted to ``only``.
 
@@ -176,7 +192,10 @@ def default_pipeline(
     The fault-space sweep is opt-in (it certifies *hundreds* of
     degraded fabrics): pass ``fault_space`` -- keyword arguments for
     :class:`FaultSpacePass`, ``{}`` for the defaults -- or name
-    ``"fault-space"`` in ``only``.
+    ``"fault-space"`` in ``only``.  The traffic-class isolation
+    analyzer is opt-in the same way: pass ``isolation`` -- keyword
+    arguments for :class:`IsolationPass`, ``{}`` for the defaults --
+    or name ``"isolation"`` in ``only``.
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; known: {list(ENGINES)}")
@@ -203,6 +222,8 @@ def default_pipeline(
             passes.append(EngineAgreementPass())
     if fault_space is not None or (only is not None and "fault-space" in only):
         passes.append(FaultSpacePass(**(fault_space or {})))
+    if isolation is not None or (only is not None and "isolation" in only):
+        passes.append(IsolationPass(**(isolation or {})))
     if only is not None:
         unknown = only - set(PASS_ORDER)
         if unknown:
@@ -219,12 +240,14 @@ def run_check(ctx: CheckContext,
               engine: str = "enumerate",
               symbolic_active: np.ndarray | None = None,
               fault_space: dict | None = None,
+              isolation: dict | None = None,
               max_diags_per_code: int = 25) -> CheckResult:
     """Run the default pipeline over a prepared context."""
     pipeline = default_pipeline(only=only, updown_sample=updown_sample,
                                 certify=certify, engine=engine,
                                 symbolic_active=symbolic_active,
-                                fault_space=fault_space)
+                                fault_space=fault_space,
+                                isolation=isolation)
     return pipeline.run(ctx, max_diags_per_code=max_diags_per_code)
 
 

@@ -27,6 +27,15 @@ Examples::
     # job-aware Cont.-X: exclude 10 random end-ports, dense-rank routing
     python -m repro.check --topo n324 --engine both --cps ring --exclude 10
 
+    # multi-tenant isolation: tag 2 staggered storage ports per leaf,
+    # certify each class's own collective + the cross-class bound
+    python -m repro.check --topo n324 --types staggered:storage=2 \\
+        --routing typeaware --engine symbolic --isolation
+
+    # the same fabric type-blind: a real per-class counterexample (ISO001)
+    python -m repro.check --topo n324 --types staggered:storage=2 \\
+        --routing dmodk --engine symbolic --isolation
+
     # sweep every single cable/switch fault, certify each repaired fabric
     python -m repro.check --topo n324 --cps shift --exclude 36 --fault-space
 
@@ -54,25 +63,32 @@ import numpy as np
 
 from ..collectives import by_name, hierarchical_recursive_doubling, shift
 from ..collectives.cps import CPS
-from ..fabric import build_fabric
+from ..fabric import build_fabric, parse_types
 from ..fabric.lft import ForwardingTables
 from ..fabric.model import Fabric
 from ..fabric.topofile import load as load_topofile
 from ..ordering import random_order, topology_order, topology_subset
 from ..ordering.adversarial import adversarial_ring_order
-from ..routing import route_dmodk, route_ftree, route_minhop, route_random
+from ..routing import (
+    route_dmodk,
+    route_ftree,
+    route_minhop,
+    route_random,
+    route_typeaware,
+)
 from ..routing.repair import REPAIR_STRATEGIES
 from ..topology import paper_topologies, pgft
 from ..topology.spec import PGFTSpec
 from . import CODES, ENGINES, PASS_ORDER, CheckContext, ScheduleCase, run_check
 from .faultspace import FAULT_UNIT_KINDS, SWEEP_ENGINES
-from .sarif import dumps_sarif
+from .isolation import ISOLATION_ENGINES
+from .sarif import build_line_map, dumps_sarif
 
 FORMATS = ("text", "json", "sarif")
 
 __all__ = ["main"]
 
-ROUTERS = ("dmodk", "random", "minhop", "ftree", "none")
+ROUTERS = ("dmodk", "typeaware", "random", "minhop", "ftree", "none")
 ORDERS = ("topology", "reversed", "random", "adversarial")
 
 
@@ -89,14 +105,22 @@ def _load_fabric(args: argparse.Namespace) -> Fabric:
     if sum(given) != 1:
         raise SystemExit("give exactly one of --topo / --spec / --topofile")
     if args.topofile is not None:
-        return load_topofile(args.topofile)
-    if args.spec is not None:
-        return build_fabric(_parse_spec(args.spec))
-    topos = paper_topologies()
-    if args.topo not in topos:
-        raise SystemExit(f"unknown topology {args.topo!r}; available: "
-                         f"{', '.join(sorted(topos))}")
-    return build_fabric(topos[args.topo])
+        fabric = load_topofile(args.topofile)
+    elif args.spec is not None:
+        fabric = build_fabric(_parse_spec(args.spec))
+    else:
+        topos = paper_topologies()
+        if args.topo not in topos:
+            raise SystemExit(f"unknown topology {args.topo!r}; available: "
+                             f"{', '.join(sorted(topos))}")
+        fabric = build_fabric(topos[args.topo])
+    if args.types:
+        try:
+            fabric.node_types = parse_types(args.types, fabric.num_endports,
+                                            spec=fabric.spec)
+        except ValueError as exc:
+            raise SystemExit(f"--types: {exc}") from exc
+    return fabric
 
 
 def _route(fabric: Fabric, args: argparse.Namespace,
@@ -107,6 +131,8 @@ def _route(fabric: Fabric, args: argparse.Namespace,
         return None, ""
     if name == "dmodk":
         return route_dmodk(fabric, active=active), "dmodk"
+    if name == "typeaware":
+        return route_typeaware(fabric, active=active), "typeaware"
     if name == "random":
         return route_random(fabric, seed=args.routing_seed), "random"
     if name == "ftree":
@@ -195,6 +221,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="PGFT tuple 'h; m1,..; w1,..; p1,..'")
     src.add_argument("--topofile", metavar="FILE",
                      help="topology file (repro.fabric.topofile format)")
+    src.add_argument("--types", metavar="LAYOUT", default=None,
+                     help="node-type layout: 'uniform[:NAME]', "
+                          "'blocked:NAME=K[,NAME=K..]', 'per-leaf:NAME=K' "
+                          "or 'staggered:NAME=K' (remainder is 'compute')")
 
     rt = parser.add_argument_group("routing")
     rt.add_argument("--routing", choices=ROUTERS, default="dmodk",
@@ -253,6 +283,32 @@ def build_parser() -> argparse.ArgumentParser:
                     help="RQL011 worst-link destination-multiplicity bound "
                          "(default: healthy max + faults per combo)")
 
+    iso = parser.add_argument_group("traffic-class isolation")
+    iso.add_argument("--isolation", action="store_true",
+                     help="per-class contention certification + "
+                          "cross-class interference bound over the "
+                          "--types layout (ISO0xx diagnostics)")
+    iso.add_argument("--iso-cps", metavar="NAME", default="shift",
+                     help="collective each class runs concurrently "
+                          "(default: %(default)s)")
+    iso.add_argument("--iso-bound", type=int, default=None, metavar="B",
+                     help="declared cross-class interference bound; "
+                          "ISO012 when any class exceeds it")
+    iso.add_argument("--iso-engine", choices=ISOLATION_ENGINES,
+                     default="auto",
+                     help="'symbolic' proves from the typed closed form, "
+                          "'enumerate' walks the tables "
+                          "(default: %(default)s)")
+    iso.add_argument("--iso-fault-units",
+                     choices=("none",) + FAULT_UNIT_KINDS + ("both",),
+                     default="none",
+                     help="also re-check class isolation on sampled "
+                          "degraded fabrics (needs materialised tables; "
+                          "default: %(default)s)")
+    iso.add_argument("--iso-fault-samples", type=int, default=4, metavar="N",
+                     help="degraded fabrics sampled per unit kind "
+                          "(default: %(default)s)")
+
     out = parser.add_argument_group("output")
     out.add_argument("--format", choices=FORMATS, default=None,
                      help="report format (default: text); 'sarif' emits a "
@@ -289,11 +345,16 @@ def main(argv: list[str] | None = None) -> int:
     if args.engine == "symbolic":
         # The scaling unlock: never materialise tables.  The symbolic
         # engine proves the D-Mod-K closed form, so any other engine's
-        # tables would be certified against the wrong routing.
-        if args.routing not in ("dmodk", "none"):
+        # tables would be certified against the wrong routing.  The
+        # isolation analyzer additionally knows the typed closed form.
+        if args.routing == "typeaware" and args.isolation:
+            tables, routing_name = None, "typeaware"
+        elif args.routing not in ("dmodk", "none"):
             raise SystemExit("--engine symbolic proves the D-Mod-K closed "
-                             "form; use --routing dmodk (or none)")
-        tables, routing_name = None, "dmodk"
+                             "form; use --routing dmodk (or none), or "
+                             "--routing typeaware with --isolation")
+        else:
+            tables, routing_name = None, "dmodk"
     else:
         if args.engine == "both" and args.routing != "dmodk":
             raise SystemExit("--engine both cross-checks the symbolic "
@@ -332,14 +393,36 @@ def main(argv: list[str] | None = None) -> int:
                            engine=args.fault_engine,
                            load_bound=args.load_bound)
 
+    isolation = None
+    if args.isolation:
+        isolation = dict(
+            cps_name=args.iso_cps,
+            max_stages=args.max_shift_stages,
+            bound=args.iso_bound,
+            engine=args.iso_engine,
+            fault_units=(None if args.iso_fault_units == "none"
+                         else args.iso_fault_units),
+            fault_samples=args.iso_fault_samples,
+            fault_strategy=(args.repair if args.repair != "auto"
+                            else "balanced"),
+        )
+
+    # The general symbolic certifier proves plain D-Mod-K only
+    # (SYM010 otherwise); typed routing is certified per class by the
+    # isolation pass instead.
+    certify = not args.no_certify
+    if routing_name == "typeaware" and args.engine in ("symbolic", "both"):
+        certify = False
+
     ctx = CheckContext(fabric=fabric, tables=tables, schedule=schedule,
                        routing_name=routing_name, active=active)
     only = None
     if args.passes:
         only = {p.strip() for p in args.passes.split(",")}
     result = run_check(ctx, only=only, updown_sample=args.updown_sample,
-                       certify=not args.no_certify, engine=args.engine,
+                       certify=certify, engine=args.engine,
                        symbolic_active=active, fault_space=fault_space,
+                       isolation=isolation,
                        max_diags_per_code=args.max_diags)
 
     if args.cert_out:
@@ -350,11 +433,16 @@ def main(argv: list[str] | None = None) -> int:
     if fmt == "sarif":
         uri = args.topofile if args.topofile is not None else \
             f"{args.topo or 'pgft'}.topo"
-        print(dumps_sarif(result, artifact_uri=uri))
+        line_map = None
+        if args.topofile is not None:
+            line_map = build_line_map(Path(args.topofile).read_text())
+        print(dumps_sarif(result, artifact_uri=uri, line_map=line_map))
     elif fmt == "json":
         payload = result.to_json()
         if "faultspace" in result.artifacts:
             payload["faultspace"] = result.artifacts["faultspace"]
+        if "isolation" in result.artifacts:
+            payload["isolation"] = result.artifacts["isolation"]
         print(json.dumps(payload, indent=2))
     else:
         print(result.report.render_text())

@@ -207,6 +207,43 @@ CODES: dict[str, tuple[Severity, str]] = {
                "counts, certified fraction and the engine/strategy used. "
                "Also reports a sweep skipped for a structural reason "
                "(e.g. the healthy schedule is already refuted)."),
+    # -- ISO0xx: traffic-class isolation -------------------------------------
+    "ISO001": (Severity.ERROR,
+               "Per-class contention counterexample: a stage of a traffic "
+               "class's own collective places two or more of its concurrent "
+               "flows on one directed link. The routing in effect does not "
+               "isolate the class; route type-aware (per-type dense ranks)."),
+    "ISO002": (Severity.INFO,
+               "Vacuous class: a traffic class has fewer than two active "
+               "members, so its own collective produces no flows and "
+               "certifies trivially."),
+    "ISO010": (Severity.WARNING,
+               "Untyped end-ports: the fabric carries no node-type map, so "
+               "the isolation analysis degenerates to one homogeneous "
+               "class. Tag the population (Fabric.node_types / --types) for "
+               "a meaningful per-class verdict."),
+    "ISO011": (Severity.WARNING,
+               "Per-type balance violation: a class's routing indices are "
+               "not consecutive under the routing in effect, so eq. (1) no "
+               "longer guarantees the class's own collective. Type-aware "
+               "routing restores per-class rank density by construction."),
+    "ISO012": (Severity.WARNING,
+               "Cross-class interference above the declared bound: more "
+               "flows of another class share a directed link with the "
+               "victim class's traffic than --iso-bound allows."),
+    "ISO020": (Severity.ERROR,
+               "Type-conformance mismatch: the tables claim type-aware "
+               "routing but differ from the per-type closed form of "
+               "eq. (1). The fabric is not routed for its node-type map."),
+    "ISO030": (Severity.WARNING,
+               "Degraded-mode isolation regression: after a sampled fault "
+               "and repair, a traffic class loses the per-class "
+               "contention-freedom it had on the healthy fabric."),
+    "ISO090": (Severity.INFO,
+               "Isolation summary: classes analysed, per-class worst link "
+               "loads, the cross-class interference matrix and bound, and "
+               "certificates issued. Also reports an analysis skipped for "
+               "a structural reason (no spec, no tables)."),
 }
 
 

@@ -16,9 +16,13 @@ The mapping is deliberately small and stable:
   stage, ... -- carried as a SARIF *logical location* and the
   finding's machine payload under ``properties``.
 
-Fabric findings have no source line, so physical locations stay
-file-level; the logical location string (``switch=SW1-0003 port=5``)
-is what reviewers see in the annotation title.
+Every result carries a region (``startLine``/``startColumn``) so code
+scanning renders a proper annotation: when the analyzed input was a
+``--topofile``, :func:`build_line_map` resolves the finding's switch or
+node name to the line that declares it; otherwise the region anchors to
+line 1.  The logical location string (``switch=SW1-0003 port=5``) is
+what reviewers see in the annotation title, and every rule links its
+``helpUri`` to the family's section of ``docs/CHECKS.md``.
 """
 
 from __future__ import annotations
@@ -29,11 +33,33 @@ from typing import Any
 from .diagnostics import CODES, Diagnostic, Severity
 from .passes import CheckResult
 
-__all__ = ["SARIF_SCHEMA", "SARIF_VERSION", "dumps_sarif", "to_sarif"]
+__all__ = [
+    "FAMILY_ANCHORS",
+    "SARIF_SCHEMA",
+    "SARIF_VERSION",
+    "build_line_map",
+    "dumps_sarif",
+    "to_sarif",
+]
 
 SARIF_VERSION = "2.1.0"
 SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
                 "master/Schemata/sarif-schema-2.1.0.json")
+
+_CHECKS_URL = ("https://github.com/conf-ipps/fat-tree-repro/blob/main/"
+               "docs/CHECKS.md")
+
+#: diagnostic-code family -> section anchor in ``docs/CHECKS.md``
+FAMILY_ANCHORS = {
+    "FAB": "fab0xx--wiring-lint",
+    "RTE": "rte0xx--forwarding-table-lint",
+    "SCH": "sch0xx--collective-schedule-lint",
+    "CFC": "cfc0xx--contention-freedom-certification",
+    "FLT": "flt0xx--fault-schedule-lint",
+    "SYM": "sym0xx--symbolic-verification",
+    "RQL": "rql0xx--routing-quality-on-degraded-fabrics",
+    "ISO": "iso0xx--traffic-class-isolation",
+}
 
 #: repro severities -> SARIF result levels
 _LEVELS = {
@@ -43,21 +69,47 @@ _LEVELS = {
 }
 
 
+def build_line_map(topofile_text: str) -> dict[str, int]:
+    """Map node names to their 1-based declaration line in a topofile.
+
+    Feeds SARIF regions: a finding located at ``switch=SW1-0007``
+    annotates the line that declares ``SW1-0007`` instead of line 1.
+    """
+    lines: dict[str, int] = {}
+    for lineno, raw in enumerate(topofile_text.splitlines(), start=1):
+        tokens = raw.split()
+        if len(tokens) >= 2 and tokens[0] in ("hca", "switch"):
+            lines.setdefault(tokens[1], lineno)
+    return lines
+
+
 def _rule(code: str) -> dict[str, Any]:
     sev, desc = CODES[code]
-    return {
+    anchor = FAMILY_ANCHORS.get(code[:3])
+    rule: dict[str, Any] = {
         "id": code,
         "shortDescription": {"text": desc.split(". ")[0].rstrip(".") + "."},
         "fullDescription": {"text": desc},
         "defaultConfiguration": {"level": _LEVELS[sev]},
     }
+    if anchor is not None:
+        rule["helpUri"] = f"{_CHECKS_URL}#{anchor}"
+    return rule
 
 
 def _result(diag: Diagnostic, rule_index: dict[str, int],
-            artifact_uri: str) -> dict[str, Any]:
+            artifact_uri: str,
+            line_map: dict[str, int] | None = None) -> dict[str, Any]:
+    line = 1
+    if line_map:
+        for name in (diag.loc.node, diag.loc.switch):
+            if name is not None and name in line_map:
+                line = line_map[name]
+                break
     location: dict[str, Any] = {
         "physicalLocation": {
             "artifactLocation": {"uri": artifact_uri},
+            "region": {"startLine": line, "startColumn": 1},
         },
     }
     where = diag.loc.render()
@@ -85,11 +137,14 @@ def _result(diag: Diagnostic, rule_index: dict[str, int],
 
 
 def to_sarif(result: CheckResult,
-             artifact_uri: str = "fabric.topo") -> dict[str, Any]:
+             artifact_uri: str = "fabric.topo",
+             line_map: dict[str, int] | None = None) -> dict[str, Any]:
     """Render a :class:`~repro.check.CheckResult` as a SARIF 2.1.0 log.
 
     ``artifact_uri`` names the analyzed topology input; GitHub anchors
     the annotations to that path when it exists in the repository.
+    ``line_map`` (see :func:`build_line_map`) resolves finding
+    locations to declaration lines within that artifact.
     """
     codes = sorted({d.code for d in result.report})
     rule_index = {c: i for i, c in enumerate(codes)}
@@ -111,13 +166,15 @@ def to_sarif(result: CheckResult,
                 "passes": list(result.passes_run),
                 "summary": result.report.summary(),
             },
-            "results": [_result(d, rule_index, artifact_uri)
+            "results": [_result(d, rule_index, artifact_uri, line_map)
                         for d in result.report],
         }],
     }
 
 
 def dumps_sarif(result: CheckResult,
-                artifact_uri: str = "fabric.topo") -> str:
+                artifact_uri: str = "fabric.topo",
+                line_map: dict[str, int] | None = None) -> str:
     """:func:`to_sarif`, serialized exactly as the CLI prints it."""
-    return json.dumps(to_sarif(result, artifact_uri=artifact_uri), indent=2)
+    return json.dumps(to_sarif(result, artifact_uri=artifact_uri,
+                               line_map=line_map), indent=2)

@@ -64,6 +64,7 @@ from .passes import CheckContext, CheckPass
 __all__ = [
     "split_levels",
     "symbolic_flow_links",
+    "symbolic_class_loads",
     "symbolic_stage_max",
     "decode_link",
     "symbolic_link_loc",
@@ -168,6 +169,43 @@ def _sparse_loads(gports: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     if len(gports) == 0:
         return (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
     return np.unique(gports, return_counts=True)
+
+
+def symbolic_class_loads(
+    spec: PGFTSpec, src: np.ndarray, dst: np.ndarray,
+    flow_class: np.ndarray, num_classes: int | None = None,
+    ridx: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-traffic-class sparse link loads of one stage, from eq. (1).
+
+    :func:`symbolic_flow_links` partitioned by traffic class:
+    ``flow_class[i]`` is the class of flow ``i``, and the result is
+    ``(links, loads)`` where ``links`` lists the distinct global port
+    ids any flow traverses (sorted) and ``loads[c, k]`` counts class-
+    ``c`` flows crossing ``links[k]``.  Summing over classes recovers
+    :func:`_sparse_loads` of the unpartitioned stage.  This is what
+    lets the isolation analyzer *statically* prove per-class
+    contention-freedom (``loads[c].max() <= 1`` for class ``c``'s own
+    collective) and read off cross-class interference (class-``b`` load
+    on links where class ``a`` is present) without tables or
+    simulation.
+    """
+    flow_class = np.asarray(flow_class, dtype=np.int64)
+    src = np.asarray(src, dtype=np.int64)
+    if flow_class.shape != src.shape:
+        raise ValueError("flow_class/src shape mismatch")
+    C = int(num_classes) if num_classes is not None \
+        else int(flow_class.max()) + 1 if len(flow_class) else 1
+    if len(flow_class) and (flow_class.min() < 0 or flow_class.max() >= C):
+        raise ValueError("flow_class references a class index out of range")
+    flow_idx, gports = symbolic_flow_links(spec, src, dst, ridx)
+    links = np.unique(gports)
+    if len(links) == 0:
+        return links, np.zeros((C, 0), dtype=np.int64)
+    col = np.searchsorted(links, gports)
+    keys = flow_class[flow_idx] * len(links) + col
+    loads = np.bincount(keys, minlength=C * len(links)).reshape(C, len(links))
+    return links, loads
 
 
 def symbolic_stage_max(spec: PGFTSpec, src: np.ndarray, dst: np.ndarray,

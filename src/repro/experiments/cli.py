@@ -21,7 +21,7 @@ from __future__ import annotations
 import sys
 
 from . import ablation, chaos, contention_free, degradation, failures
-from . import fig1, fig2, fig3, generations, latency
+from . import fig1, fig2, fig3, generations, isolation, latency
 from . import multijob, ring_adversarial, table1, table3
 
 __all__ = ["main", "EXPERIMENTS"]
@@ -36,6 +36,7 @@ EXPERIMENTS = {
     "contention-free": contention_free,
     "ablation": ablation,
     "multijob": multijob,
+    "isolation": isolation,
     "failures": failures,
     "degradation": degradation,
     "chaos": chaos,

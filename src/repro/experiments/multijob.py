@@ -30,8 +30,14 @@ def run(topo: str = "rlft2-max36", job_units=(6, 12, 9),
         message_kb: int = 256) -> str:
     spec = get_topology(topo)
     alloc = SubAllocator(spec)
-    tables = route_dmodk(build_fabric(spec))
-    jobs = [alloc.allocate(u * alloc.unit_size) for u in job_units]
+    fabric = build_fabric(spec)
+    tables = route_dmodk(fabric)
+    types = ("compute", "storage", "analytics")
+    jobs = [alloc.allocate(u * alloc.unit_size, node_type=types[i % len(types)])
+            for i, u in enumerate(job_units)]
+    # Tag the fabric with the tenancy map so downstream checks
+    # (``--isolation``) see the same classes the allocator granted.
+    fabric.node_types = alloc.node_type_map()
 
     rows = []
     sim = FluidSimulator(tables)
@@ -43,8 +49,12 @@ def run(topo: str = "rlft2-max36", job_units=(6, 12, 9),
         wl = cps_workload(cps, job.placement, spec.num_endports, size)
         solo = sim.run_sequences(wl)
         workloads.append(wl)
-        rows.append((f"job {job.job_id}", len(job.units), job.num_ranks,
-                     rep.worst, round(solo.normalized_bandwidth, 3)))
+        # per-job certification is job-aware: only the job's own active
+        # end-ports count (Cont.-X semantics via ``job.active``)
+        assert len(job.active) == len(job.units) * alloc.unit_size
+        rows.append((f"job {job.job_id} ({job.node_type})", len(job.units),
+                     job.num_ranks, rep.worst,
+                     round(solo.normalized_bandwidth, 3)))
     all_seqs = merge_sequences(*workloads)
 
     # All jobs together: combined per-stage HSD and combined bandwidth.

@@ -33,6 +33,7 @@ import numpy as np
 
 from ..topology.pgft import PGFT
 from ..topology.spec import PGFTSpec
+from .nodetypes import NodeTypeMap
 
 __all__ = ["Fabric", "build_fabric"]
 
@@ -61,6 +62,11 @@ class Fabric:
     node_names:
         Optional human-readable names (used by the topology file
         writer); auto-generated when absent.
+    node_types:
+        Optional :class:`~repro.fabric.nodetypes.NodeTypeMap` tagging
+        every end-port with a traffic class (compute/storage/...).
+        Consumed by the type-aware router and the isolation analyzer;
+        ``None`` means a homogeneous population.
     """
 
     num_endports: int
@@ -69,6 +75,7 @@ class Fabric:
     port_peer: np.ndarray
     spec: PGFTSpec | None = None
     node_names: list[str] = field(default_factory=list)
+    node_types: NodeTypeMap | None = None
 
     # Derived, filled in __post_init__.
     port_owner: np.ndarray = field(init=False)
@@ -83,6 +90,11 @@ class Fabric:
         ).astype(np.int32)
         if not self.node_names:
             self.node_names = [self._default_name(v) for v in range(nn)]
+        if (self.node_types is not None
+                and self.node_types.num_endports != self.num_endports):
+            raise ValueError(
+                f"node_types covers {self.node_types.num_endports} "
+                f"end-ports, fabric has {self.num_endports}")
 
     # -- basic queries ---------------------------------------------------
     @property
@@ -207,6 +219,7 @@ class Fabric:
             port_peer=peer,
             spec=self.spec,
             node_names=list(self.node_names),
+            node_types=self.node_types,
         )
 
     def with_failed_switches(self, nodes) -> "Fabric":
@@ -236,6 +249,7 @@ class Fabric:
             port_peer=peer,
             spec=self.spec,
             node_names=list(self.node_names),
+            node_types=self.node_types,
         )
 
     def dead_ports(self) -> np.ndarray:
@@ -265,9 +279,13 @@ class Fabric:
         )
 
 
-def build_fabric(spec: PGFTSpec) -> Fabric:
+def build_fabric(spec: PGFTSpec,
+                 node_types: NodeTypeMap | None = None) -> Fabric:
     """Materialise the PGFT described by ``spec`` into a wired
-    :class:`Fabric` using the paper's parallel-port connection rule."""
+    :class:`Fabric` using the paper's parallel-port connection rule.
+
+    ``node_types`` optionally tags every end-port with a traffic class
+    (see :class:`~repro.fabric.nodetypes.NodeTypeMap`)."""
     tree = PGFT(spec)
     N = spec.num_endports
 
@@ -305,5 +323,6 @@ def build_fabric(spec: PGFTSpec) -> Fabric:
         port_start=port_start,
         port_peer=peer,
         spec=spec,
+        node_types=node_types,
     )
     return fab

@@ -1,0 +1,260 @@
+"""Node-type annotations for heterogeneous fabrics.
+
+Real clusters mix populations -- compute nodes, storage targets,
+service/login nodes -- and each population generates its own traffic
+class.  The paper's theorems certify a *single* global collective over
+a homogeneous population; Gliksberg et al. (arXiv 2211.11818) show that
+PGFT routing must be computed *per node type* for each class to stay
+balanced over its own sub-population.
+
+:class:`NodeTypeMap` is the model side of that idea: an immutable
+assignment of every end-port to exactly one named type.  The
+type-aware router (:mod:`repro.routing.typeaware`) consumes it to
+apply eq. (1) to per-type dense ranks, and the traffic-class isolation
+analyzer (:mod:`repro.check.isolation`) certifies each class
+separately and bounds cross-class link sharing.
+
+Layouts
+-------
+Three constructors cover the layouts that matter in practice:
+
+* :meth:`NodeTypeMap.blocked` -- types occupy consecutive end-port
+  blocks (racks dedicated per type).  Class ranks stay consecutive, so
+  even type-blind D-Mod-K keeps each class contention-free.
+* :meth:`NodeTypeMap.per_leaf` -- every leaf donates its last ``k``
+  ports to a type (one storage target per enclosure).  Aligned across
+  leaves, so class positions are congruent modulo the leaf size.
+* :meth:`NodeTypeMap.staggered` -- like ``per_leaf`` but the donated
+  positions rotate from leaf to leaf (nodes land wherever the rack had
+  space).  This is the layout that *breaks* type-blind D-Mod-K: class
+  ranks acquire irregular gaps, consecutive-rank windows of eq. (1)
+  collide, and only per-type routing restores contention freedom.
+
+:func:`parse_types` turns the CLI syntax (``staggered:storage=2``)
+into a map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..topology.spec import PGFTSpec
+
+__all__ = ["NodeTypeMap", "parse_types", "DEFAULT_TYPE"]
+
+#: the type every port gets when nothing says otherwise
+DEFAULT_TYPE = "compute"
+
+
+@dataclass(frozen=True)
+class NodeTypeMap:
+    """Immutable end-port -> named-type assignment.
+
+    ``type_names`` lists the distinct types (deterministic order:
+    construction order, default type first); ``type_of[j]`` is the
+    index into ``type_names`` of end-port ``j``.
+    """
+
+    type_names: tuple[str, ...]
+    type_of: np.ndarray            # (num_endports,) int64 indices
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.type_of, dtype=np.int64)
+        object.__setattr__(self, "type_of", arr)
+        if len(self.type_names) == 0:
+            raise ValueError("a NodeTypeMap needs at least one type name")
+        if len(set(self.type_names)) != len(self.type_names):
+            raise ValueError(f"duplicate type names: {self.type_names}")
+        if len(arr) == 0:
+            raise ValueError("a NodeTypeMap needs at least one end-port")
+        if arr.min() < 0 or arr.max() >= len(self.type_names):
+            raise ValueError("type_of references an unnamed type index")
+
+    # -- basic queries -----------------------------------------------------
+    @property
+    def num_endports(self) -> int:
+        return len(self.type_of)
+
+    @property
+    def num_types(self) -> int:
+        return len(self.type_names)
+
+    @property
+    def is_uniform(self) -> bool:
+        """Whether every end-port shares one type (the homogeneous
+        degenerate case: type-aware routing equals plain D-Mod-K)."""
+        return bool((self.type_of == self.type_of[0]).all())
+
+    def counts(self) -> dict[str, int]:
+        """Population size per type name (insertion order of
+        ``type_names``)."""
+        c = np.bincount(self.type_of, minlength=self.num_types)
+        return {name: int(c[i]) for i, name in enumerate(self.type_names)}
+
+    def ports_of(self, name: str) -> np.ndarray:
+        """Sorted end-port indices of type ``name``."""
+        return np.flatnonzero(self.type_of == self.index_of(name))
+
+    def index_of(self, name: str) -> int:
+        try:
+            return self.type_names.index(name)
+        except ValueError:
+            raise KeyError(f"unknown node type {name!r}; "
+                           f"known: {list(self.type_names)}") from None
+
+    def name_of(self, port: int) -> str:
+        return self.type_names[int(self.type_of[port])]
+
+    def to_json(self) -> dict:
+        return {"type_names": list(self.type_names),
+                "type_of": self.type_of.tolist()}
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "NodeTypeMap":
+        return cls(type_names=tuple(doc["type_names"]),
+                   type_of=np.asarray(doc["type_of"], dtype=np.int64))
+
+    def __repr__(self) -> str:
+        body = ", ".join(
+            f"{k}={v}"
+            for k, v in self.counts().items())  # det: ok - type_names order
+        return f"NodeTypeMap({body})"
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def uniform(cls, num_endports: int,
+                name: str = DEFAULT_TYPE) -> "NodeTypeMap":
+        """Every end-port the same type (homogeneous fabric)."""
+        return cls(type_names=(name,),
+                   type_of=np.zeros(num_endports, dtype=np.int64))
+
+    @classmethod
+    def from_ports(cls, num_endports: int, ports: dict[str, object],
+                   default: str = DEFAULT_TYPE) -> "NodeTypeMap":
+        """Explicit port lists per type; unlisted ports get ``default``."""
+        names = [default] + [n for n in ports if n != default]
+        type_of = np.zeros(num_endports, dtype=np.int64)
+        seen = np.zeros(num_endports, dtype=bool)
+        for name in names[1:]:
+            idx = np.asarray(ports[name], dtype=np.int64)
+            if len(idx) and (idx.min() < 0 or idx.max() >= num_endports):
+                raise ValueError(f"type {name!r} references end-ports "
+                                 "outside the fabric")
+            if seen[idx].any():
+                raise ValueError(f"type {name!r} re-types an already "
+                                 "typed end-port")
+            seen[idx] = True
+            type_of[idx] = names.index(name)
+        return cls(type_names=tuple(names), type_of=type_of)
+
+    @classmethod
+    def blocked(cls, num_endports: int, counts: dict[str, int],
+                rest: str = DEFAULT_TYPE) -> "NodeTypeMap":
+        """Types occupy consecutive leading blocks (in ``counts``
+        order); the remainder is ``rest``.  Consecutive blocks keep
+        class ranks dense, so even type-blind D-Mod-K stays per-class
+        contention-free under this layout."""
+        ports: dict[str, np.ndarray] = {}
+        start = 0
+        for name, k in counts.items():  # det: ok - caller order is the layout
+            if k < 0 or start + k > num_endports:
+                raise ValueError(f"blocked layout overflows the fabric at "
+                                 f"{name}={k}")
+            ports[name] = np.arange(start, start + k, dtype=np.int64)
+            start += k
+        return cls.from_ports(num_endports, ports, default=rest)
+
+    @classmethod
+    def per_leaf(cls, spec: PGFTSpec, counts: dict[str, int],
+                 rest: str = DEFAULT_TYPE) -> "NodeTypeMap":
+        """Every leaf donates its *last* ports to the given types, the
+        same positions in every leaf (one storage node per enclosure,
+        bottom of the rack).  Aligned positions keep per-class windows
+        collision-free even under type-blind D-Mod-K."""
+        leaf = spec.leaf_size
+        total = sum(counts.values())
+        if total > leaf:
+            raise ValueError(f"per-leaf layout wants {total} typed ports "
+                             f"per leaf of {leaf}")
+        N = spec.num_endports
+        base = np.arange(N // leaf, dtype=np.int64) * leaf
+        ports: dict[str, np.ndarray] = {}
+        pos = leaf - total
+        for name, k in counts.items():  # det: ok - caller order is the layout
+            ports[name] = (base[:, None]
+                           + np.arange(pos, pos + k)).ravel()
+            pos += k
+        return cls.from_ports(N, ports, default=rest)
+
+    @classmethod
+    def staggered(cls, spec: PGFTSpec, counts: dict[str, int],
+                  rest: str = DEFAULT_TYPE) -> "NodeTypeMap":
+        """Like :meth:`per_leaf`, but the donated positions rotate by
+        ``total`` slots per leaf (typed nodes land wherever the rack
+        had space).  The rotation de-aligns class positions across
+        leaves, which is exactly what makes type-blind D-Mod-K collide
+        within a class -- the layout the isolation analyzer's
+        refutation demo uses."""
+        leaf = spec.leaf_size
+        total = sum(counts.values())
+        if total > leaf:
+            raise ValueError(f"staggered layout wants {total} typed ports "
+                             f"per leaf of {leaf}")
+        N = spec.num_endports
+        leaves = np.arange(N // leaf, dtype=np.int64)
+        ports: dict[str, np.ndarray] = {}
+        pos = 0
+        for name, k in counts.items():  # det: ok - caller order is the layout
+            offs = np.arange(pos, pos + k)
+            ports[name] = (leaves[:, None] * leaf
+                           + (total * leaves[:, None] + offs) % leaf).ravel()
+            pos += k
+        return cls.from_ports(N, ports, default=rest)
+
+
+def _parse_counts(body: str) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for item in body.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        if "=" not in item:
+            raise ValueError(f"expected NAME=COUNT, got {item!r}")
+        name, _, num = item.partition("=")
+        counts[name.strip()] = int(num)
+    if not counts:
+        raise ValueError("no NAME=COUNT entries given")
+    return counts
+
+
+def parse_types(text: str, num_endports: int,
+                spec: PGFTSpec | None = None) -> NodeTypeMap:
+    """Parse the CLI node-type layout syntax.
+
+    Accepted forms::
+
+        uniform[:NAME]            every port one type (default 'compute')
+        blocked:NAME=K[,NAME=K..]  leading consecutive blocks
+        per-leaf:NAME=K[,..]       last K ports of every leaf
+        staggered:NAME=K[,..]      per-leaf, positions rotating per leaf
+
+    ``per-leaf`` and ``staggered`` need the PGFT ``spec`` (the leaf
+    size comes from ``M(1)``).
+    """
+    kind, _, body = text.partition(":")
+    kind = kind.strip()
+    if kind == "uniform":
+        return NodeTypeMap.uniform(num_endports, body.strip() or DEFAULT_TYPE)
+    if kind == "blocked":
+        return NodeTypeMap.blocked(num_endports, _parse_counts(body))
+    if kind in ("per-leaf", "staggered"):
+        if spec is None:
+            raise ValueError(f"{kind!r} node-type layouts need a PGFT spec "
+                             "(the leaf size comes from the tuple)")
+        ctor = NodeTypeMap.per_leaf if kind == "per-leaf" \
+            else NodeTypeMap.staggered
+        return ctor(spec, _parse_counts(body))
+    raise ValueError(f"unknown node-type layout {kind!r}; known: uniform, "
+                     "blocked, per-leaf, staggered")

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..fabric.nodetypes import DEFAULT_TYPE, NodeTypeMap
 from ..topology.spec import PGFTSpec
 
 __all__ = ["Job", "SubAllocator", "AllocationError"]
@@ -47,6 +48,7 @@ class Job:
     job_id: int
     units: tuple[int, ...]          # allocation-unit indices, ascending
     active_ports: np.ndarray        # end-port indices, ascending
+    node_type: str = DEFAULT_TYPE   # traffic class of the job's nodes
 
     @property
     def num_ranks(self) -> int:
@@ -58,9 +60,15 @@ class Job:
         ``r``-th end-port in fabric order."""
         return self.active_ports
 
+    @property
+    def active(self) -> np.ndarray:
+        """Placement-compatible alias: the job's active end-port set, as
+        consumed by ``CheckContext.active`` and job-aware routing."""
+        return self.active_ports
+
     def __repr__(self) -> str:
         return (f"Job(id={self.job_id}, units={list(self.units)},"
-                f" ranks={self.num_ranks})")
+                f" ranks={self.num_ranks}, type={self.node_type!r})")
 
 
 class SubAllocator:
@@ -87,12 +95,15 @@ class SubAllocator:
             raise AllocationError("a job needs at least one rank")
         return -(-num_ranks // self.unit_size)
 
-    def allocate(self, num_ranks: int) -> Job:
+    def allocate(self, num_ranks: int,
+                 node_type: str = DEFAULT_TYPE) -> Job:
         """Grant ``ceil(num_ranks / unit)`` units (lowest-index first).
 
         The job's active set covers whole units; ranks beyond
         ``num_ranks`` simply idle inside the last unit (the granted
         ports stay reserved either way, as a real scheduler would).
+        ``node_type`` tags the job's traffic class (compute, storage,
+        ...) for the isolation analyzer.
         """
         need = self.units_needed(num_ranks)
         if need > len(self._free):
@@ -108,7 +119,7 @@ class SubAllocator:
             for u in units
         ])
         job = Job(job_id=self._next_id, units=units,
-                  active_ports=ports[:num_ranks])
+                  active_ports=ports[:num_ranks], node_type=node_type)
         self._next_id += 1
         self._jobs[job.job_id] = job
         return job
@@ -119,6 +130,37 @@ class SubAllocator:
             raise AllocationError(f"unknown job id {job_id}")
         released = self._jobs.pop(job_id)
         self._free.update(released.units)
+
+    def active_ports(self) -> np.ndarray:
+        """Union of every live job's active end-ports (ascending).
+
+        This is the fabric-wide ``active`` set the check pipeline and
+        job-aware routing consume when certifying the cluster as a
+        whole rather than one job at a time.
+        """
+        live = [self._jobs[k].active_ports for k in sorted(self._jobs)]
+        if not live:
+            return np.array([], dtype=np.int64)
+        return np.unique(np.concatenate(live))
+
+    def node_type_map(self, default: str = "idle") -> NodeTypeMap:
+        """Fabric-wide :class:`~repro.fabric.nodetypes.NodeTypeMap`
+        derived from the live jobs' ``node_type`` tags.
+
+        Unallocated (and allocated-but-idle) end-ports get ``default``.
+        Jobs sharing a ``node_type`` merge into one traffic class, so
+        the isolation analyzer reasons about classes, not job ids.
+        """
+        ports: dict[str, list[np.ndarray]] = {}
+        for k in sorted(self._jobs):
+            job = self._jobs[k]
+            ports.setdefault(job.node_type, []).append(job.active_ports)
+        merged = {
+            name: np.unique(np.concatenate(chunks))
+            for name, chunks in sorted(ports.items())
+        }
+        return NodeTypeMap.from_ports(self.spec.num_endports, merged,
+                                      default=default)
 
     def utilization(self) -> float:
         return 1.0 - len(self._free) / self.num_units

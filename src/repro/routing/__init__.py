@@ -6,6 +6,8 @@
   round-robin / random / first tie-breaking (baselines).
 * :func:`~repro.routing.random_router.route_random` -- random up-port
   selection on PGFTs (hot-spot-prone baseline).
+* :func:`~repro.routing.typeaware.route_typeaware` -- node-type-aware
+  D-Mod-K (eq. 1 over per-traffic-class dense ranks).
 * :mod:`~repro.routing.validate` -- reachability / up-down / theorem-2
   validators.
 """
@@ -17,6 +19,7 @@ from .ftree import FTreeRouter, route_ftree
 from .minhop import MinHopRouter, bfs_distances, route_minhop
 from .random_router import RandomRouter, route_random
 from .repair import RepairReport, repair_tables
+from .typeaware import TypeAwareRouter, route_typeaware, typed_ranks
 from .validate import (
     RoutingError,
     check_reachability,
@@ -33,6 +36,7 @@ __all__ = [
     "RepairReport",
     "Router",
     "RoutingError",
+    "TypeAwareRouter",
     "assert_deadlock_free",
     "bfs_distances",
     "channel_dependencies",
@@ -49,5 +53,7 @@ __all__ = [
     "route_ftree",
     "route_minhop",
     "route_random",
+    "route_typeaware",
     "trace_route",
+    "typed_ranks",
 ]

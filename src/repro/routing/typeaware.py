@@ -1,0 +1,131 @@
+"""Node-type-aware D-Mod-K routing: eq. (1) on per-type dense ranks.
+
+Type-blind D-Mod-K applies eq. (1) to the destination's global
+end-port index (or its dense rank within the job's active set).  On a
+heterogeneous fabric the traffic that matters is *per class*: the
+compute population runs its collective over compute ranks, the storage
+population streams over storage ranks.  When a class occupies
+irregular positions (see :meth:`~repro.fabric.nodetypes.NodeTypeMap.
+staggered`), its members' routing indices acquire gaps, windows of
+consecutive class ranks stop spreading over distinct up-ports, and the
+appendix lemmas no longer protect the class's own collective.
+
+The fix (Gliksberg et al., arXiv 2211.11818, adapted to PGFTs): route
+every destination by its **dense rank within its own type** (further
+restricted to the job's active set, mirroring Cont.-X).  Each class
+then sees exactly the ranking the paper's theorems need, so every
+class's constant-displacement collective stays contention-free on its
+own -- while cross-class link sharing remains and is bounded by the
+isolation analyzer (:mod:`repro.check.isolation`).
+
+With a single type (or no type map) the per-type ranks degenerate to
+the plain dense ranks, making :func:`route_typeaware` bit-identical to
+:func:`~repro.routing.dmodk.route_dmodk` -- a property the test suite
+asserts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..fabric.lft import ForwardingTables
+from ..fabric.model import Fabric
+from ..fabric.nodetypes import NodeTypeMap
+from .base import build_pgft_tables
+from .dmodk import down_parallel_k, q_up
+
+__all__ = ["typed_ranks", "route_typeaware", "TypeAwareRouter"]
+
+
+def typed_ranks(num_endports: int, types: NodeTypeMap | np.ndarray | None,
+                active: np.ndarray | None = None) -> np.ndarray:
+    """Routing index per end-port: the dense rank within the port's own
+    type (intersected with ``active`` when given).
+
+    Mirrors :func:`~repro.routing.dmodk.dense_ranks` per class: active
+    members of a type get consecutive ranks ``0..n_c-1`` in port
+    order; inactive (or excluded) ports borrow the rank of the next
+    active port of their type, so they stay routable without
+    disturbing the class's rank density.  ``types`` may be a
+    :class:`~repro.fabric.nodetypes.NodeTypeMap`, a raw per-port class
+    index array, or ``None`` (single class -- the identity/dense-rank
+    degenerate case).
+    """
+    if types is None:
+        type_of = np.zeros(num_endports, dtype=np.int64)
+    elif isinstance(types, NodeTypeMap):
+        type_of = types.type_of
+    else:
+        type_of = np.asarray(types, dtype=np.int64)
+    if len(type_of) != num_endports:
+        raise ValueError(f"type map covers {len(type_of)} end-ports, "
+                         f"fabric has {num_endports}")
+    if active is None:
+        active_mask = np.ones(num_endports, dtype=bool)
+    else:
+        act = np.unique(np.asarray(active, dtype=np.int64))
+        if len(act) == 0:
+            raise ValueError("active set must not be empty")
+        if act[0] < 0 or act[-1] >= num_endports:
+            raise ValueError("active set references end-ports outside "
+                             "the fabric")
+        active_mask = np.zeros(num_endports, dtype=bool)
+        active_mask[act] = True
+
+    ridx = np.zeros(num_endports, dtype=np.int64)
+    for t in np.unique(type_of):
+        members = np.flatnonzero(type_of == t)
+        act_members = members[active_mask[members]]
+        # searchsorted gives dense ranks to active members and lets the
+        # inactive ones borrow the next active rank (dense_ranks
+        # semantics, restricted to the class).
+        ridx[members] = np.searchsorted(act_members, members)
+    return ridx
+
+
+def route_typeaware(fabric: Fabric,
+                    types: NodeTypeMap | np.ndarray | None = None,
+                    active: np.ndarray | None = None) -> ForwardingTables:
+    """Materialise node-type-aware D-Mod-K forwarding tables.
+
+    ``types`` defaults to ``fabric.node_types`` (homogeneous when that
+    is ``None`` too, making the result bit-identical to
+    :func:`~repro.routing.dmodk.route_dmodk`).  ``active`` optionally
+    restricts ranks to the job's active end-ports, exactly as in
+    job-aware D-Mod-K.
+    """
+    spec = fabric.spec
+    if spec is None:
+        raise ValueError("type-aware D-Mod-K needs a PGFT-structured fabric")
+    if types is None:
+        types = fabric.node_types
+    rank = typed_ranks(spec.num_endports, types, active)
+
+    def up_choice(level: int, sw: np.ndarray, dest: np.ndarray) -> np.ndarray:
+        return q_up(spec, level + 1, rank[dest])
+
+    def down_parallel(level: int, sw: np.ndarray,
+                      dest: np.ndarray) -> np.ndarray:
+        return down_parallel_k(spec, level, rank[dest])
+
+    def host_choice(dest: np.ndarray) -> np.ndarray:
+        return q_up(spec, 1, rank[dest])
+
+    return build_pgft_tables(fabric, up_choice, down_parallel, host_choice)
+
+
+class TypeAwareRouter:
+    """Callable router object (handy where a named engine is reported)."""
+
+    name = "typeaware"
+
+    def __init__(self, types: NodeTypeMap | np.ndarray | None = None,
+                 active: np.ndarray | None = None):
+        self.types = types
+        self.active = active
+
+    def __call__(self, fabric: Fabric) -> ForwardingTables:
+        return route_typeaware(fabric, self.types, self.active)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "TypeAwareRouter()"

@@ -47,6 +47,7 @@ __all__ = [
     "spec_digest",
     "sweep_digest",
     "tables_digest",
+    "types_digest",
 ]
 
 #: Bump when the stored payload layout or digest recipe changes; part of
@@ -102,6 +103,21 @@ def spec_digest(spec) -> str:
     """
     h = hashlib.sha256(b"repro-spec-v1")
     h.update(f"h={spec.h};m={spec.m};w={spec.w};p={spec.p}".encode())
+    return h.hexdigest()
+
+
+def types_digest(types=None) -> str:
+    """SHA-256 of a :class:`~repro.fabric.nodetypes.NodeTypeMap`
+    (``None`` = homogeneous population).  Binds per-type routing
+    decisions and traffic-class partitions into isolation certificates:
+    renaming, re-ordering or re-assigning any end-port's type changes
+    the digest."""
+    h = hashlib.sha256(b"repro-types-v1")
+    if types is None:
+        h.update(b"uniform")
+    else:
+        h.update(";".join(types.type_names).encode())
+        _update_array(h, np.asarray(types.type_of, dtype=np.int64))
     return h.hexdigest()
 
 

@@ -126,6 +126,20 @@ class PGFTSpec:
         """Total (down + up) ports per switch at ``level``."""
         return self.down_ports_at(level) + self.up_ports_at(level)
 
+    @property
+    def leaf_size(self) -> int:
+        """End-ports per leaf (level-1) subtree: ``M(1) = m_1``."""
+        return self.M(1)
+
+    @property
+    def num_leaves(self) -> int:
+        """Number of level-1 subtrees: ``N / m_1``."""
+        return self.num_endports // self.leaf_size
+
+    def leaf_of(self, port: np.ndarray | int) -> np.ndarray:
+        """Leaf (level-1 subtree) index of each end-port; broadcasts."""
+        return np.asarray(port, dtype=np.int64) // self.leaf_size
+
     def M_prefix(self) -> np.ndarray:
         """``[M(0), M(1), .., M(h)]`` as an int64 array (``M(0) == 1``).
 

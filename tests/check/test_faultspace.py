@@ -32,7 +32,13 @@ from repro.check.faultspace import (
     SWEEP_ENGINES,
     certify_prepared,
 )
-from repro.check.sarif import SARIF_VERSION, dumps_sarif, to_sarif
+from repro.check.sarif import (
+    FAMILY_ANCHORS,
+    SARIF_VERSION,
+    build_line_map,
+    dumps_sarif,
+    to_sarif,
+)
 from repro.collectives import shift
 from repro.fabric import build_fabric
 from repro.ordering import topology_order
@@ -321,6 +327,40 @@ class TestSarifEmitter:
             assert res["level"] in ("error", "warning", "note")
             phys = res["locations"][0]["physicalLocation"]
             assert phys["artifactLocation"]["uri"] == "small.topo"
+            region = phys["region"]
+            assert region["startLine"] >= 1 and region["startColumn"] == 1
+
+    def test_rules_link_checks_md(self, small):
+        fab, tables, cps, order = small
+        ctx = CheckContext.for_tables(
+            tables, routing_name="dmodk",
+            schedule=[ScheduleCase(cps, order, label="shift/topology")])
+        result = run_check(ctx, fault_space={"units": "cable"})
+        run, = to_sarif(result)["runs"]
+        for rule in run["tool"]["driver"]["rules"]:
+            assert rule["helpUri"].endswith(
+                f"docs/CHECKS.md#{FAMILY_ANCHORS[rule['id'][:3]]}")
+
+    def test_every_code_family_has_anchor(self):
+        assert {c[:3] for c in CODES} == set(FAMILY_ANCHORS)
+
+    def test_line_map_resolves_switch_regions(self, small):
+        from repro.fabric.topofile import dumps as dump_topo
+        fab, tables, cps, order = small
+        text = dump_topo(fab)
+        lines = build_line_map(text)
+        assert lines  # every hca/switch declaration mapped
+        name, lineno = next(iter(sorted(lines.items())))
+        assert text.splitlines()[lineno - 1].split()[1] == name
+        ctx = CheckContext.for_tables(
+            tables, routing_name="dmodk",
+            schedule=[ScheduleCase(cps, order, label="shift/topology")])
+        result = run_check(ctx, fault_space={"units": "cable"})
+        run, = to_sarif(result, line_map=lines)["runs"]
+        located = [res for res in run["results"]
+                   if res["locations"][0]["physicalLocation"]
+                   ["region"]["startLine"] > 1]
+        assert located, "no finding resolved to a declaration line"
 
     def test_dumps_round_trips(self, small):
         fab, tables, cps, order = small

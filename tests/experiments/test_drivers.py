@@ -11,6 +11,7 @@ from repro.experiments import (
     fig1,
     fig2,
     fig3,
+    isolation,
     multijob,
     ring_adversarial,
     table1,
@@ -211,12 +212,53 @@ class TestMultijob:
         assert " 1 " in concurrent  # combined worst HSD == 1
 
 
+class TestIsolation:
+    def test_dynamics_never_exceed_static_bounds(self):
+        # the acceptance claim: for BOTH routings the per-link flow
+        # accounting and the fluid slowdown stay within the static
+        # certificates the analyzer reported
+        for routing in isolation.ROUTINGS:
+            m = isolation.measure(topo="n324", storage_per_leaf=2,
+                                  routing=routing, max_stages=8,
+                                  message_kb=16)
+            for name, worst in m["dynamic_worst"].items():
+                assert worst <= m["static_worst"][name], (routing, name)
+            assert m["dynamic_combined"] <= m["max_combined_load"], routing
+            assert m["dynamic_within_static"], routing
+            assert m["slowdown"] <= m["max_combined_load"] + 0.05, routing
+
+    def test_typeaware_isolates_where_dmodk_contends(self):
+        ta = isolation.measure(topo="n324", storage_per_leaf=2,
+                               routing="typeaware", max_stages=8,
+                               message_kb=16)
+        dm = isolation.measure(topo="n324", storage_per_leaf=2,
+                               routing="dmodk", max_stages=8,
+                               message_kb=16)
+        assert max(ta["static_worst"].values()) == 1
+        assert max(dm["static_worst"].values()) > 1
+        # the dynamics agree: the contended class pays solo bandwidth
+        assert min(dm["solo_normbw"].values()) < min(ta["solo_normbw"].values())
+
+    def test_packet_spot_check_runs(self):
+        m = isolation.measure(topo="n324", storage_per_leaf=2,
+                              routing="typeaware", max_stages=4,
+                              message_kb=16, packet_stages=2)
+        assert m["packet_normbw"] is not None and m["packet_normbw"] > 0
+
+    def test_report_renders_verdict(self):
+        out = isolation.run(topo="n324", storage_per_leaf=2, max_stages=4,
+                            message_kb=16, packet_stages=0)
+        assert "dynamics never exceed the static certificates" in out
+        assert "typeaware" in out and "dmodk" in out
+
+
 class TestCli:
     def test_registry_complete(self):
         assert set(EXPERIMENTS) == {
             "fig1", "fig2", "fig3", "table1", "table3",
             "ring-adversarial", "contention-free", "ablation", "multijob",
             "failures", "degradation", "latency", "generations", "chaos",
+            "isolation",
         }
 
     def test_list(self, capsys):

@@ -108,3 +108,65 @@ class TestCongestionProperties:
         cps = hierarchical_recursive_doubling(spec)
         rep = sequence_hsd(tables, cps, slots)
         assert rep.congestion_free
+
+
+class TestTypedJobs:
+    def test_node_type_defaults_and_tagging(self, alloc):
+        a = alloc.allocate(6)
+        b = alloc.allocate(6, node_type="storage")
+        assert a.node_type == "compute"
+        assert b.node_type == "storage"
+        assert "storage" in repr(b)
+
+    def test_job_active_alias(self, alloc):
+        job = alloc.allocate(6, node_type="storage")
+        assert np.array_equal(job.active, job.active_ports)
+
+    def test_allocator_active_ports_union(self, alloc):
+        a = alloc.allocate(6)
+        b = alloc.allocate(6, node_type="storage")
+        merged = alloc.active_ports()
+        assert np.array_equal(
+            merged, np.unique(np.concatenate([a.active_ports,
+                                              b.active_ports])))
+        alloc.release(a)
+        assert np.array_equal(alloc.active_ports(), b.active_ports)
+
+    def test_empty_allocator_active_ports(self, alloc):
+        assert len(alloc.active_ports()) == 0
+
+    def test_node_type_map_classes(self, spec, alloc):
+        a = alloc.allocate(6)
+        b = alloc.allocate(12, node_type="storage")
+        types = alloc.node_type_map()
+        # granted units carry their job's class, the rest is idle
+        assert set(types.type_names) >= {"compute", "storage", "idle"}
+        for job, name in ((a, "compute"), (b, "storage")):
+            idx = types.type_names.index(name)
+            assert np.array_equal(np.flatnonzero(types.type_of == idx),
+                                  job.active_ports)
+        n_idle = spec.num_endports - len(a.active_ports) - len(b.active_ports)
+        idle_idx = types.type_names.index("idle")
+        assert int((types.type_of == idle_idx).sum()) == n_idle
+
+    def test_node_type_map_merges_same_class_jobs(self, alloc):
+        a = alloc.allocate(6, node_type="storage")
+        b = alloc.allocate(6, node_type="storage")
+        types = alloc.node_type_map()
+        idx = types.type_names.index("storage")
+        assert int((types.type_of == idx).sum()) == (len(a.active_ports)
+                                                    + len(b.active_ports))
+
+    def test_typed_jobs_route_typeaware_cleanly(self, spec, alloc):
+        # unit-granular typed jobs: type-aware routing keeps every
+        # job's shift collective contention-free
+        from repro.routing import route_typeaware
+
+        a = alloc.allocate(18)
+        b = alloc.allocate(12, node_type="storage")
+        fab = build_fabric(spec)
+        fab.node_types = alloc.node_type_map()
+        tables = route_typeaware(fab, active=alloc.active_ports())
+        for job in (a, b):
+            rep = sequence_hsd(tables, shift(job.num_ranks), job.placement)
+            assert rep.congestion_free

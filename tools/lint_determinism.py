@@ -39,7 +39,8 @@ from pathlib import Path
 
 DEFAULT_PATHS = ("src/repro/routing", "src/repro/runtime",
                  "src/repro/check", "src/repro/collectives",
-                 "src/repro/faults", "src/repro/mpi")
+                 "src/repro/faults", "src/repro/mpi",
+                 "src/repro/jobs", "src/repro/fabric")
 
 #: dict-view methods whose iteration order mirrors insertion order of a
 #: dict -- fine for literals, unordered when the dict was built from an
