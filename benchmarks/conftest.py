@@ -15,6 +15,7 @@ terminal output.
 
 import json
 import subprocess
+import warnings
 from collections import defaultdict
 from pathlib import Path
 
@@ -25,6 +26,7 @@ from repro.routing import route_dmodk
 from repro.topology import paper_topologies
 
 ARTIFACT_DIR = Path(__file__).resolve().parent / "artifacts"
+BENCH_DIR = Path(__file__).resolve().parent
 
 
 def _git_sha() -> str | None:
@@ -37,6 +39,57 @@ def _git_sha() -> str | None:
         return out.stdout.strip() or None
     except OSError:
         return None
+
+
+def _is_ancestor_of_head(sha: str) -> bool | None:
+    """Whether ``sha`` is an ancestor of HEAD (None: cannot tell)."""
+    try:
+        out = subprocess.run(
+            ["git", "merge-base", "--is-ancestor", sha, "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=Path(__file__).resolve().parent,
+        )
+    except OSError:
+        return None
+    if out.returncode == 0:
+        return True
+    # 1 = not an ancestor; anything else (128: unknown sha, no git)
+    # means the question is unanswerable.
+    return False if out.returncode == 1 else None
+
+
+def pytest_sessionstart(session):
+    """Flag artifacts that no longer describe this tree.
+
+    A ``BENCH_<module>.json`` is stale when its ``git_sha`` is not an
+    ancestor of HEAD (it measured a sibling branch, or a rebase threw
+    its commit away) or when no ``bench_<module>.py`` exists anymore
+    (the artifact survived its benchmark).  Either way the numbers
+    cannot be attributed to any commit in this history -- warn, so the
+    fix (rerun or delete) is one ``--benchmark-only`` away.
+    """
+    if not ARTIFACT_DIR.is_dir():
+        return
+    for path in sorted(ARTIFACT_DIR.glob("BENCH_*.json")):
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            warnings.warn(f"benchmark artifact {path.name} is unreadable",
+                          stacklevel=1)
+            continue
+        module = doc.get("module") or path.stem.removeprefix("BENCH_")
+        if not (BENCH_DIR / f"bench_{module}.py").is_file():
+            warnings.warn(
+                f"benchmark artifact {path.name} has no matching "
+                f"bench_{module}.py -- delete it or restore the bench",
+                stacklevel=1)
+        sha = doc.get("git_sha")
+        if sha and _is_ancestor_of_head(sha) is False:
+            warnings.warn(
+                f"benchmark artifact {path.name} was produced at "
+                f"{sha[:12]}, which is not an ancestor of HEAD -- "
+                f"rerun the benchmark to refresh it",
+                stacklevel=1)
 
 
 def pytest_sessionfinish(session, exitstatus):

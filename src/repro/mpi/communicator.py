@@ -217,11 +217,16 @@ class Communicator:
         # FaultMetrics of the most recent collective priced under a
         # fault schedule (None before any, or when faults is None).
         self.last_faults: FaultMetrics | None = None
+        # Stage ledger of the most recent priced collective, kept so
+        # batched frontends can replay the exact (src, dst, nbytes)
+        # stages without re-deriving the algorithm's schedule.
+        self.last_stages: list[list[tuple[int, int, float]]] | None = None
 
     # ------------------------------------------------------------------
     def _price(self, ledger: _StageLedger) -> float:
         """Simulated time of the staged schedule (barrier-synchronous,
         matching blocking MPI collectives)."""
+        self.last_stages = [list(stage) for stage in ledger.stages]
         if not self.simulate:
             return 0.0
         if self.faults is not None:

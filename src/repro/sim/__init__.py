@@ -7,6 +7,17 @@ from .calibration import (
     QDR_PCIE_GEN2,
     LinkCalibration,
 )
+from .batch import (
+    INHERIT,
+    BatchElement,
+    BatchResult,
+    BatchSpec,
+    BatchStats,
+    ScenarioSpec,
+    cps_workload_arrays,
+    ordering_batch,
+    run_batch,
+)
 from .events import EventQueue, SimulationError
 from .fluid import FluidResult, FluidSimulator, MessageRecord
 from .metrics import (
@@ -29,9 +40,15 @@ from .workload import (
 )
 
 __all__ = [
+    "BatchElement",
+    "BatchResult",
+    "BatchSpec",
+    "BatchStats",
     "DDR_PCIE_GEN1",
     "EDR_PCIE_GEN3",
     "EventQueue",
+    "INHERIT",
+    "ScenarioSpec",
     "FluidResult",
     "FluidSimulator",
     "LinkCalibration",
@@ -43,13 +60,16 @@ __all__ = [
     "SimulationError",
     "bandwidth_lower_bound",
     "cps_workload",
+    "cps_workload_arrays",
     "delivered_fraction",
     "efficiency",
     "goodput_timeline",
     "ideal_sequence_time",
     "link_byte_loads",
     "merge_sequences",
+    "ordering_batch",
     "permutation_workload",
+    "run_batch",
     "shard_workload",
     "utilization_report",
     "uniform_random_workload",

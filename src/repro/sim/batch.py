@@ -1,0 +1,961 @@
+"""Tensorized mega-batch packet engine: many scenarios, one NumPy program.
+
+The vectorized engine (:mod:`repro.sim.packet_vector`) advances one
+scenario's wave calendar over flat ``(message x hop)`` arrays.  Every
+recurrence in :func:`~repro.sim.packet_vector._advance_wave` updates a
+row using only that row's state -- rows never interact -- so a *batch*
+axis folds straight into the row axis: the k-th messages of every port
+of every scenario form one mega-wave, and thousands of (fault schedule,
+ordering, placement, credit regime) variants advance as a single NumPy
+program.  Per-scenario Python overhead -- workload flattening, record
+objects, result finalisation, and above all the
+:class:`~repro.faults.controller.HealingController` repair
+precomputation -- is paid once per batch (or never: repairs are only
+computed for elements that actually need the event core).
+
+Soundness is per element, exactly as in the unbatched engine:
+
+* **conflicts** -- a conservative per-``(element, link)`` screen runs
+  inside the wave loop (same-wave link sharing, or an interval starting
+  before the latest earlier-wave exit on that link); screened-clean
+  elements provably have pairwise-disjoint occupancy intervals, and
+  flagged elements get the exact per-element scan.  Only elements whose
+  exact scan finds an overlap are demoted;
+* **faults** -- per element, the unbatched fault-plane checks run
+  verbatim: a live repair before the element's last delivery, or a
+  fault window intersecting the element's occupancy (a cheap
+  min-enter/max-exit envelope prunes schedules that cannot intersect),
+  demotes that element only.  When ``sweep_delay`` is given instead of
+  a prebuilt controller, the earliest-swap time is computed from
+  schedule algebra alone -- the controller (and its repair BFS) is
+  built lazily, only for demoted elements;
+* **demotion** -- a demoted element reruns through
+  ``PacketSimulator(engine="vector")`` unbatched, which itself falls
+  back to the event-driven core when needed, so every element's result
+  is bit-identical to the one-scenario-at-a-time path, fast or not.
+
+Results are lazy: :class:`BatchElement` holds array slices and computes
+``makespan``/``latencies`` vectorized; the full
+:class:`~repro.sim.packet.PacketResult` (with per-message record
+objects) is materialised only on demand through the same
+``_finalize`` code path the unbatched engine uses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from ..fabric.lft import ForwardingTables
+from .calibration import QDR_PCIE_GEN2, LinkCalibration
+from .events import SimulationError
+from .fluid import MessageRecord
+from .packet import PacketEngineStats, PacketResult, PacketSimulator
+from .packet_vector import CONFLICT_MARGIN, _advance_wave
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..collectives.cps import CPS
+    from ..faults.controller import HealingController
+    from ..faults.schedule import FaultSchedule
+
+__all__ = [
+    "INHERIT",
+    "BatchElement",
+    "BatchResult",
+    "BatchSpec",
+    "BatchStats",
+    "ScenarioSpec",
+    "cps_workload_arrays",
+    "ordering_batch",
+    "run_batch",
+]
+
+
+class _Inherit:
+    """Sentinel: a per-element knob deferring to the batch default."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "INHERIT"
+
+
+INHERIT = _Inherit()
+
+
+@dataclass
+class ScenarioSpec:
+    """One batch element: a workload plus its fault/credit environment.
+
+    The workload is either ``sequences`` (the per-port ``(dst, size)``
+    lists every simulator consumes) or the struct-of-arrays form
+    ``dst``/``size`` of shape ``(N, K)`` with per-port message counts
+    ``nmsg`` -- row ``(p, k)`` is port ``p``'s ``k``-th message.  The
+    array form skips all per-element Python flattening and is what
+    :func:`ordering_batch` builds for whole placement grids at once.
+
+    ``sweep_delay`` requests self-healing semantics without paying for
+    the repair timeline up front: the batch engine derives the
+    earliest-swap time from the schedule alone and only constructs the
+    :class:`~repro.faults.controller.HealingController` (identical to
+    ``HealingController(tables, faults, sweep_delay, strategy)``) if
+    the element is demoted to the event core.  Pass ``healing`` to
+    reuse a prebuilt controller instead.
+    """
+
+    sequences: list[list[tuple[int, float]]] | None = None
+    dst: np.ndarray | None = None
+    size: np.ndarray | None = None
+    nmsg: np.ndarray | None = None
+    faults: "FaultSchedule | None" = None
+    healing: "HealingController | None" = None
+    sweep_delay: float | None = None
+    repair_strategy: str = "naive"
+    credit_limit: int | None | _Inherit = INHERIT
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        has_arrays = self.dst is not None
+        if has_arrays != (self.nmsg is not None) or \
+                has_arrays != (self.size is not None):
+            raise ValueError(
+                "array-form workload needs all of dst/size/nmsg")
+        if (self.sequences is None) == (not has_arrays):
+            raise ValueError(
+                "exactly one of sequences or dst/size/nmsg is required")
+        if self.healing is not None and self.sweep_delay is not None:
+            raise ValueError("healing and sweep_delay are exclusive")
+        if (self.healing is not None or self.sweep_delay is not None) \
+                and self.faults is None:
+            raise ValueError("healing/sweep_delay given without faults")
+
+    @classmethod
+    def from_sequences(cls, sequences, **kw) -> "ScenarioSpec":
+        return cls(sequences=sequences, **kw)
+
+    @classmethod
+    def from_arrays(cls, dst, size, nmsg, **kw) -> "ScenarioSpec":
+        return cls(dst=np.asarray(dst, dtype=np.int64),
+                   size=np.asarray(size, dtype=np.float64),
+                   nmsg=np.asarray(nmsg, dtype=np.int64), **kw)
+
+    def materialize_sequences(
+        self, num_endports: int
+    ) -> list[list[tuple[int, float]]]:
+        """The list-of-lists workload (built from arrays on demand)."""
+        if self.sequences is not None:
+            return self.sequences
+        seqs: list[list[tuple[int, float]]] = []
+        for p in range(num_endports):
+            n = int(self.nmsg[p])
+            seqs.append([(int(self.dst[p, k]), float(self.size[p, k]))
+                         for k in range(n)])
+        return seqs
+
+
+@dataclass
+class BatchSpec:
+    """A mega-batch: shared tables/calibration, per-element scenarios."""
+
+    tables: ForwardingTables
+    elements: list[ScenarioSpec]
+    calibration: LinkCalibration = QDR_PCIE_GEN2
+    credit_limit: int | None = None
+    max_events: int = 5_000_000
+
+    def resolved_credit(self, i: int) -> int | None:
+        cl = self.elements[i].credit_limit
+        return self.credit_limit if isinstance(cl, _Inherit) else cl
+
+
+@dataclass
+class BatchStats:
+    """How a batch run was executed."""
+
+    total: int = 0
+    fast_path: int = 0
+    fallback_route: int = 0
+    fallback_budget: int = 0
+    fallback_conflict: int = 0
+    fallback_fault: int = 0
+    errors: int = 0
+    events_saved: int = 0
+
+    @property
+    def fallback(self) -> int:
+        return (self.fallback_route + self.fallback_budget
+                + self.fallback_conflict + self.fallback_fault)
+
+
+class BatchElement:
+    """Lazy per-element result: array metrics now, records on demand."""
+
+    def __init__(self, index: int, spec: BatchSpec):
+        self.index = index
+        self.label = spec.elements[index].label
+        self._spec = spec
+        #: "fast" | "fallback" | "error"
+        self.status = "fast"
+        #: demotion detail: "" | "route" | "budget" | "conflict" | "fault"
+        self.reason = ""
+        self._result: PacketResult | None = None
+        self._error: SimulationError | None = None
+        # fast-path payload (overwritten by run_batch for non-empty
+        # elements; the defaults are the correct empty-workload answer)
+        z = np.zeros(0, dtype=np.int64)
+        zf = np.zeros(0, dtype=np.float64)
+        self._src = z
+        self._dst = z
+        self._size = zf
+        self._start = zf
+        self._inject = zf
+        self._finish = zf
+        self._occ: tuple[np.ndarray, np.ndarray, np.ndarray] | None = \
+            (z, zf, zf)
+        self._makespan = 0.0
+        self._n_real = 0
+        self._packets = 0
+        self._events_saved = 0
+
+    # -- vectorized metrics (no record objects) ------------------------
+    @property
+    def makespan(self) -> float:
+        if self._result is not None:
+            return self._result.makespan
+        if self._error is not None:
+            return math.nan
+        return self._makespan
+
+    @property
+    def latencies(self) -> np.ndarray:
+        if self._result is not None:
+            return self._result.latencies
+        if self._error is not None:
+            return np.empty(0)
+        real = (self._src != self._dst) & (self._size > 0)
+        return (self._finish - self._start)[real]
+
+    def occupancy(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Fast-path link-occupancy intervals ``(links, enter, exit)``.
+
+        Only available for fast-path elements (the unbatched engine
+        discards them); frontends use these to reason about fault
+        windows without re-simulating.
+        """
+        if self._occ is None:
+            raise ValueError(
+                f"element {self.index} has no analytic occupancy "
+                f"(status={self.status})")
+        return self._occ
+
+    # -- full result ----------------------------------------------------
+    def packet_result(self) -> PacketResult:
+        """The exact :class:`PacketResult` of the unbatched engine.
+
+        Fast-path elements materialise records through the same
+        ``_finalize`` the unbatched engine uses; demoted elements
+        return their stored fallback result; elements whose unbatched
+        run would have raised re-raise the same error here.
+        """
+        if self._error is not None:
+            raise self._error
+        if self._result is not None:
+            return self._result
+        spec = self._spec
+        seqs = spec.elements[self.index].materialize_sequences(
+            spec.tables.fabric.num_endports)
+        records = [
+            MessageRecord(int(self._src[m]), int(self._dst[m]),
+                          float(self._size[m]), float(self._start[m]),
+                          float(self._inject[m]), float(self._finish[m]))
+            for m in range(len(self._src))
+        ]
+        stats = PacketEngineStats(
+            engine="vector", fast_path=True, fallback=False, conflicts=0,
+            messages=self._n_real, packets=self._packets,
+            events_saved=self._events_saved)
+        sim = PacketSimulator(spec.tables, spec.calibration,
+                              credit_limit=spec.resolved_credit(self.index),
+                              max_events=spec.max_events)
+        self._result = sim._finalize(records, seqs, stats)
+        return self._result
+
+
+@dataclass
+class BatchResult:
+    """Outcome of :func:`run_batch`."""
+
+    elements: list[BatchElement]
+    stats: BatchStats
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    def __getitem__(self, i: int) -> BatchElement:
+        return self.elements[i]
+
+    def makespans(self) -> np.ndarray:
+        return np.asarray([e.makespan for e in self.elements])
+
+    def statuses(self) -> list[str]:
+        return [e.status for e in self.elements]
+
+    def packet_result(self, i: int) -> PacketResult:
+        return self.elements[i].packet_result()
+
+
+# ----------------------------------------------------------------------
+# route walk with per-row anomaly masks
+# ----------------------------------------------------------------------
+
+def _route_matrix_masked(
+    tables: ForwardingTables, src: np.ndarray, dst: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Like :func:`packet_vector._route_matrix` but per-row: anomalous
+    rows (dead cable, unrouted destination, loop) are flagged in
+    ``bad`` instead of failing the whole walk, so only the owning batch
+    elements are demoted."""
+    fab = tables.fabric
+    R = len(src)
+    max_links = 2 * int(fab.node_level.max()) + 2
+    links = np.full((R, max_links), -1, dtype=np.int64)
+    length = np.ones(R, dtype=np.int64)
+    bad = np.zeros(R, dtype=bool)
+    if R == 0:
+        return links, length, bad
+    gp0 = fab.port_start[src].astype(np.int64)
+    links[:, 0] = gp0
+    cur = fab.peer_node[gp0].astype(np.int64)
+    bad |= cur < 0
+    active = np.flatnonzero(~bad & (cur != dst))
+    for h in range(1, max_links):
+        if len(active) == 0:
+            return links, length, bad
+        gp = np.asarray(tables.out_port(cur[active], dst[active]),
+                        dtype=np.int64)
+        dead = gp < 0
+        if dead.any():
+            bad[active[dead]] = True
+            active = active[~dead]
+            gp = gp[~dead]
+        links[active, h] = gp
+        length[active] += 1
+        nxt = fab.peer_node[gp].astype(np.int64)
+        dead = nxt < 0
+        if dead.any():
+            bad[active[dead]] = True
+            active = active[~dead]
+            nxt = nxt[~dead]
+        cur[active] = nxt
+        active = active[cur[active] != dst[active]]
+    bad[active] = True  # routing loop: let the reference engine diagnose
+    return links, length, bad
+
+
+def _element_has_conflict(la: np.ndarray, ea: np.ndarray,
+                          xa: np.ndarray) -> bool:
+    """Exact single-element scan: the unbatched engine's lexsorted
+    adjacent-overlap test (its ``conflicts > 0`` decision is exactly
+    'some pair of same-link intervals overlaps', which adjacency in
+    (link, enter) order detects iff it exists)."""
+    order = np.lexsort((ea, la))
+    ls, es, xs = la[order], ea[order], xa[order]
+    overlap = (ls[1:] == ls[:-1]) & (es[1:] < xs[:-1] + CONFLICT_MARGIN)
+    return bool(overlap.any())
+
+
+def _earliest_swap(el: ScenarioSpec) -> float:
+    """``HealingController.earliest_swap()`` without the controller.
+
+    The controller keys one sweep per distinct ``event.time +
+    sweep_delay`` and reports the minimum -- pure schedule algebra, so
+    the lazy path computes the identical float without any repair
+    precomputation."""
+    if el.healing is not None:
+        return el.healing.earliest_swap()
+    if el.sweep_delay is None or el.faults is None:
+        return math.inf
+    events = el.faults.topology_events()
+    if not events:
+        return math.inf
+    return min(e.time + el.sweep_delay for e in events)
+
+
+def _lazy_healing(tables: ForwardingTables,
+                  el: ScenarioSpec) -> "HealingController | None":
+    if el.healing is not None:
+        return el.healing
+    if el.sweep_delay is None or el.faults is None:
+        return None
+    from ..faults.controller import HealingController
+
+    return HealingController(tables, el.faults,
+                             sweep_delay=el.sweep_delay,
+                             strategy=el.repair_strategy)
+
+
+# ----------------------------------------------------------------------
+# the batch engine
+# ----------------------------------------------------------------------
+
+@dataclass
+class _Flat:
+    """Flat struct-of-arrays for one credit group, rows contiguous per
+    element in original element order."""
+
+    elem: np.ndarray      # group-local element index per message row
+    src: np.ndarray
+    dst: np.ndarray
+    size: np.ndarray
+    wave: np.ndarray
+    real: np.ndarray
+    pieces: np.ndarray
+    last_size: np.ndarray
+    links: np.ndarray     # per real row
+    length: np.ndarray    # per real row
+
+    def compress(self, keep_elem: np.ndarray) -> "_Flat":
+        keep = keep_elem[self.elem]
+        real_idx = np.flatnonzero(self.real)
+        return _Flat(
+            elem=self.elem[keep], src=self.src[keep], dst=self.dst[keep],
+            size=self.size[keep], wave=self.wave[keep],
+            real=self.real[keep], pieces=self.pieces[keep],
+            last_size=self.last_size[keep],
+            links=self.links[keep[real_idx]],
+            length=self.length[keep[real_idx]],
+        )
+
+
+def _flatten_element(el: ScenarioSpec, num_endports: int
+                     ) -> tuple[np.ndarray, np.ndarray, np.ndarray,
+                                np.ndarray]:
+    """(src, dst, size, wave) rows of one element, in the exact
+    row-major (port, seq) order ``run_vectorized`` flattens to."""
+    if el.sequences is not None:
+        src_l: list[int] = []
+        dst_l: list[int] = []
+        size_l: list[float] = []
+        wave_l: list[int] = []
+        for p, seq in enumerate(el.sequences):
+            for k, (d, s) in enumerate(seq):
+                src_l.append(p)
+                dst_l.append(int(d))
+                size_l.append(float(s))
+                wave_l.append(k)
+        return (np.asarray(src_l, dtype=np.int64),
+                np.asarray(dst_l, dtype=np.int64),
+                np.asarray(size_l, dtype=np.float64),
+                np.asarray(wave_l, dtype=np.int64))
+    nmsg = el.nmsg
+    K = el.dst.shape[1] if el.dst.ndim == 2 else 0
+    if K == 0 or not nmsg.any():
+        z = np.zeros(0, dtype=np.int64)
+        return z, z, np.zeros(0), z
+    mask = np.arange(K, dtype=np.int64)[None, :] < nmsg[:, None]
+    p, k = np.nonzero(mask)  # row-major: port-major then seq -- matches
+    return (p.astype(np.int64), el.dst[p, k].astype(np.int64),
+            el.size[p, k].astype(np.float64), k.astype(np.int64))
+
+
+def run_batch(spec: BatchSpec) -> BatchResult:
+    """Advance every element of ``spec`` through the folded wave
+    calendar; demote only the elements whose analytic fast path is
+    unsound, each to its own unbatched (bit-identical) run."""
+    tables = spec.tables
+    fab = tables.fabric
+    N = fab.num_endports
+    B = len(spec.elements)
+    stats = BatchStats(total=B)
+    out = [BatchElement(i, spec) for i in range(B)]
+    if B == 0:
+        return BatchResult(elements=out, stats=stats)
+    for i, el in enumerate(spec.elements):
+        if el.sequences is not None and len(el.sequences) != N:
+            raise ValueError(
+                f"element {i}: need {N} sequences, got {len(el.sequences)}")
+        if el.dst is not None and el.dst.shape[0] != N:
+            raise ValueError(
+                f"element {i}: dst must have {N} rows, got {el.dst.shape}")
+
+    # Group by credit regime: the ring buffer shape is uniform per
+    # _advance_wave call.  Insertion-ordered, deterministic.
+    group_keys: list[int | None] = []
+    group_members: list[list[int]] = []
+    for i in range(B):
+        limit = spec.resolved_credit(i)
+        if limit is not None and limit < 1:
+            raise ValueError("credit_limit must be >= 1 (or None)")
+        try:
+            g = group_keys.index(limit)
+        except ValueError:
+            group_keys.append(limit)
+            group_members.append([])
+            g = len(group_keys) - 1
+        group_members[g].append(i)
+
+    caps_full = PacketSimulator(
+        tables, spec.calibration, max_events=spec.max_events
+    )._link_capacities()
+
+    for limit, members in zip(group_keys, group_members):
+        _run_group(spec, limit, members, caps_full, out, stats)
+
+    # Demoted elements: unbatched runs, in original element order.
+    for e in out:
+        if e.status != "fallback":
+            continue
+        el = spec.elements[e.index]
+        seqs = el.materialize_sequences(N)
+        sim = PacketSimulator(
+            tables, spec.calibration,
+            credit_limit=spec.resolved_credit(e.index),
+            max_events=spec.max_events, engine="vector",
+            faults=el.faults, healing=_lazy_healing(tables, el))
+        try:
+            e._result = sim.run_sequences(seqs)
+        except SimulationError as err:
+            e._error = err
+            e.status = "error"
+            stats.errors += 1
+    stats.fast_path = sum(1 for e in out if e.status == "fast")
+    stats.events_saved = sum(e._events_saved for e in out
+                             if e.status == "fast")
+    return BatchResult(elements=out, stats=stats)
+
+
+def _demote(e: BatchElement, reason: str, stats: BatchStats) -> None:
+    e.status = "fallback"
+    e.reason = reason
+    e._occ = None  # the event core does not expose analytic intervals
+    setattr(stats, f"fallback_{reason}",
+            getattr(stats, f"fallback_{reason}") + 1)
+
+
+#: Elements advanced per folded pass.  Chunking bounds peak memory (the
+#: credit ring is O(rows x hops x limit) floats) and keeps the
+#: per-(element, link) screen arrays cache-resident, so 100k-element
+#: batches scale linearly instead of thrashing.
+_CHUNK_ELEMS = 256
+
+
+def _run_group(spec: BatchSpec, limit: int | None, members: list[int],
+               caps_full: np.ndarray, out: list[BatchElement],
+               stats: BatchStats) -> None:
+    for c0 in range(0, len(members), _CHUNK_ELEMS):
+        _run_chunk(spec, limit, members[c0:c0 + _CHUNK_ELEMS],
+                   caps_full, out, stats)
+
+
+def _run_chunk(spec: BatchSpec, limit: int | None, members: list[int],
+               caps_full: np.ndarray, out: list[BatchElement],
+               stats: BatchStats) -> None:
+    tables = spec.tables
+    fab = spec.tables.fabric
+    N = fab.num_endports
+    P = fab.num_ports
+    cal = spec.calibration
+    mtu = float(cal.mtu)
+    Bg = len(members)
+
+    # -- flat build (rows contiguous per element) ----------------------
+    specs = [spec.elements[gi] for gi in members]
+    uniform_k = (all(el.dst is not None for el in specs)
+                 and len({el.dst.shape for el in specs}) == 1)
+    if uniform_k and specs[0].dst.shape[1] > 0:
+        # Grid case: every element is array-form with one (N, K) shape;
+        # flatten the whole chunk in one row-major nonzero (same
+        # element-major/port-major/seq row order as the per-element
+        # path).
+        dst3 = np.stack([el.dst for el in specs])
+        size3 = np.stack([el.size for el in specs])
+        nmsg2 = np.stack([el.nmsg for el in specs])
+        K = dst3.shape[2]
+        mask = np.arange(K, dtype=np.int64)[None, None, :] \
+            < nmsg2[:, :, None]
+        elem, src, wave = (a.astype(np.int64) for a in np.nonzero(mask))
+        dst = dst3[elem, src, wave].astype(np.int64)
+        size = size3[elem, src, wave].astype(np.float64)
+    else:
+        parts = [_flatten_element(el, N) for el in specs]
+        counts0 = np.asarray([len(p[0]) for p in parts], dtype=np.int64)
+        elem = np.repeat(np.arange(Bg, dtype=np.int64), counts0)
+        if len(elem) == 0:
+            return  # every element empty: all trivially fast
+        src = np.concatenate([p[0] for p in parts])
+        dst = np.concatenate([p[1] for p in parts])
+        size = np.concatenate([p[2] for p in parts])
+        wave = np.concatenate([p[3] for p in parts])
+    if len(elem) == 0:
+        return  # every element empty: all trivially fast
+    real = (src != dst) & (size > 0)
+
+    # Segmentation: identical element-wise formulas to run_vectorized.
+    full, rest = np.divmod(size, mtu)
+    pieces = full.astype(np.int64) + (rest > 1e-12)
+    pieces = np.maximum(pieces, 1)
+    last_size = np.where(rest > 1e-12, rest, np.where(full >= 1, mtu, size))
+
+    links, length, bad = _route_matrix_masked(tables, src[real], dst[real])
+    elem_ok = np.ones(Bg, dtype=bool)
+    if bad.any():
+        for g in np.unique(elem[real][bad]):
+            _demote(out[members[int(g)]], "route", stats)
+            elem_ok[int(g)] = False
+
+    # Event budget, per element (mirrors the pre-wave check; elements
+    # already demoted for routing never reach it unbatched either).
+    ev_rows = (pieces[real] * length).astype(np.float64)
+    ev_per_elem = np.bincount(elem[real], weights=ev_rows, minlength=Bg)
+    over = elem_ok & (ev_per_elem > spec.max_events)
+    if over.any():
+        for g in np.flatnonzero(over):
+            _demote(out[members[int(g)]], "budget", stats)
+            elem_ok[int(g)] = False
+
+    flat = _Flat(elem=elem, src=src, dst=dst, size=size, wave=wave,
+                 real=real, pieces=pieces, last_size=last_size,
+                 links=links, length=length)
+    if not elem_ok.all():
+        flat = flat.compress(elem_ok)
+    if len(flat.elem) == 0:
+        return
+
+    M = len(flat.elem)
+
+    # Wave-major layout: one stable (radix) sort brings every wave's
+    # rows into a contiguous slice, so the hot loop advances views
+    # instead of paying a fancy-index copy of links/caps per wave.
+    # Stability keeps rows element-major inside each wave.
+    perm = np.argsort(flat.wave, kind="stable")
+    wsrc = flat.src[perm]
+    welem = flat.elem[perm]
+    wreal = flat.real[perm]
+    wpieces = flat.pieces[perm]
+    wlast = flat.last_size[perm]
+    wwave = flat.wave[perm]
+    # Route rows, re-gathered into wave-major real-row order.
+    real_row_em = np.cumsum(flat.real) - 1
+    row_map = real_row_em[perm[np.flatnonzero(wreal)]]
+    wlinks = flat.links[row_map]
+    wlength = flat.length[row_map]
+    wcaps = np.where(wlinks >= 0,
+                     caps_full[np.where(wlinks >= 0, wlinks, 0)], 1.0)
+    wreal_row = np.cumsum(wreal) - 1
+
+    n_waves = int(flat.wave.max()) + 1
+    wb = np.searchsorted(wwave, np.arange(n_waves + 1, dtype=np.int64))
+
+    wstart = np.zeros(M)
+    winject = np.zeros(M)
+    wfinish = np.zeros(M)
+    t_port = np.zeros(Bg * N)
+    wfold = welem * N + wsrc  # folded (element, port) axis
+
+    # Per-(element, link) occupancy summaries for the conflict screen
+    # and the fault-window prefilter.
+    maxx = np.full(Bg * P, -np.inf)
+    minn = np.full(Bg * P, np.inf)
+    dup_flag = np.zeros(Bg, dtype=bool)    # same-wave link sharing
+    cross_flag = np.zeros(Bg, dtype=bool)  # cross-wave proximity
+
+    int_elem: list[np.ndarray] = []
+    int_link: list[np.ndarray] = []
+    int_enter: list[np.ndarray] = []
+    int_exit: list[np.ndarray] = []
+
+    for w in range(n_waves):
+        lo, hi = int(wb[w]), int(wb[w + 1])
+        if lo == hi:
+            continue
+        fw = wfold[lo:hi]
+        st = t_port[fw]
+        wstart[lo:hi] = st
+        emp = ~wreal[lo:hi]
+        if emp.any():
+            t0 = st[emp] + cal.host_overhead
+            vi = winject[lo:hi]
+            vf = wfinish[lo:hi]
+            vi[emp] = t0
+            vf[emp] = t0
+            t_port[fw[emp]] = t0
+            live = ~emp
+            if not live.any():
+                continue
+            rows = wreal_row[lo:hi][live]
+            f0 = st[live] + cal.host_overhead
+            lw = wlinks[rows]
+            lenw = wlength[rows]
+            cw = wcaps[rows]
+            pw = wpieces[lo:hi][live]
+            lsw = wlast[lo:hi][live]
+            el_live = welem[lo:hi][live]
+            inj, fin, tails, enter, exit_ = _advance_wave(
+                cal, limit, f0, lw, lenw, cw, pw, lsw)
+            vi[live] = inj
+            vf[live] = fin
+            t_port[fw[live]] = tails
+        else:
+            # Dense wave (the grid case): every slice is a view.
+            r0 = int(wreal_row[lo])
+            r1 = r0 + (hi - lo)
+            lw = wlinks[r0:r1]
+            lenw = wlength[r0:r1]
+            cw = wcaps[r0:r1]
+            el_live = welem[lo:hi]
+            f0 = st + cal.host_overhead
+            inj, fin, tails, enter, exit_ = _advance_wave(
+                cal, limit, f0, lw, lenw, cw,
+                wpieces[lo:hi], wlast[lo:hi])
+            winject[lo:hi] = inj
+            wfinish[lo:hi] = fin
+            t_port[fw] = tails
+
+        H = enter.shape[1]
+        used = np.arange(H, dtype=np.int64)[None, :] < lenw[:, None]
+        ilink = lw[:, :H][used]
+        ienter = enter[used]
+        iexit = exit_[used]
+        ielem = np.repeat(el_live, lenw)
+        int_elem.append(ielem)
+        int_link.append(ilink)
+        int_enter.append(ienter)
+        int_exit.append(iexit)
+
+        # Conservative conflict screen.  (a) two same-wave messages on
+        # one (element, link); (b) an interval starting before the
+        # latest earlier-wave exit on its (element, link).  Clean means
+        # provably pairwise-disjoint; flagged gets the exact scan.
+        keys = ielem * P + ilink
+        kcount = np.bincount(keys, minlength=Bg * P)
+        dups = kcount[keys] > 1
+        if dups.any():
+            dup_flag[ielem[dups]] = True
+        prev = maxx[keys]
+        near = ienter < prev + CONFLICT_MARGIN
+        if near.any():
+            cross_flag[ielem[near]] = True
+        # Last-write-wins on duplicate keys is fine: only dup-flagged
+        # elements can collide, and they bypass these summaries.
+        maxx[keys] = np.maximum(prev, iexit)
+        minn[keys] = np.minimum(minn[keys], ienter)
+
+    # Back to element-major for per-element result slices.
+    start = np.empty(M)
+    inject = np.empty(M)
+    finish = np.empty(M)
+    start[perm] = wstart
+    inject[perm] = winject
+    finish[perm] = wfinish
+
+    la = np.concatenate(int_link) if int_link else np.zeros(0, np.int64)
+    ea = np.concatenate(int_enter) if int_enter else np.zeros(0)
+    xa = np.concatenate(int_exit) if int_exit else np.zeros(0)
+    ie = np.concatenate(int_elem) if int_elem else np.zeros(0, np.int64)
+    # Element-major interval views: stable (radix) sort by element once,
+    # then every per-element extraction below is a contiguous slice
+    # instead of a full-array mask per element.
+    iorder = np.argsort(ie, kind="stable")
+    la_s = la[iorder]
+    ea_s = ea[iorder]
+    xa_s = xa[iorder]
+    ibounds = np.searchsorted(ie[iorder], np.arange(Bg + 1))
+
+    # Per-element bookkeeping for results.
+    counts = np.bincount(flat.elem, minlength=Bg)
+    offsets = np.zeros(Bg + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    makespan = np.zeros(Bg)
+    nz = counts > 0
+    if nz.any():
+        makespan[nz] = np.maximum.reduceat(finish, offsets[:-1][nz])
+    n_real = np.bincount(flat.elem[flat.real], minlength=Bg)
+    packets = np.bincount(flat.elem[flat.real],
+                          weights=flat.pieces[flat.real].astype(np.float64),
+                          minlength=Bg)
+    has_ivals = np.bincount(ie, minlength=Bg) > 0
+    # The reference engine's arrival-event count (pieces x hops) every
+    # fast element avoids, on the compressed arrays.
+    ev_saved = np.bincount(flat.elem[flat.real],
+                           weights=(flat.pieces[flat.real]
+                                    * flat.length).astype(np.float64),
+                           minlength=Bg)
+
+    # -- exact per-element conflict verdicts for screened elements -----
+    flagged = dup_flag | cross_flag
+    windows_cache: dict[int, list[tuple[int, int, float, float]]] = {}
+    for g in range(Bg):
+        e = out[members[g]]
+        if e.status != "fast":
+            continue
+        i0, i1 = int(ibounds[g]), int(ibounds[g + 1])
+        if flagged[g]:
+            if _element_has_conflict(la_s[i0:i1], ea_s[i0:i1],
+                                     xa_s[i0:i1]):
+                _demote(e, "conflict", stats)
+                continue
+        el = spec.elements[members[g]]
+        faults = el.faults
+        if faults is not None and not faults.is_empty() and has_ivals[g]:
+            if _earliest_swap(el) < makespan[g] + CONFLICT_MARGIN:
+                _demote(e, "fault", stats)
+                continue
+            key = id(faults)
+            if key not in windows_cache:
+                wins = [(a, b, s, t)
+                        for a, b, s, t in faults.down_intervals(fab)]
+                wins += [(a, b, s, t) for a, b, s, t, _
+                         in faults.flaky_intervals(fab)]
+                windows_cache[key] = wins
+            # Envelope prune: a window that ends before every enter or
+            # starts after every exit on both cable ends cannot
+            # intersect.  Dup-flagged summaries may be stale -- those
+            # elements take the exact check unconditionally.
+            may_hit = dup_flag[g]
+            if not may_hit:
+                base = g * P
+                for a, b, s, t in windows_cache[key]:
+                    for gp in (a, b):
+                        if minn[base + gp] < t + CONFLICT_MARGIN \
+                                and maxx[base + gp] > s - CONFLICT_MARGIN:
+                            may_hit = True
+                            break
+                    if may_hit:
+                        break
+            if may_hit:
+                if faults.overlaps_occupancy(fab, la_s[i0:i1],
+                                             ea_s[i0:i1], xa_s[i0:i1],
+                                             margin=CONFLICT_MARGIN):
+                    _demote(e, "fault", stats)
+                    continue
+
+        # Fast element: attach the lazy payload.
+        lo, hi = int(offsets[g]), int(offsets[g + 1])
+        e._src = flat.src[lo:hi]
+        e._dst = flat.dst[lo:hi]
+        e._size = flat.size[lo:hi]
+        e._start = start[lo:hi]
+        e._inject = inject[lo:hi]
+        e._finish = finish[lo:hi]
+        e._makespan = float(makespan[g])
+        e._n_real = int(n_real[g])
+        e._packets = int(packets[g])
+        e._events_saved = int(ev_saved[g])
+        e._occ = (la_s[i0:i1], ea_s[i0:i1], xa_s[i0:i1])
+
+
+# ----------------------------------------------------------------------
+# grid builders
+# ----------------------------------------------------------------------
+
+def cps_workload_arrays(
+    cps: "CPS",
+    placements: np.ndarray,
+    num_endports: int,
+    message_size: float | list[float],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Array-form :func:`~repro.sim.workload.cps_workload` for a whole
+    placement grid: ``(dst, size, nmsg)`` of shapes ``(B, N, K)`` /
+    ``(B, N, K)`` / ``(B, N)``, row ``(t, p, k)`` equal to
+    ``cps_workload(cps, placements[t], N, message_size)[p][k]``.
+
+    Raises :class:`ValueError` for CPS stages where one rank sends more
+    than once (none of the paper's collectives do) -- callers fall back
+    to per-element ``cps_workload`` there.
+    """
+    from ..collectives.schedule import stage_flows_batch
+
+    placements = np.asarray(placements, dtype=np.int64)
+    if placements.ndim == 1:
+        placements = placements[None, :]
+    B = placements.shape[0]
+    N = num_endports
+    if isinstance(message_size, (int, float)):
+        sizes = [float(message_size)] * len(cps)
+    else:
+        sizes = [float(s) for s in message_size]
+        if len(sizes) != len(cps):
+            raise ValueError(f"{len(sizes)} sizes for {len(cps)} stages")
+
+    count = np.zeros((B, N), dtype=np.int64)
+    entries = []
+    for s_i, st in enumerate(cps):
+        s_src, s_dst, order = stage_flows_batch(st, placements)
+        if len(s_src) == 0:
+            continue
+        keys = order * N + s_src
+        if (np.bincount(keys, minlength=B * N) > 1).any():
+            raise ValueError(
+                f"stage {s_i}: a port sends more than one message; "
+                "use per-element sequences")
+        k = count[order, s_src]
+        entries.append((order, s_src, k, s_dst, sizes[s_i]))
+        count[order, s_src] = k + 1
+    K = int(count.max()) if entries else 0
+    dst3 = np.zeros((B, N, K), dtype=np.int64)
+    size3 = np.zeros((B, N, K), dtype=np.float64)
+    for order, s_src, k, s_dst, sz in entries:
+        dst3[order, s_src, k] = s_dst
+        size3[order, s_src, k] = sz
+    return dst3, size3, count
+
+
+def ordering_batch(
+    tables: ForwardingTables,
+    cps: "CPS",
+    placements: np.ndarray,
+    message_size: float | list[float],
+    *,
+    calibration: LinkCalibration = QDR_PCIE_GEN2,
+    credit_limit: int | None = None,
+    credit_limits: Any = None,
+    faults: Any = None,
+    sweep_delay: float | None = None,
+    max_events: int = 5_000_000,
+) -> BatchSpec:
+    """A :class:`BatchSpec` for a fig3-style (ordering x fault) grid.
+
+    ``placements`` is ``(B, L)`` (each row a rank-to-port vector);
+    ``faults`` is ``None``, one schedule shared by every element, or a
+    length-``B`` list; ``credit_limits`` optionally varies the credit
+    regime per element (overriding ``credit_limit``).
+    """
+    placements = np.asarray(placements, dtype=np.int64)
+    if placements.ndim == 1:
+        placements = placements[None, :]
+    B = placements.shape[0]
+    N = tables.fabric.num_endports
+
+    def _per_elem(v: Any, i: int) -> Any:
+        if v is None:
+            return None
+        if isinstance(v, (list, tuple)):
+            if len(v) != B:
+                raise ValueError(f"need {B} per-element values, got {len(v)}")
+            return v[i]
+        return v
+
+    elements: list[ScenarioSpec] = []
+    try:
+        dst3, size3, nmsg2 = cps_workload_arrays(
+            cps, placements, N, message_size)
+        for i in range(B):
+            cl = _per_elem(credit_limits, i)
+            elements.append(ScenarioSpec(
+                dst=dst3[i], size=size3[i], nmsg=nmsg2[i],
+                faults=_per_elem(faults, i), sweep_delay=sweep_delay,
+                credit_limit=INHERIT if cl is None else cl))
+    except ValueError:
+        from .workload import cps_workload
+
+        elements = []
+        for i in range(B):
+            cl = _per_elem(credit_limits, i)
+            elements.append(ScenarioSpec(
+                sequences=cps_workload(cps, placements[i], N, message_size),
+                faults=_per_elem(faults, i), sweep_delay=sweep_delay,
+                credit_limit=INHERIT if cl is None else cl))
+    return BatchSpec(tables=tables, elements=elements,
+                     calibration=calibration, credit_limit=credit_limit,
+                     max_events=max_events)

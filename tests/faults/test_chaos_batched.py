@@ -1,0 +1,90 @@
+"""Batched chaos campaigns: the analytic screen is exact.
+
+``chaos.run(batch=True)`` prices the collective's stage schedule once
+through the mega-batch engine, then resolves every scenario whose
+fault windows provably cannot touch the plan with pure interval
+algebra.  The contract: a screened-fast verdict is the *exact*
+:func:`chaos.run_scenario` tuple, and the campaign table is
+byte-identical to the unbatched run.
+"""
+
+from repro.experiments import chaos
+from repro.fabric import build_fabric
+from repro.faults import FaultSchedule
+from repro.routing import route_dmodk
+from repro.runtime import ParallelSweeper
+from repro.topology import paper_topologies
+
+ARGS = dict(topo="n16-pgft", horizon=300.0, sweep_delay=50.0,
+            words=64, max_retries=4)
+
+
+class TestScreenExactness:
+    def test_screened_tuples_match_run_scenario(self):
+        """Every fast verdict equals the per-scenario engine, float-exact."""
+        for collective in ("allreduce", "broadcast"):
+            plan = chaos._batched_plan(ARGS["topo"], collective,
+                                       ARGS["words"])
+            assert plan is not None
+            fast = 0
+            for seed in range(40):
+                mtbf = (500.0, 60.0)[seed % 2]
+                sched = FaultSchedule.random(plan.fab, seed=seed,
+                                             horizon=ARGS["horizon"],
+                                             mtbf=mtbf)
+                verdict = chaos._screen_scenario(plan, sched,
+                                                 ARGS["sweep_delay"])
+                if verdict is None:
+                    continue
+                fast += 1
+                ref = chaos.run_scenario(
+                    ARGS["topo"], seed, collective, mtbf, ARGS["horizon"],
+                    ARGS["sweep_delay"], ARGS["words"],
+                    ARGS["max_retries"])
+                assert tuple(verdict) == tuple(ref), (collective, seed)
+            # the screen must actually resolve something, or the fast
+            # path is dead weight
+            assert fast > 10, collective
+
+    def test_campaign_table_identical_to_unbatched(self):
+        kw = dict(topo="n16-pgft", campaign=10, seed=3,
+                  mtbf=(200.0, 40.0), collective="allreduce",
+                  horizon=300.0, sweep_delay=50.0, words=64,
+                  max_retries=4)
+        plain = chaos.run(sweeper=ParallelSweeper(jobs=1), **kw)
+        batched = chaos.run(sweeper=ParallelSweeper(jobs=1), batch=True,
+                            batch_check=2, **kw)
+        strip = lambda s: s.split("\nbatched:")[0].split("runtime |")[0]  # noqa: E731
+        assert strip(plain).split("runtime |")[0].rstrip() \
+            in batched  # same table body, extra mode line
+        assert "resolved analytically" in batched
+
+
+class TestDegradationBatched:
+    def test_worst_hsds_batched_matches_serial(self):
+        """The stacked multi-table walk scores every repaired fabric
+        exactly like the serial per-table walk."""
+        import numpy as np
+
+        from repro.check.faultspace import (
+            enumerate_fault_units,
+            prepare_fault_cases,
+        )
+        from repro.collectives.cps import shift
+        from repro.experiments.degradation import _worst_hsds
+
+        fab = build_fabric(paper_topologies()["n16-pgft"])
+        tables = route_dmodk(fab)
+        n = fab.num_endports
+        units = enumerate_fault_units(fab, units="cable",
+                                      include_host_cables=False)
+        prepared = prepare_fault_cases(tables, [[u] for u in units[:9]],
+                                       strategy="balanced",
+                                       check_valleys=False)
+        cases = [tables] + [p.repair.tables for p in prepared]
+        cps = shift(n)
+        placement = np.arange(n, dtype=np.int64)
+        serial = _worst_hsds(cases, cps, placement, False, 0, 0)
+        batched = _worst_hsds(cases, cps, placement, True, 4, 3)
+        assert batched == serial
+        assert serial[0] == 1  # healthy D-Mod-K shift is contention-free

@@ -26,8 +26,9 @@ Defaults to every package that carries the determinism contract:
 ``src/repro/routing``, ``src/repro/runtime``, ``src/repro/check``
 (diagnostics and certificates are diffed in CI),
 ``src/repro/collectives``, ``src/repro/faults`` (precomputed repair
-timelines must replay identically) and ``src/repro/mpi`` (delivery
-traces are compared across runs).
+timelines must replay identically), ``src/repro/mpi`` (delivery
+traces are compared across runs) and ``src/repro/sim`` (both packet
+engines and the mega-batch engine promise bit-identical replays).
 Exit code 1 when findings exist, 0 otherwise.  Stdlib only.
 """
 
@@ -40,7 +41,8 @@ from pathlib import Path
 DEFAULT_PATHS = ("src/repro/routing", "src/repro/runtime",
                  "src/repro/check", "src/repro/collectives",
                  "src/repro/faults", "src/repro/mpi",
-                 "src/repro/jobs", "src/repro/fabric")
+                 "src/repro/jobs", "src/repro/fabric",
+                 "src/repro/sim")
 
 #: dict-view methods whose iteration order mirrors insertion order of a
 #: dict -- fine for literals, unordered when the dict was built from an
