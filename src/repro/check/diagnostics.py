@@ -12,7 +12,9 @@ grouped by subsystem:
   stages, displacement structure),
 * ``CFC0xx`` -- contention-freedom certification counterexamples,
 * ``FLT0xx`` -- fault-schedule lint (events must reference live cables
-  and real switches; dead windows must nest sensibly).
+  and real switches; dead windows must nest sensibly),
+* ``SRV0xx`` -- certification-service outcomes (:mod:`repro.serve`):
+  shedding, degradation, quarantine, deadline kills, journal replay.
 
 The full catalogue lives in :data:`CODES` (rendered into
 ``docs/CHECKS.md``); every diagnostic emitted anywhere in the analyzer
@@ -207,6 +209,51 @@ CODES: dict[str, tuple[Severity, str]] = {
                "counts, certified fraction and the engine/strategy used. "
                "Also reports a sweep skipped for a structural reason "
                "(e.g. the healthy schedule is already refuted)."),
+    # -- SRV0xx: certification service (repro.serve) -------------------------
+    "SRV001": (Severity.ERROR,
+               "Poison request quarantined: certifying this request digest "
+               "crashed its worker process repeatedly (poison threshold "
+               "reached). The digest is quarantined for the life of the "
+               "service; identical submissions are refused immediately "
+               "instead of crashing more workers."),
+    "SRV002": (Severity.WARNING,
+               "Request shed at admission: the service queue is over its "
+               "high-water mark. The request was NOT accepted; resubmit "
+               "after the suggested retry_after_s backoff."),
+    "SRV003": (Severity.ERROR,
+               "Deadline exceeded: the request outlived its wall-clock "
+               "budget and its worker was cancelled (killed and respawned). "
+               "Deadline kills are terminal -- the request is not retried; "
+               "resubmit with a larger deadline_s."),
+    "SRV004": (Severity.WARNING,
+               "Graceful degradation: the service is under queue pressure, "
+               "so a 'both'-engine differential request was downgraded to "
+               "the symbolic engine alone. The certificate is tagged "
+               "degraded; resubmit when the queue drains for the full "
+               "differential verdict."),
+    "SRV005": (Severity.ERROR,
+               "Malformed request: the payload failed protocol validation "
+               "(unknown topology/engine/kind, conflicting fields, or test "
+               "hooks without --allow-test-hooks). The request was never "
+               "accepted; nothing is journaled or retried."),
+    "SRV006": (Severity.INFO,
+               "Journal replay: this request was accepted by a previous "
+               "service process that died before finishing it; the restart "
+               "re-enqueued it from the journal and completed it."),
+    "SRV007": (Severity.ERROR,
+               "Service shutdown: the service stopped before this accepted "
+               "request could run. The request remains journaled; a "
+               "restart on the same journal will replay and complete it."),
+    "SRV008": (Severity.ERROR,
+               "Worker crash budget exhausted: the request's worker died "
+               "repeatedly (crash or injected kill) and the seeded "
+               "backoff requeue ran out of retries before the poison "
+               "threshold tripped. Resubmit; if the crash follows the "
+               "digest, quarantine (SRV001) will catch it."),
+    "SRV090": (Severity.INFO,
+               "Service status summary: queue depth, in-flight count, "
+               "certs/sec, latency percentiles and supervision counters "
+               "at the time of the status request."),
     # -- ISO0xx: traffic-class isolation -------------------------------------
     "ISO001": (Severity.ERROR,
                "Per-class contention counterexample: a stage of a traffic "

@@ -59,6 +59,7 @@ FAMILY_ANCHORS = {
     "SYM": "sym0xx--symbolic-verification",
     "RQL": "rql0xx--routing-quality-on-degraded-fabrics",
     "ISO": "iso0xx--traffic-class-isolation",
+    "SRV": "srv0xx--certification-service",
 }
 
 #: repro severities -> SARIF result levels

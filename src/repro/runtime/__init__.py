@@ -26,6 +26,7 @@ from .cache import (
 from .sweep import (
     ParallelSweeper,
     ShardFailure,
+    SweepStats,
     chunk_ranges,
     parallel_order_sweep,
     resolve_jobs,
@@ -37,6 +38,7 @@ __all__ = [
     "ParallelSweeper",
     "ResultCache",
     "ShardFailure",
+    "SweepStats",
     "chunk_ranges",
     "cps_digest",
     "default_cache_dir",

@@ -18,9 +18,18 @@ actual per-stage ``(src, dst)`` pairs, covering knobs like
 Layout: one ``<digest>.npy`` per entry under the cache root (default
 ``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro/sweeps``, else
 ``~/.cache/repro/sweeps``) plus a human-readable ``<digest>.json``
-sidecar recording what produced it.  Writes are atomic
+sidecar recording what produced it.  JSON-only payloads (certificates,
+service responses) are stored the same way via
+:meth:`ResultCache.store_json`.  Writes are atomic
 (temp-file + rename), so concurrent sweeps sharing a cache directory
 are safe.
+
+A long-running process (the certification service) can cap the cache
+with ``max_bytes``: after every store, least-recently-used entries
+(by mtime -- loads touch their entry, so a hit refreshes recency) are
+evicted until the directory fits the budget again.  The newest entry
+is never evicted, so the store that triggered enforcement always
+survives it.
 """
 
 from __future__ import annotations
@@ -31,6 +40,7 @@ import os
 import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Any
 
 import numpy as np
 
@@ -167,28 +177,50 @@ def sweep_digest(
 
 @dataclass
 class CacheStats:
-    """Hit/miss/store counters, surfaced in experiment run summaries."""
+    """Hit/miss/store/eviction counters, surfaced in run summaries."""
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    evictions: int = 0
 
     def __str__(self) -> str:
-        return f"hits={self.hits} misses={self.misses} stores={self.stores}"
+        return (f"hits={self.hits} misses={self.misses} "
+                f"stores={self.stores} evictions={self.evictions}")
 
 
 @dataclass
 class ResultCache:
-    """Disk-backed array store keyed by content digests."""
+    """Disk-backed array/JSON store keyed by content digests.
+
+    ``max_bytes`` (``None`` = unbounded) caps the total on-disk size:
+    every store enforces the budget by evicting least-recently-used
+    entries (mtime order; loads refresh their entry's mtime).
+    """
 
     root: Path = field(default_factory=default_cache_dir)
     stats: CacheStats = field(default_factory=CacheStats)
+    max_bytes: int | None = None
 
     def __post_init__(self) -> None:
         self.root = Path(self.root)
+        if self.max_bytes is not None and self.max_bytes <= 0:
+            raise ValueError("max_bytes must be positive (or None)")
 
     def path_for(self, key: str) -> Path:
         return self.root / f"{key}.npy"
+
+    def json_path_for(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    @staticmethod
+    def _touch(*paths: Path) -> None:
+        """Refresh mtimes so eviction order is LRU, not FIFO."""
+        for path in paths:
+            try:
+                os.utime(path)
+            except OSError:
+                pass  # concurrent eviction; the load already succeeded
 
     def load_array(self, key: str) -> np.ndarray | None:
         """Return the cached array for ``key`` or None (counts hit/miss).
@@ -211,8 +243,29 @@ class ResultCache:
             path.with_suffix(".json").unlink(missing_ok=True)
             self.stats.misses += 1
             return None
+        self._touch(path, path.with_suffix(".json"))
         self.stats.hits += 1
         return arr
+
+    def load_json(self, key: str) -> Any | None:
+        """Return the cached JSON payload for ``key`` or None.
+
+        Same corrupt-entry semantics as :meth:`load_array`: an
+        unparseable blob is evicted and counted as a miss.
+        """
+        path = self.json_path_for(key)
+        try:
+            payload = json.loads(path.read_text())
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, ValueError):
+            path.unlink(missing_ok=True)
+            self.stats.misses += 1
+            return None
+        self._touch(path)
+        self.stats.hits += 1
+        return payload
 
     def _atomic_write(self, path: Path, writer, suffix: str) -> None:
         """Write via temp file + ``os.replace`` so readers (and crashes
@@ -242,19 +295,84 @@ class ResultCache:
                 path.with_suffix(".json"), lambda fh: fh.write(payload),
                 suffix=".json.tmp")
         self.stats.stores += 1
+        self._enforce_budget()
         return path
 
-    def __len__(self) -> int:
+    def store_json(self, key: str, payload: Any) -> Path:
+        """Atomically persist a JSON payload under ``key``."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.json_path_for(key)
+        data = json.dumps(payload, indent=2, sort_keys=True).encode()
+        self._atomic_write(path, lambda fh: fh.write(data),
+                           suffix=".json.tmp")
+        self.stats.stores += 1
+        self._enforce_budget()
+        return path
+
+    # -- size budget -------------------------------------------------------
+    def _entries(self) -> list[tuple[float, int, list[Path]]]:
+        """Logical cache entries as ``(mtime, bytes, files)`` tuples.
+
+        An entry is a ``.npy`` array together with its ``.json``
+        sidecar, or a standalone ``.json`` blob (no array of the same
+        stem).  Entries vanishing mid-scan (concurrent eviction) are
+        skipped.
+        """
         if not self.root.is_dir():
-            return 0
-        return sum(1 for _ in self.root.glob("*.npy"))
+            return []
+        grouped: dict[str, list[Path]] = {}
+        for path in self.root.iterdir():
+            if path.suffix in (".npy", ".json"):
+                grouped.setdefault(path.stem, []).append(path)
+        entries = []
+        for stem in sorted(grouped):
+            files = sorted(grouped[stem])
+            mtime, size = 0.0, 0
+            try:
+                for f in files:
+                    st = f.stat()
+                    mtime = max(mtime, st.st_mtime)
+                    size += st.st_size
+            except OSError:
+                continue
+            entries.append((mtime, size, files))
+        return entries
+
+    def total_bytes(self) -> int:
+        """Current on-disk size of every entry."""
+        return sum(size for _, size, _ in self._entries())
+
+    def _enforce_budget(self) -> None:
+        """Evict LRU entries until the directory fits ``max_bytes``.
+
+        The most recent entry (the store that triggered enforcement)
+        is exempt, so a payload larger than the whole budget still
+        lands -- the cap bounds *growth*, it never refuses a store.
+        """
+        if self.max_bytes is None:
+            return
+        entries = self._entries()
+        total = sum(size for _, size, _ in entries)
+        if total <= self.max_bytes:
+            return
+        entries.sort(key=lambda e: e[0])
+        for _, size, files in entries[:-1]:   # never the newest
+            for f in files:
+                f.unlink(missing_ok=True)
+            self.stats.evictions += 1
+            total -= size
+            if total <= self.max_bytes:
+                break
+
+    def __len__(self) -> int:
+        return len(self._entries())
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every entry (arrays, sidecars and standalone JSON
+        blobs); returns how many entries were removed."""
         removed = 0
-        if self.root.is_dir():
-            for path in self.root.glob("*.npy"):
+        for _, _, files in self._entries():
+            for path in files:
                 path.unlink(missing_ok=True)
-                path.with_suffix(".json").unlink(missing_ok=True)
-                removed += 1
+            removed += 1
         return removed

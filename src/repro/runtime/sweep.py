@@ -40,6 +40,7 @@ from .cache import ResultCache, sweep_digest
 __all__ = [
     "ParallelSweeper",
     "ShardFailure",
+    "SweepStats",
     "chunk_ranges",
     "parallel_order_sweep",
     "resolve_jobs",
@@ -80,6 +81,44 @@ def _sweep_shard(
     placements = sweep_placements(num_endports, num_ranks, num_orders, seed=seed)
     rep = batched_sequence_hsd(tables, cps, placements, switch_links_only)
     return rep.avg_max
+
+
+@dataclass
+class SweepStats:
+    """Structured supervision counters of one hardened map run.
+
+    What used to be visible only as :class:`ShardFailure` log text:
+    every crash, retry, timeout and pool recreation the map survived,
+    as a machine-readable record.  ``ParallelSweeper`` publishes one
+    per run as :attr:`ParallelSweeper.last_stats`; the certification
+    service embeds the same record (per worker-pool supervision window)
+    in its ``ServiceMetrics``.
+    """
+
+    submitted: int = 0       # distinct work items entering the map
+    completed: int = 0       # items that produced a result
+    failed: int = 0          # items abandoned (ShardFailure recorded)
+    crashes: int = 0         # attempts that raised or died with a worker
+    retries: int = 0         # resubmissions after a crash
+    timeouts: int = 0        # items that outlived the shard deadline
+    pool_restarts: int = 0   # worker pools abandoned and recreated
+
+    def to_json(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "crashes": self.crashes,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "pool_restarts": self.pool_restarts,
+        }
+
+    def __str__(self) -> str:
+        return (f"submitted={self.submitted} completed={self.completed} "
+                f"failed={self.failed} crashes={self.crashes} "
+                f"retries={self.retries} timeouts={self.timeouts} "
+                f"pool_restarts={self.pool_restarts}")
 
 
 @dataclass(frozen=True)
@@ -128,7 +167,8 @@ class ParallelSweeper:
 
     After every sweep, :attr:`last_failures` holds the
     :class:`ShardFailure` diagnostics of that run (empty on a clean
-    sweep).  Partial results are never written to the cache.
+    sweep) and :attr:`last_stats` the :class:`SweepStats` supervision
+    counters.  Partial results are never written to the cache.
     """
 
     jobs: int | None = 1
@@ -137,6 +177,7 @@ class ParallelSweeper:
     shard_retries: int = 2
     retry_backoff: float = 0.1
     last_failures: list[ShardFailure] = field(default_factory=list)
+    last_stats: SweepStats = field(default_factory=SweepStats)
 
     # ------------------------------------------------------------------
     def _hardened_map(self, fn, argslist: list[tuple], jobs: int) -> list:
@@ -149,11 +190,14 @@ class ParallelSweeper:
         results: list = [None] * len(argslist)
         attempts = [0] * len(argslist)
         queue = list(range(len(argslist)))
+        stats = self.last_stats
+        stats.submitted += len(argslist)
         round_no = 0
         pool: ProcessPoolExecutor | None = None
         try:
             while queue:
                 if round_no > 0:
+                    stats.retries += len(queue)
                     time.sleep(self.retry_backoff * 2 ** (round_no - 1))
                 if pool is None:
                     pool = ProcessPoolExecutor(
@@ -176,6 +220,7 @@ class ParallelSweeper:
                         for fut in pending:
                             fut.cancel()
                             i = futures[fut]
+                            stats.timeouts += 1
                             self.last_failures.append(ShardFailure(
                                 index=i,
                                 reason=(f"timed out after "
@@ -189,7 +234,9 @@ class ParallelSweeper:
                         i = futures[fut]
                         try:
                             results[i] = fut.result()
+                            stats.completed += 1
                         except Exception as exc:  # noqa: BLE001 - diagnosed
+                            stats.crashes += 1
                             if isinstance(exc, BrokenProcessPool):
                                 recreate = True
                             if attempts[i] <= self.shard_retries:
@@ -205,11 +252,13 @@ class ParallelSweeper:
                     # joining it; retries get a fresh one.
                     pool.shutdown(wait=False, cancel_futures=True)
                     pool = None
+                    stats.pool_restarts += 1
                 queue.sort()
                 round_no += 1
         finally:
             if pool is not None:
                 pool.shutdown(wait=False, cancel_futures=True)
+            stats.failed = len(self.last_failures)
         return results
 
     def order_sweep(
@@ -231,6 +280,7 @@ class ParallelSweeper:
         n = num_ranks if num_ranks is not None else N
         cps: CPS = cps_factory(n) if callable(cps_factory) else cps_factory
         self.last_failures = []
+        self.last_stats = SweepStats()
 
         key = None
         if self.cache is not None:
@@ -271,9 +321,13 @@ class ParallelSweeper:
         :class:`ShardFailure` appended to :attr:`last_failures`.
         """
         self.last_failures = []
+        self.last_stats = SweepStats()
         jobs = resolve_jobs(self.jobs)
         if jobs <= 1 or len(argslist) <= 1:
-            return [fn(*args) for args in argslist]
+            out = [fn(*args) for args in argslist]
+            self.last_stats.submitted = len(argslist)
+            self.last_stats.completed = len(argslist)
+            return out
         return self._hardened_map(fn, argslist, jobs)
 
     # ------------------------------------------------------------------
@@ -283,9 +337,12 @@ class ParallelSweeper:
         self.last_failures = []
         jobs = resolve_jobs(self.jobs)
         if jobs <= 1 or num_orders <= 1:
-            return _sweep_shard(
+            out = _sweep_shard(
                 tables, cps, N, n, seed, num_orders, switch_links_only
             )
+            self.last_stats.submitted += 1
+            self.last_stats.completed += 1
+            return out
         shards = chunk_ranges(num_orders, jobs * _SHARDS_PER_JOB)
         argslist = [
             (tables, cps, N, n, seed + start, stop - start, switch_links_only)

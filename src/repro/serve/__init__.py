@@ -1,0 +1,71 @@
+"""``repro.serve`` -- the always-on certification service.
+
+Everything before this package ran certification as one-shot batch
+CLIs: build a fabric, certify, exit.  This package turns the same
+pass pipeline (:mod:`repro.check`) into a *service*: an asyncio
+front-end accepts certification requests -- a topology/placement/CPS
+spec, or a placement delta recertified incrementally against a cached
+symbolic :class:`~repro.check.symbolic.CaseState` -- and dispatches
+them to a supervised pool of worker processes.
+
+Robustness is the core deliverable, not an add-on.  Every failure mode
+has an explicit, tested behaviour:
+
+* a **worker crash** requeues the request with seeded exponential
+  backoff (:class:`RequeuePolicy`); a digest that keeps crashing
+  workers is **quarantined** as a poison request (``SRV001``);
+* a request that outlives its **deadline** gets its worker killed and
+  a terminal ``SRV003`` error;
+* a full queue **sheds** new requests at admission with a suggested
+  ``retry_after_s`` (``SRV002``) instead of growing without bound;
+* under queue pressure, ``both``-engine differential requests
+  **degrade** to symbolic-only, tagged ``SRV004``;
+* identical in-flight digests are **deduplicated** (one computation,
+  every waiter answered) and completed results are served from the
+  content-addressed :class:`~repro.runtime.ResultCache`;
+* every accepted request is recorded in a **crash-safe journal**
+  before it is queued, so a killed service replays
+  accepted-but-unfinished work on restart (``SRV006``).
+
+Entry points: :class:`CertificationService` (in-process, asyncio),
+:func:`serve_unix` (Unix-socket front-end) and the ``repro-serve``
+CLI (``serve`` / ``submit`` / ``status`` / ``drain``).
+See ``docs/SERVICE.md`` for the protocol and the failure-mode table.
+"""
+
+from .journal import Journal, JournalRecord, JournalStats
+from .protocol import (
+    PROTOCOL_VERSION,
+    CertRequest,
+    ProtocolError,
+    parse_spec_text,
+    request_digest,
+)
+from .queue import BoundedRequestQueue, PendingRequest, RequeuePolicy
+from .service import (
+    CertificationService,
+    ServiceConfig,
+    ServiceMetrics,
+    serve_unix,
+)
+from .workers import WorkerPool, execute_request
+
+__all__ = [
+    "BoundedRequestQueue",
+    "CertRequest",
+    "CertificationService",
+    "Journal",
+    "JournalRecord",
+    "JournalStats",
+    "PROTOCOL_VERSION",
+    "PendingRequest",
+    "ProtocolError",
+    "RequeuePolicy",
+    "ServiceConfig",
+    "ServiceMetrics",
+    "WorkerPool",
+    "execute_request",
+    "parse_spec_text",
+    "request_digest",
+    "serve_unix",
+]

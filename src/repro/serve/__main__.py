@@ -1,0 +1,7 @@
+"""``python -m repro.serve`` == the ``repro-serve`` CLI."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

@@ -1,0 +1,191 @@
+"""Crash-safe request journal for the certification service.
+
+The journal is the service's write-ahead log: every request is
+recorded (*accepted*) before it enters the queue and marked *done*
+when a terminal response has been produced.  On restart,
+:meth:`Journal.replay` returns the accepted-but-unfinished records so
+the service can re-enqueue them -- an accepted request is never lost
+to a crash, which is the core guarantee behind the chaos gate.
+
+Format: one JSON object per line, append-only.  Each append is
+flushed and ``fsync``-ed before the caller proceeds, so a record the
+service acted on is on disk.  A torn final line (the service died
+mid-write) is tolerated and counted, never fatal: replay stops
+trusting the file at the first undecodable line and reports it in
+:class:`JournalStats`.  Compaction rewrites the journal to just the
+still-pending records via a temp file and atomic ``os.replace`` --
+the journal is always either the old complete file or the new one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, Any
+
+__all__ = ["Journal", "JournalRecord", "JournalStats"]
+
+_OPS = ("accepted", "done")
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One journal line.
+
+    ``accepted`` records carry the full request payload (the canonical
+    ``CertRequest.to_json()`` dict) so replay needs nothing but the
+    journal; ``done`` records carry the terminal status string instead.
+    ``seq`` is the service-wide admission sequence number and pairs the
+    two records of one request.
+    """
+
+    op: str
+    seq: int
+    digest: str
+    request: dict[str, Any] | None = None
+    status: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ValueError(f"unknown journal op {self.op!r}")
+        if self.op == "accepted" and self.request is None:
+            raise ValueError("accepted records must carry the request")
+        if self.op == "done" and self.status is None:
+            raise ValueError("done records must carry a status")
+        if self.seq < 0:
+            raise ValueError("seq must be >= 0")
+
+    def to_json(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"op": self.op, "seq": self.seq,
+                               "digest": self.digest}
+        if self.request is not None:
+            out["request"] = self.request
+        if self.status is not None:
+            out["status"] = self.status
+        return out
+
+    @classmethod
+    def from_json(cls, payload: dict[str, Any]) -> "JournalRecord":
+        if not isinstance(payload, dict):
+            raise ValueError("journal record must be a JSON object")
+        unknown = sorted(set(payload) - {"op", "seq", "digest",
+                                         "request", "status"})
+        if unknown:
+            raise ValueError(f"unknown journal field(s): {unknown}")
+        return cls(op=str(payload.get("op", "")),
+                   seq=int(payload.get("seq", -1)),
+                   digest=str(payload.get("digest", "")),
+                   request=payload.get("request"),
+                   status=payload.get("status"))
+
+
+@dataclass
+class JournalStats:
+    """What replay found, for ``SRV006`` reporting and metrics."""
+
+    records: int = 0
+    pending: int = 0
+    finished: int = 0
+    corrupt_lines: int = 0
+    compactions: int = 0
+
+    def __str__(self) -> str:
+        return (f"records={self.records} pending={self.pending} "
+                f"finished={self.finished} corrupt={self.corrupt_lines} "
+                f"compactions={self.compactions}")
+
+
+class Journal:
+    """Append-only, fsync-per-record write-ahead log.
+
+    Not thread-safe by design: the service appends from the single
+    asyncio event-loop thread.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.stats = JournalStats()
+        self._fh: IO[bytes] | None = None
+        self.next_seq = 0
+
+    # -- writing --------------------------------------------------------
+    def _handle(self) -> IO[bytes]:
+        if self._fh is None or self._fh.closed:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "ab")
+        return self._fh
+
+    def append(self, record: JournalRecord) -> None:
+        """Durably append one record (flush + fsync before returning)."""
+        fh = self._handle()
+        fh.write(json.dumps(record.to_json(), sort_keys=True).encode())
+        fh.write(b"\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+        self.stats.records += 1
+        if record.seq >= self.next_seq:
+            self.next_seq = record.seq + 1
+
+    def accepted(self, seq: int, digest: str,
+                 request: dict[str, Any]) -> None:
+        self.append(JournalRecord(op="accepted", seq=seq, digest=digest,
+                                  request=request))
+
+    def done(self, seq: int, digest: str, status: str) -> None:
+        self.append(JournalRecord(op="done", seq=seq, digest=digest,
+                                  status=status))
+
+    # -- recovery -------------------------------------------------------
+    def replay(self) -> list[JournalRecord]:
+        """Read the journal; return pending accepted records in seq order.
+
+        Tolerates a torn tail: undecodable lines are counted in
+        ``stats.corrupt_lines`` and skipped.  Also positions
+        ``next_seq`` past every sequence number ever journaled, so a
+        restarted service never reuses one.
+        """
+        self.close()
+        stats = self.stats = JournalStats()
+        pending: dict[int, JournalRecord] = {}
+        if not self.path.exists():
+            return []
+        with open(self.path, "rb") as fh:
+            for raw in fh:
+                line = raw.strip()
+                if not line:
+                    continue
+                try:
+                    rec = JournalRecord.from_json(json.loads(line.decode()))
+                except (ValueError, TypeError):
+                    stats.corrupt_lines += 1
+                    continue
+                stats.records += 1
+                if rec.seq >= self.next_seq:
+                    self.next_seq = rec.seq + 1
+                if rec.op == "accepted":
+                    pending[rec.seq] = rec
+                elif pending.pop(rec.seq, None) is not None:
+                    stats.finished += 1
+        stats.pending = len(pending)
+        return [pending[seq] for seq in sorted(pending)]
+
+    def compact(self, pending: list[JournalRecord]) -> None:
+        """Atomically rewrite the journal to just ``pending`` records."""
+        self.close()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        with open(tmp, "wb") as fh:
+            for rec in pending:
+                fh.write(json.dumps(rec.to_json(), sort_keys=True).encode())
+                fh.write(b"\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+        self.stats.compactions += 1
+
+    def close(self) -> None:
+        if self._fh is not None and not self._fh.closed:
+            self._fh.close()
+        self._fh = None

@@ -1,0 +1,245 @@
+"""Request/response protocol of the certification service.
+
+A request is a plain JSON object naming a certification problem:
+a topology (paper name or PGFT tuple), a collective (Table-2 name),
+a placement (order family + seed, optionally a Cont.-X exclusion) and
+an engine.  ``kind: "cert"`` certifies from cold through the
+:mod:`repro.check` pipeline; ``kind: "delta"`` re-certifies a
+placement change incrementally against the worker-cached symbolic
+:class:`~repro.check.symbolic.CaseState` of a *base* placement.
+
+Identity is content-addressed: :func:`request_digest` hashes exactly
+the fields that determine the verdict (never the deadline or cache
+knobs), so identical problems deduplicate in flight, hit the result
+cache across restarts, and quarantine together when poisonous.
+
+Validation is strict and happens at admission: any unknown field,
+unknown name or inconsistent combination raises :class:`ProtocolError`
+(surfaced as an ``SRV005`` diagnostic) *before* the request is
+journaled -- a malformed request can never occupy the queue, crash a
+worker or replay forever.
+
+The wire format (Unix socket) is JSON lines: one request object per
+line in, one response object per line out.  See ``docs/SERVICE.md``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from typing import Any
+
+from ..check import ENGINES
+from ..collectives import CPS_NAMES
+from ..topology import paper_topologies, pgft
+from ..topology.spec import PGFTSpec
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ORDERS",
+    "REQUEST_KINDS",
+    "CertRequest",
+    "ProtocolError",
+    "parse_spec_text",
+    "request_digest",
+    "encode_line",
+    "decode_line",
+]
+
+#: bump on any incompatible change to the request/response schema
+PROTOCOL_VERSION = 1
+
+#: placement families a request may name.  ``rotate`` rolls the
+#: topology order by ``order_seed`` slots -- the canonical cheap,
+#: certificate-preserving placement delta.
+ORDERS = ("topology", "reversed", "random", "rotate")
+
+REQUEST_KINDS = ("cert", "delta")
+
+#: certification problems larger than this are refused at admission --
+#: the service is sized for interactive certification, not for
+#: one-request denial of service.
+MAX_ENDPORTS = 200_000
+
+
+class ProtocolError(ValueError):
+    """A request failed validation (``SRV005``); it was never accepted."""
+
+
+def parse_spec_text(text: str) -> PGFTSpec:
+    """Parse an ``'h; m1,..; w1,..; p1,..'`` PGFT tuple string."""
+    parts = [seg.strip() for seg in str(text).split(";")]
+    if len(parts) != 4:
+        raise ProtocolError(
+            f"spec must be 'h; m1,..; w1,..; p1,..', got {text!r}")
+    try:
+        h = int(parts[0])
+        vecs = [[int(x) for x in seg.split(",")] for seg in parts[1:]]
+        return pgft(h, *vecs)
+    except (ValueError, TypeError) as exc:
+        raise ProtocolError(f"bad PGFT tuple {text!r}: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class CertRequest:
+    """One certification problem, as accepted by the service.
+
+    Exactly one of ``topo`` (paper topology name) / ``spec`` (PGFT
+    tuple string) names the fabric.  ``deadline_s`` and ``no_cache``
+    are *service* knobs: they never enter the request digest.
+    ``test_delay_s``/``test_crash`` are chaos-test hooks, honoured
+    only when the service runs with ``allow_test_hooks`` -- they DO
+    enter the digest, so a poison test request quarantines its own
+    digest, never a real one.
+    """
+
+    kind: str = "cert"
+    topo: str | None = None
+    spec: str | None = None
+    cps: str = "shift"
+    max_stages: int = 64
+    order: str = "topology"
+    order_seed: int = 0
+    exclude: int = 0
+    exclude_seed: int = 0
+    engine: str = "symbolic"
+    base_order: str = "topology"
+    base_order_seed: int = 0
+    deadline_s: float | None = None
+    no_cache: bool = False
+    test_delay_s: float = 0.0
+    test_crash: bool = False
+
+    # -- validation -----------------------------------------------------
+    def validate(self) -> None:
+        """Raise :class:`ProtocolError` on the first inconsistency."""
+        if self.kind not in REQUEST_KINDS:
+            raise ProtocolError(f"unknown kind {self.kind!r}; "
+                                f"known: {list(REQUEST_KINDS)}")
+        if (self.topo is None) == (self.spec is None):
+            raise ProtocolError("give exactly one of topo / spec")
+        if self.engine not in ENGINES:
+            raise ProtocolError(f"unknown engine {self.engine!r}; "
+                                f"known: {list(ENGINES)}")
+        if self.order not in ORDERS or self.base_order not in ORDERS:
+            raise ProtocolError(f"unknown order; known: {list(ORDERS)}")
+        if self.cps not in CPS_NAMES:
+            raise ProtocolError(f"unknown CPS {self.cps!r}; "
+                                f"known: {sorted(CPS_NAMES)}")
+        if self.kind == "delta" and self.engine == "enumerate":
+            raise ProtocolError("delta requests re-certify incrementally "
+                                "through the symbolic engine; use engine "
+                                "'symbolic' (or 'both' for a differential "
+                                "cross-check)")
+        spec = self.resolve_spec()
+        if spec.num_endports > MAX_ENDPORTS:
+            raise ProtocolError(f"{spec.num_endports} end-ports exceeds the "
+                                f"service ceiling of {MAX_ENDPORTS}")
+        if not 0 <= self.exclude < spec.num_endports:
+            raise ProtocolError("exclude must leave at least one active "
+                                "end-port")
+        if self.max_stages < 1:
+            raise ProtocolError("max_stages must be >= 1")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ProtocolError("deadline_s must be positive")
+        if self.test_delay_s < 0:
+            raise ProtocolError("test_delay_s must be >= 0")
+
+    def resolve_spec(self) -> PGFTSpec:
+        """The PGFT spec this request certifies (raises ProtocolError)."""
+        if self.spec is not None:
+            return parse_spec_text(self.spec)
+        topos = paper_topologies()
+        if self.topo not in topos:
+            raise ProtocolError(f"unknown topology {self.topo!r}; "
+                                f"available: {', '.join(sorted(topos))}")
+        return topos[self.topo]
+
+    @property
+    def has_test_hooks(self) -> bool:
+        return self.test_crash or self.test_delay_s > 0
+
+    # -- serialisation --------------------------------------------------
+    def to_json(self) -> dict[str, Any]:
+        out = asdict(self)
+        # canonical: omit fields still at their defaults
+        for key in sorted(out):
+            if out[key] == _DEFAULTS[key]:
+                del out[key]
+        return out
+
+    @classmethod
+    def from_json(cls, payload: Any) -> "CertRequest":
+        if not isinstance(payload, dict):
+            raise ProtocolError(f"request must be a JSON object, "
+                                f"got {type(payload).__name__}")
+        unknown = sorted(set(payload) - set(_DEFAULTS))
+        if unknown:
+            raise ProtocolError(f"unknown request field(s): {unknown}")
+        coerced: dict[str, Any] = {}
+        for key in sorted(payload):
+            value = payload[key]
+            want = _FIELD_TYPES[key]
+            if value is None and key in _OPTIONAL_FIELDS:
+                coerced[key] = None
+                continue
+            try:
+                coerced[key] = want(value)
+            except (TypeError, ValueError) as exc:
+                raise ProtocolError(f"bad value for {key!r}: {exc}") from exc
+        req = cls(**coerced)
+        req.validate()
+        return req
+
+    def digest(self) -> str:
+        return request_digest(self)
+
+
+_DEFAULTS: dict[str, Any] = asdict(CertRequest())
+
+_FIELD_TYPES: dict[str, Any] = {
+    "kind": str, "topo": str, "spec": str, "cps": str, "max_stages": int,
+    "order": str, "order_seed": int, "exclude": int, "exclude_seed": int,
+    "engine": str, "base_order": str, "base_order_seed": int,
+    "deadline_s": float, "no_cache": bool, "test_delay_s": float,
+    "test_crash": bool,
+}
+
+_OPTIONAL_FIELDS = frozenset({"topo", "spec", "deadline_s"})
+
+#: service knobs that never affect the verdict -- excluded from the digest
+_NON_SEMANTIC_FIELDS = frozenset({"deadline_s", "no_cache"})
+
+
+def request_digest(req: CertRequest) -> str:
+    """SHA-256 identity of the certification problem.
+
+    Hashes every verdict-determining field (canonical JSON, sorted
+    keys) and none of the service knobs, so two submissions with
+    different deadlines are one problem, but any change to topology,
+    schedule, placement, engine or test hooks is a new digest.
+    """
+    payload = asdict(req)
+    for key in sorted(_NON_SEMANTIC_FIELDS):
+        del payload[key]
+    blob = json.dumps(payload, sort_keys=True).encode()
+    h = hashlib.sha256(b"repro-serve-request-v1")
+    h.update(blob)
+    return h.hexdigest()
+
+
+# -- wire helpers (JSON lines) ------------------------------------------
+def encode_line(obj: dict[str, Any]) -> bytes:
+    """One wire message: compact JSON + newline."""
+    return json.dumps(obj, sort_keys=True).encode() + b"\n"
+
+
+def decode_line(line: bytes) -> dict[str, Any]:
+    try:
+        obj = json.loads(line.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable wire message: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError("wire message must be a JSON object")
+    return obj

@@ -1,0 +1,159 @@
+"""Bounded request queue with backpressure and delayed requeue.
+
+The queue is the service's only buffer, and it is *bounded*: above
+``capacity`` the service sheds new requests at admission (``SRV002``)
+rather than queueing unboundedly; above ``high_water`` it advertises
+pressure so ``both``-engine requests degrade to symbolic-only
+(``SRV004``).  Crashed-worker requests re-enter through the *delayed*
+heap with a seeded exponential-backoff ``not_before`` stamp
+(:class:`RequeuePolicy`, mirroring the MPI layer's retry policy), so a
+flapping worker cannot busy-spin the supervisor.
+
+Ordering is deterministic: ready requests pop FIFO by admission
+sequence, delayed requests by ``(not_before, seq)``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from .protocol import CertRequest
+
+__all__ = ["BoundedRequestQueue", "PendingRequest", "RequeuePolicy"]
+
+
+@dataclass(frozen=True)
+class RequeuePolicy:
+    """Seeded exponential backoff for crashed-worker requeues.
+
+    ``delay(attempt)`` grows ``base_delay * backoff**attempt`` up to
+    ``max_delay``, plus-or-minus uniform ``jitter`` drawn from the
+    policy's own seeded RNG -- runs are reproducible and retries of
+    many requests de-synchronise instead of thundering back at once.
+    ``max_retries`` bounds crash-requeues per request *beyond* the
+    first attempt; past it the request fails terminally (``SRV008``).
+    """
+
+    max_retries: int = 3
+    base_delay: float = 0.05
+    backoff: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.base_delay <= 0 or self.backoff < 1.0:
+            raise ValueError("base_delay must be > 0 and backoff >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+
+    def rng(self) -> random.Random:
+        return random.Random(self.seed)
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        base = min(self.base_delay * self.backoff ** attempt, self.max_delay)
+        if self.jitter == 0.0:
+            return base
+        return base * (1.0 + self.jitter * (2.0 * rng.random() - 1.0))
+
+
+@dataclass
+class PendingRequest:
+    """One accepted request's life in the service.
+
+    Carries everything the supervisor needs: the request, its digest,
+    the journal sequence number, crash/attempt counters, the earliest
+    dispatch time after a backoff, and the asyncio futures of every
+    submitter waiting on this digest (in-flight dedup attaches extra
+    waiters to the same pending entry).
+    """
+
+    seq: int
+    request: CertRequest
+    digest: str
+    accepted_at: float = 0.0
+    attempts: int = 0
+    crashes: int = 0
+    not_before: float = 0.0
+    replayed: bool = False
+    degraded: bool = False
+    waiters: list["asyncio.Future[dict[str, Any]]"] = field(
+        default_factory=list)
+
+    def resolve(self, response: dict[str, Any]) -> None:
+        """Deliver ``response`` to every still-listening waiter."""
+        for fut in self.waiters:
+            if not fut.done():
+                fut.set_result(response)
+        self.waiters.clear()
+
+
+class BoundedRequestQueue:
+    """FIFO of ready requests plus a min-heap of backoff-delayed ones.
+
+    ``depth`` counts both; admission (``would_shed``) and pressure
+    (``under_pressure``) look at the same number, so a queue full of
+    backed-off retries still sheds new work.
+    """
+
+    def __init__(self, capacity: int = 256, high_water: int | None = None,
+                 ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.high_water = (high_water if high_water is not None
+                           else max(1, (capacity * 3) // 4))
+        if not 1 <= self.high_water <= capacity:
+            raise ValueError("high_water must be in [1, capacity]")
+        self._ready: deque[PendingRequest] = deque()
+        self._delayed: list[tuple[float, int, PendingRequest]] = []
+
+    @property
+    def depth(self) -> int:
+        return len(self._ready) + len(self._delayed)
+
+    @property
+    def would_shed(self) -> bool:
+        return self.depth >= self.capacity
+
+    @property
+    def under_pressure(self) -> bool:
+        return self.depth >= self.high_water
+
+    def push(self, pending: PendingRequest) -> None:
+        self._ready.append(pending)
+
+    def push_delayed(self, pending: PendingRequest, not_before: float,
+                     ) -> None:
+        pending.not_before = not_before
+        heapq.heappush(self._delayed, (not_before, pending.seq, pending))
+
+    def pop_ready(self, now: float) -> PendingRequest | None:
+        """Next dispatchable request: matured backoffs first, then FIFO."""
+        while self._delayed and self._delayed[0][0] <= now:
+            _, _, pending = heapq.heappop(self._delayed)
+            self._ready.append(pending)
+        if self._ready:
+            return self._ready.popleft()
+        return None
+
+    def next_delay(self, now: float) -> float | None:
+        """Seconds until the earliest delayed request matures, if any."""
+        if not self._delayed:
+            return None
+        return max(0.0, self._delayed[0][0] - now)
+
+    def drain_all(self) -> list[PendingRequest]:
+        """Remove and return everything, ready-first then by maturity."""
+        out = list(self._ready)
+        self._ready.clear()
+        while self._delayed:
+            out.append(heapq.heappop(self._delayed)[2])
+        return out

@@ -11,7 +11,7 @@ from repro.check.diagnostics import describe_code
 
 DOCS = Path(__file__).resolve().parents[2] / "docs"
 
-CODE_RE = re.compile(r"\b(?:FAB|RTE|SCH|CFC|FLT|SYM|RQL|ISO)\d{3}\b")
+CODE_RE = re.compile(r"\b(?:FAB|RTE|SCH|CFC|FLT|SYM|RQL|ISO|SRV)\d{3}\b")
 
 
 class TestCatalogue:

@@ -86,3 +86,94 @@ class TestResultCache:
         monkeypatch.delenv("REPRO_CACHE_DIR")
         monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
         assert default_cache_dir() == tmp_path / "xdg" / "repro" / "sweeps"
+
+
+class TestJsonEntries:
+    def test_json_miss_then_hit(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        assert cache.load_json("resp") is None
+        cache.store_json("resp", {"verdict": "contention-free", "n": 324})
+        assert cache.load_json("resp") == {"n": 324,
+                                           "verdict": "contention-free"}
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_corrupt_json_is_a_miss_and_evicted(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        cache.store_json("resp", {"ok": True})
+        (tmp_path / "resp.json").write_bytes(b"{truncated")
+        assert cache.load_json("resp") is None
+        assert not (tmp_path / "resp.json").exists()
+
+    def test_json_counts_in_len_and_clear(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        cache.store_json("a", {})
+        cache.store_array("b", np.zeros(2))
+        assert len(cache) == 2
+        assert cache.clear() == 2
+
+
+class TestEviction:
+    def _mk(self, tmp_path, max_bytes):
+        return ResultCache(root=tmp_path, max_bytes=max_bytes)
+
+    def test_max_bytes_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            ResultCache(root=tmp_path, max_bytes=0)
+
+    def test_unbounded_by_default(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        for i in range(20):
+            cache.store_array(f"k{i}", np.zeros(256))
+        assert len(cache) == 20
+        assert cache.stats.evictions == 0
+
+    def test_oldest_evicted_when_over_budget(self, tmp_path):
+        entry = len(np.zeros(256).tobytes()) + 128  # npy header slack
+        cache = self._mk(tmp_path, max_bytes=3 * entry)
+        for i in range(6):
+            cache.store_array(f"k{i}", np.zeros(256))
+        assert cache.stats.evictions > 0
+        assert cache.total_bytes() <= 3 * entry
+        # Newest entry always survives its own store.
+        assert cache.load_array("k5") is not None
+        # Oldest entries went first.
+        assert cache.load_array("k0") is None
+
+    def test_load_refreshes_lru_order(self, tmp_path):
+        import time as _time
+        entry = len(np.zeros(256).tobytes()) + 128
+        cache = self._mk(tmp_path, max_bytes=3 * entry)
+        for i in range(3):
+            cache.store_array(f"k{i}", np.zeros(256))
+            _time.sleep(0.02)
+        assert cache.load_array("k0") is not None  # k0 now most recent
+        _time.sleep(0.02)
+        cache.store_array("k3", np.zeros(256))
+        # k1 (now the stalest) was evicted; refreshed k0 survived.
+        assert cache.load_array("k0") is not None
+        assert cache.load_array("k1") is None
+
+    def test_newest_entry_never_evicted(self, tmp_path):
+        # A single entry larger than the whole budget still lands.
+        cache = self._mk(tmp_path, max_bytes=64)
+        cache.store_array("big", np.zeros(1024))
+        assert cache.load_array("big") is not None
+
+    def test_sidecar_evicted_with_its_array(self, tmp_path):
+        import time as _time
+        entry = len(np.zeros(256).tobytes()) + 256
+        cache = self._mk(tmp_path, max_bytes=2 * entry)
+        cache.store_array("k0", np.zeros(256), meta={"i": 0})
+        _time.sleep(0.02)
+        for i in range(1, 4):
+            cache.store_array(f"k{i}", np.zeros(256), meta={"i": i})
+            _time.sleep(0.01)
+        assert not (tmp_path / "k0.npy").exists()
+        assert not (tmp_path / "k0.json").exists()
+
+    def test_evictions_counted_in_stats_str(self, tmp_path):
+        cache = self._mk(tmp_path, max_bytes=64)
+        cache.store_array("a", np.zeros(128))
+        cache.store_array("b", np.zeros(128))
+        assert cache.stats.evictions >= 1
+        assert "evictions" in str(cache.stats)

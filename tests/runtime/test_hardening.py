@@ -184,3 +184,45 @@ class TestCrashSafeCache:
         with pytest.raises(Boom):
             cache._atomic_write(cache.path_for("k"), bad_writer, ".npy.tmp")
         assert os.listdir(tmp_path) == []
+
+
+class TestSweepStats:
+    def test_clean_run_counts(self):
+        sw = ParallelSweeper(jobs=1)
+        sw.starmap(_double, [(i,) for i in range(4)])
+        stats = sw.last_stats
+        assert stats.submitted == 4 and stats.completed == 4
+        assert stats.failed == stats.crashes == stats.retries == 0
+        assert stats.to_json()["submitted"] == 4
+        assert "submitted=4" in str(stats)
+
+    @pytest.mark.slow
+    def test_crash_and_retry_counts(self):
+        sw = ParallelSweeper(jobs=2, shard_retries=1, retry_backoff=0.01)
+        sw.starmap(_always_crash, [(i,) for i in range(3)])
+        stats = sw.last_stats
+        assert stats.submitted == 3
+        assert stats.completed == 0
+        assert stats.failed == 3
+        assert stats.crashes == 6        # initial + one retry each
+        assert stats.retries == 3
+
+    @pytest.mark.slow
+    def test_timeout_and_pool_restart_counts(self):
+        sw = ParallelSweeper(jobs=2, shard_timeout=1.5, retry_backoff=0.01)
+        sw.starmap(_hang_on_zero, [(0,), (1,)])
+        stats = sw.last_stats
+        assert stats.timeouts == 1
+        assert stats.failed == 1
+        assert stats.completed == 1
+        assert stats.pool_restarts >= 1
+
+    @pytest.mark.slow
+    def test_stats_reset_between_runs(self):
+        sw = ParallelSweeper(jobs=2, shard_retries=0, retry_backoff=0.01)
+        sw.starmap(_crash_on_odd, [(i,) for i in range(4)])
+        assert sw.last_stats.crashes > 0
+        sw.starmap(_double, [(1,), (2,)])
+        stats = sw.last_stats
+        assert stats.submitted == 2 and stats.completed == 2
+        assert stats.crashes == 0 and stats.failed == 0

@@ -1,0 +1,33 @@
+"""Shared fixtures for the certification-service tests.
+
+Tests drive the asyncio service from synchronous pytest via
+``asyncio.run`` (no pytest-asyncio in the toolchain).  ``make_service``
+builds a service wired entirely into a tmp dir with chaos hooks
+enabled and a fast supervisor tick.
+"""
+
+import os
+
+import pytest
+
+from repro.serve import CertificationService, ServiceConfig
+from repro.serve.queue import RequeuePolicy
+
+
+@pytest.fixture
+def make_service(tmp_path):
+    def _make(**overrides):
+        defaults = dict(
+            workers=2,
+            journal_path=os.path.join(tmp_path, "journal.jsonl"),
+            cache_dir=os.path.join(tmp_path, "cache"),
+            tick_s=0.004,
+            allow_test_hooks=True,
+            requeue=RequeuePolicy(max_retries=3, base_delay=0.02,
+                                  jitter=0.0),
+            default_deadline_s=20.0,
+        )
+        defaults.update(overrides)
+        return CertificationService(ServiceConfig(**defaults))
+
+    return _make

@@ -1,0 +1,149 @@
+"""The chaos gate: 200+ seeded mixed requests under injected failures.
+
+The service's contract is *zero lost requests*: every accepted request
+ends in a certificate, a counterexample or a structured SRV error --
+through worker crashes (injected via ``test_crash`` AND external
+SIGKILLs of busy workers), deadline overruns and queue overflow.  The
+journal must agree: after the storm, no accepted record is left
+without a terminal ``done``.
+"""
+
+import asyncio
+import os
+import random
+import signal
+
+import pytest
+
+from repro.serve import Journal
+from repro.serve.queue import RequeuePolicy
+from repro.serve.service import CACHEABLE_STATUSES, TERMINAL_STATUSES
+
+TOTAL_REQUESTS = 208
+
+
+def _mixed_requests(seed=1234):
+    """A seeded storm: fast deltas, refutations, exclusions, degradable
+    differentials, deadline busters and poison requests."""
+    rng = random.Random(seed)
+    requests = []
+    for i in range(TOTAL_REQUESTS):
+        slot = i % 16
+        if slot < 8:        # fast contention-free deltas (distinct seeds)
+            requests.append({"topo": "n16-pgft", "kind": "delta",
+                             "order": "rotate", "order_seed": i + 1})
+        elif slot < 11:     # refuted random placements
+            requests.append({"topo": "n16-pgft", "order": "random",
+                             "order_seed": i})
+        elif slot < 13:     # job-aware exclusion certs
+            requests.append({"topo": "n16-pgft", "exclude": 1 + (i % 4),
+                             "exclude_seed": i})
+        elif slot < 14:     # differential requests (may degrade: SRV004)
+            requests.append({"topo": "n16-pgft", "engine": "both",
+                             "order": "rotate", "order_seed": i})
+        elif slot < 15:     # deadline busters (SRV003)
+            requests.append({"topo": "n16-pgft", "test_delay_s": 0.5,
+                             "deadline_s": 0.05, "order": "rotate",
+                             "order_seed": i})
+        else:               # poison requests (crash -> retry -> SRV001)
+            requests.append({"topo": "n16-pgft", "test_crash": True,
+                             "order_seed": i})
+    rng.shuffle(requests)
+    return requests
+
+
+async def _kill_busy_workers(svc, stop_event, kills=6, interval=0.12):
+    """External chaos: SIGKILL a busy worker every ``interval``."""
+    killed = 0
+    while killed < kills and not stop_event.is_set():
+        await asyncio.sleep(interval)
+        busy = [h for h in svc.pool.handles if h.busy and h.alive()]
+        if not busy:
+            continue
+        victim = busy[killed % len(busy)]
+        try:
+            os.kill(victim.proc.pid, signal.SIGKILL)
+            killed += 1
+        except (ProcessLookupError, TypeError):
+            continue
+    return killed
+
+
+@pytest.mark.slow
+def test_chaos_gate_zero_lost_requests(make_service, tmp_path):
+    requests = _mixed_requests()
+    assert len(requests) >= 200
+
+    async def main():
+        svc = make_service(
+            workers=4, queue_capacity=24, high_water=12,
+            poison_threshold=3,
+            requeue=RequeuePolicy(max_retries=3, base_delay=0.01,
+                                  jitter=0.25, seed=7),
+            default_deadline_s=15.0)
+        await svc.start()
+        stop = asyncio.Event()
+        killer = asyncio.ensure_future(_kill_busy_workers(svc, stop))
+        try:
+            # Submit in oversized waves so the bounded queue overflows.
+            responses = []
+            for start in range(0, len(requests), 40):
+                wave = requests[start:start + 40]
+                responses.extend(await asyncio.gather(
+                    *[svc.submit(dict(r)) for r in wave]))
+            stop.set()
+            kills = await killer
+            # Storm over: nothing may still be queued or in flight.
+            while svc.queue.depth or svc.dispatched:
+                await asyncio.sleep(0.01)
+            return responses, kills, svc.metrics, svc.status()
+        finally:
+            stop.set()
+            await svc.stop()
+
+    responses, kills, metrics, status = asyncio.run(main())
+
+    # Every submission was answered with a structured response.
+    assert len(responses) == len(requests)
+    by_status = {}
+    for resp in responses:
+        by_status.setdefault(resp["status"], []).append(resp)
+        assert resp["status"] in (*TERMINAL_STATUSES, "shed")
+        if resp["status"] == "error":
+            codes = [d["code"] for d in resp["srv"]]
+            assert codes and all(c.startswith("SRV") for c in codes)
+        if resp["status"] == "shed":
+            assert resp["retry_after_s"] > 0
+
+    # The storm really stormed: work completed through crashes,
+    # deadline kills and overflow, and nothing was lost.
+    assert len(by_status.get("certified", [])) > 50
+    assert len(by_status.get("refuted", [])) > 10
+    assert metrics.accepted == metrics.completed, "lost requests!"
+    assert metrics.pool.crashes > 0
+    assert metrics.deadline_kills > 0
+    assert metrics.sheds == len(by_status.get("shed", []))
+    assert metrics.quarantined > 0
+    assert kills > 0
+
+    # The journal agrees: every accepted record reached a terminal done.
+    journal = Journal(os.path.join(tmp_path, "journal.jsonl"))
+    assert journal.replay() == []
+    assert journal.stats.finished == metrics.accepted
+
+    # Cached chaos survivors replay identically after a restart.
+    async def restart():
+        svc = make_service(workers=2)
+        await svc.start()
+        try:
+            again = await svc.submit(
+                {"topo": "n16-pgft", "kind": "delta", "order": "rotate",
+                 "order_seed": 1})
+            return svc.metrics.replayed, again
+        finally:
+            await svc.stop()
+
+    replayed, again = asyncio.run(restart())
+    assert replayed == 0  # the journal was fully settled
+    if again["status"] in CACHEABLE_STATUSES:
+        assert again["cached"] is True

@@ -1,0 +1,167 @@
+"""Crash-safe journal: durability, torn tails, compaction, round-trips."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve import Journal, JournalRecord
+
+
+def _accepted(seq, digest="d" * 8, request=None):
+    return JournalRecord(op="accepted", seq=seq, digest=digest,
+                         request=request or {"topo": "n324"})
+
+
+class TestRecord:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown journal op"):
+            JournalRecord(op="begin", seq=0, digest="d")
+        with pytest.raises(ValueError, match="carry the request"):
+            JournalRecord(op="accepted", seq=0, digest="d")
+        with pytest.raises(ValueError, match="carry a status"):
+            JournalRecord(op="done", seq=0, digest="d")
+        with pytest.raises(ValueError, match="seq"):
+            _accepted(-1)
+
+    def test_from_json_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown journal field"):
+            JournalRecord.from_json({"op": "done", "seq": 1, "digest": "d",
+                                     "status": "ok", "extra": 1})
+
+
+class TestReplay:
+    def test_pending_survive_finished_do_not(self, tmp_path):
+        j = Journal(tmp_path / "j.jsonl")
+        j.accepted(0, "dig0", {"topo": "n324"})
+        j.accepted(1, "dig1", {"topo": "n324", "order": "reversed"})
+        j.done(0, "dig0", "certified")
+        j.close()
+
+        j2 = Journal(tmp_path / "j.jsonl")
+        pending = j2.replay()
+        assert [r.seq for r in pending] == [1]
+        assert pending[0].request == {"topo": "n324", "order": "reversed"}
+        assert j2.stats.finished == 1
+        assert j2.stats.pending == 1
+        assert j2.next_seq == 2
+
+    def test_missing_file_is_empty(self, tmp_path):
+        j = Journal(tmp_path / "absent.jsonl")
+        assert j.replay() == []
+        assert j.next_seq == 0
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        j = Journal(path)
+        j.accepted(0, "dig0", {"topo": "n324"})
+        j.accepted(1, "dig1", {"topo": "n324", "order": "reversed"})
+        j.close()
+        # Simulate a crash mid-append: truncate into the last record.
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-10])
+
+        pending = Journal(path).replay()
+        assert [r.seq for r in pending] == [0]
+
+    def test_corrupt_middle_line_counted_and_skipped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        j = Journal(path)
+        j.accepted(0, "dig0", {"topo": "n324"})
+        j.close()
+        with open(path, "ab") as fh:
+            fh.write(b"!! not json !!\n")
+        j.accepted(1, "dig1", {"topo": "n324", "order": "reversed"})
+        j.close()
+
+        j2 = Journal(path)
+        pending = j2.replay()
+        assert [r.seq for r in pending] == [0, 1]
+        assert j2.stats.corrupt_lines == 1
+
+    def test_append_after_replay_continues_sequence(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        j = Journal(path)
+        j.accepted(0, "dig0", {"topo": "n324"})
+        j.close()
+        j2 = Journal(path)
+        j2.replay()
+        j2.accepted(j2.next_seq, "dig1", {"topo": "n324", "exclude": 1})
+        j2.close()
+        assert len(Journal(path).replay()) == 2
+
+
+class TestCompaction:
+    def test_compact_keeps_only_pending(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        j = Journal(path)
+        for seq in range(6):
+            j.accepted(seq, f"dig{seq}", {"topo": "n324",
+                                          "order_seed": seq,
+                                          "order": "random"})
+            if seq % 2 == 0:
+                j.done(seq, f"dig{seq}", "certified")
+        pending = j.replay()
+        j.compact(pending)
+        assert j.stats.compactions == 1
+        lines = [json.loads(x) for x in
+                 path.read_text().strip().splitlines()]
+        assert [x["seq"] for x in lines] == [1, 3, 5]
+        assert all(x["op"] == "accepted" for x in lines)
+
+    def test_compact_empty_truncates(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        j = Journal(path)
+        j.accepted(0, "dig0", {"topo": "n324"})
+        j.done(0, "dig0", "refuted")
+        j.compact([])
+        assert path.read_bytes() == b""
+        assert Journal(path).replay() == []
+
+    def test_no_temp_file_left(self, tmp_path):
+        j = Journal(tmp_path / "j.jsonl")
+        j.accepted(0, "dig0", {"topo": "n324"})
+        j.compact(j.replay())
+        assert [p.name for p in tmp_path.iterdir()] == ["j.jsonl"]
+
+
+# -- property: journal records survive the disk round-trip ---------------
+_request_values = st.one_of(st.integers(-1000, 1000), st.booleans(),
+                            st.text(max_size=20), st.none())
+_requests = st.dictionaries(st.text(min_size=1, max_size=12),
+                            _request_values, max_size=6)
+_records = st.one_of(
+    st.builds(JournalRecord, op=st.just("accepted"),
+              seq=st.integers(0, 10**9), digest=st.text(max_size=64),
+              request=_requests),
+    st.builds(JournalRecord, op=st.just("done"),
+              seq=st.integers(0, 10**9), digest=st.text(max_size=64),
+              status=st.sampled_from(("certified", "refuted", "vacuous",
+                                      "error"))),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(records=st.lists(_records, max_size=12))
+def test_journal_round_trip_property(tmp_path_factory, records):
+    """Any record sequence replays to exactly the unmatched accepts."""
+    path = tmp_path_factory.mktemp("journal") / "j.jsonl"
+    j = Journal(path)
+    for rec in records:
+        j.append(rec)
+    j.close()
+
+    expected = {}
+    for rec in records:
+        if rec.op == "accepted":
+            expected[rec.seq] = rec
+        else:
+            expected.pop(rec.seq, None)
+
+    j2 = Journal(path)
+    pending = j2.replay()
+    assert j2.stats.corrupt_lines == 0
+    assert [r.seq for r in pending] == sorted(expected)
+    for rec in pending:
+        assert rec == expected[rec.seq]

@@ -1,0 +1,99 @@
+"""Request protocol: validation, digests, wire round-trips."""
+
+import json
+
+import pytest
+
+from repro.serve import CertRequest, ProtocolError, request_digest
+from repro.serve.protocol import (
+    MAX_ENDPORTS,
+    decode_line,
+    encode_line,
+    parse_spec_text,
+)
+
+
+class TestValidation:
+    def test_minimal_cert_request(self):
+        req = CertRequest.from_json({"topo": "n324"})
+        assert req.kind == "cert" and req.engine == "symbolic"
+
+    def test_spec_request(self):
+        req = CertRequest.from_json({"spec": "2; 4,4; 1,2; 1,2"})
+        assert req.resolve_spec().num_endports == 16
+
+    @pytest.mark.parametrize("payload,fragment", [
+        ({}, "exactly one of topo / spec"),
+        ({"topo": "n324", "spec": "2; 4,4; 1,2; 1,2"}, "exactly one"),
+        ({"topo": "nope"}, "unknown topology"),
+        ({"topo": "n324", "kind": "recert"}, "unknown kind"),
+        ({"topo": "n324", "engine": "oracle"}, "unknown engine"),
+        ({"topo": "n324", "order": "sideways"}, "unknown order"),
+        ({"topo": "n324", "cps": "gossip"}, "unknown CPS"),
+        ({"topo": "n324", "kind": "delta", "engine": "enumerate"},
+         "incrementally"),
+        ({"topo": "n324", "exclude": 324}, "at least one active"),
+        ({"topo": "n324", "max_stages": 0}, "max_stages"),
+        ({"topo": "n324", "deadline_s": 0}, "deadline_s"),
+        ({"topo": "n324", "test_delay_s": -1}, "test_delay_s"),
+        ({"topo": "n324", "frobnicate": 1}, "unknown request field"),
+        ({"topo": "n324", "order_seed": "many"}, "bad value"),
+        ("just a string", "JSON object"),
+    ])
+    def test_rejections(self, payload, fragment):
+        with pytest.raises(ProtocolError, match=fragment):
+            CertRequest.from_json(payload)
+
+    def test_oversized_spec_refused(self):
+        # 2 * 500**2 end-ports is far beyond the service ceiling.
+        with pytest.raises(ProtocolError, match=str(MAX_ENDPORTS)):
+            CertRequest.from_json({"spec": "2; 500,500; 1,500; 1,2"})
+
+    def test_parse_spec_text_errors(self):
+        with pytest.raises(ProtocolError, match="must be"):
+            parse_spec_text("2; 4,4; 1,2")
+        with pytest.raises(ProtocolError, match="bad PGFT tuple"):
+            parse_spec_text("2; 4,x; 1,2; 1,2")
+
+
+class TestDigest:
+    def test_deadline_and_cache_knobs_excluded(self):
+        base = CertRequest.from_json({"topo": "n324"})
+        tuned = CertRequest.from_json(
+            {"topo": "n324", "deadline_s": 1.5, "no_cache": True})
+        assert request_digest(base) == request_digest(tuned)
+
+    def test_semantic_fields_included(self):
+        base = request_digest(CertRequest.from_json({"topo": "n324"}))
+        for change in ({"order": "reversed"}, {"order_seed": 1},
+                       {"engine": "both"}, {"cps": "ring"},
+                       {"exclude": 3}, {"max_stages": 32},
+                       {"kind": "delta"}, {"test_crash": True},
+                       {"test_delay_s": 0.5}):
+            other = CertRequest.from_json({"topo": "n324", **change})
+            assert request_digest(other) != base, change
+
+    def test_round_trip_preserves_digest(self):
+        req = CertRequest.from_json(
+            {"topo": "n324", "kind": "delta", "order": "rotate",
+             "order_seed": 9, "engine": "both", "exclude": 5})
+        again = CertRequest.from_json(req.to_json())
+        assert again == req
+        assert again.digest() == req.digest()
+
+    def test_to_json_omits_defaults(self):
+        assert CertRequest.from_json({"topo": "n324"}).to_json() == {
+            "topo": "n324"}
+
+
+class TestWire:
+    def test_encode_decode(self):
+        line = encode_line({"op": "status", "n": 3})
+        assert line.endswith(b"\n")
+        assert decode_line(line) == {"n": 3, "op": "status"}
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(ProtocolError, match="undecodable"):
+            decode_line(b"{nope\n")
+        with pytest.raises(ProtocolError, match="JSON object"):
+            decode_line(json.dumps([1, 2]).encode())

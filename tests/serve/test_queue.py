@@ -1,0 +1,104 @@
+"""Bounded queue and the seeded requeue backoff policy."""
+
+import pytest
+
+from repro.serve import BoundedRequestQueue, CertRequest, PendingRequest
+from repro.serve.queue import RequeuePolicy
+
+
+def _pending(seq, digest=None):
+    req = CertRequest(topo="n324", order="random", order_seed=seq)
+    return PendingRequest(seq=seq, request=req,
+                          digest=digest or f"digest-{seq}")
+
+
+class TestRequeuePolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RequeuePolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RequeuePolicy(base_delay=0)
+        with pytest.raises(ValueError):
+            RequeuePolicy(backoff=0.5)
+        with pytest.raises(ValueError):
+            RequeuePolicy(jitter=1.0)
+
+    def test_exponential_growth_capped(self):
+        pol = RequeuePolicy(base_delay=0.1, backoff=2.0, max_delay=0.5,
+                            jitter=0.0)
+        rng = pol.rng()
+        delays = [pol.delay(a, rng) for a in range(5)]
+        assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_jitter_is_seeded_and_bounded(self):
+        pol = RequeuePolicy(base_delay=0.1, backoff=1.0, jitter=0.25,
+                            seed=7)
+        a = [pol.delay(0, pol.rng()) for _ in range(3)]
+        b = [pol.delay(0, pol.rng()) for _ in range(3)]
+        assert a == b  # same seed, same draws
+        for d in a:
+            assert 0.075 <= d <= 0.125
+
+
+class TestBoundedQueue:
+    def test_fifo_order(self):
+        q = BoundedRequestQueue(capacity=8)
+        for seq in range(3):
+            q.push(_pending(seq))
+        assert [q.pop_ready(0.0).seq for _ in range(3)] == [0, 1, 2]
+        assert q.pop_ready(0.0) is None
+
+    def test_capacity_and_pressure_thresholds(self):
+        q = BoundedRequestQueue(capacity=4, high_water=2)
+        assert not q.under_pressure and not q.would_shed
+        for seq in range(2):
+            q.push(_pending(seq))
+        assert q.under_pressure and not q.would_shed
+        for seq in range(2, 4):
+            q.push(_pending(seq))
+        assert q.would_shed
+
+    def test_default_high_water_is_three_quarters(self):
+        assert BoundedRequestQueue(capacity=100).high_water == 75
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            BoundedRequestQueue(capacity=0)
+        with pytest.raises(ValueError):
+            BoundedRequestQueue(capacity=4, high_water=5)
+
+    def test_delayed_matures_by_time(self):
+        q = BoundedRequestQueue(capacity=8)
+        late, early = _pending(0), _pending(1)
+        q.push_delayed(late, not_before=10.0)
+        q.push_delayed(early, not_before=5.0)
+        assert q.depth == 2
+        assert q.pop_ready(1.0) is None
+        assert q.next_delay(1.0) == 4.0
+        assert q.pop_ready(5.0) is early
+        assert q.pop_ready(5.0) is None
+        assert q.pop_ready(11.0) is late
+
+    def test_delayed_counts_toward_shedding(self):
+        q = BoundedRequestQueue(capacity=2)
+        q.push_delayed(_pending(0), not_before=100.0)
+        q.push(_pending(1))
+        assert q.would_shed
+
+    def test_matured_delays_beat_fresh_pushes(self):
+        q = BoundedRequestQueue(capacity=8)
+        q.push_delayed(_pending(0), not_before=1.0)
+        q.push(_pending(1))
+        # at t=2 the delayed request matured; FIFO appends it after the
+        # already-ready one
+        assert q.pop_ready(2.0).seq == 1
+        assert q.pop_ready(2.0).seq == 0
+
+    def test_drain_all(self):
+        q = BoundedRequestQueue(capacity=8)
+        q.push(_pending(2))
+        q.push_delayed(_pending(0), not_before=7.0)
+        q.push_delayed(_pending(1), not_before=3.0)
+        drained = q.drain_all()
+        assert [p.seq for p in drained] == [2, 1, 0]
+        assert q.depth == 0

@@ -1,0 +1,177 @@
+"""Crash-safe recovery: SIGKILL the whole service mid-certification.
+
+Runs the real ``repro-serve serve`` CLI in a subprocess, gets requests
+accepted (journaled) and in flight, SIGKILLs the service before any
+finish, then restarts on the same journal and verifies every accepted
+request replays to completion -- with a certificate byte-identical to
+an uninterrupted run.
+"""
+
+import asyncio
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.serve import CertificationService, Journal, ServiceConfig
+from repro.serve.protocol import decode_line, encode_line
+from repro.serve.workers import execute_request
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+FAST_REQUEST = {"topo": "n16-pgft", "order": "rotate", "order_seed": 11}
+SLOW_REQUEST = {"topo": "n16-pgft", "test_delay_s": 1.0}
+
+
+def _spawn_service(sock, journal, cache):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve", "serve", "--socket", sock,
+         "--journal", journal, "--cache-dir", cache, "--workers", "1",
+         "--tick", "0.005", "--allow-test-hooks"],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            out = proc.stdout.read().decode()
+            raise RuntimeError(f"service died on startup:\n{out}")
+        if os.path.exists(sock):
+            try:
+                with socket.socket(socket.AF_UNIX) as probe:
+                    probe.settimeout(5.0)
+                    probe.connect(sock)
+                    probe.sendall(encode_line({"op": "ping"}))
+                    if probe.recv(4096):
+                        return proc
+            except OSError:
+                pass
+        time.sleep(0.05)
+    proc.kill()
+    raise RuntimeError("service never came up")
+
+
+def _fire_and_forget(sock, request):
+    """Submit without waiting for the response; returns the open socket
+    (closing it must not cancel the journaled request)."""
+    client = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    client.settimeout(10.0)
+    client.connect(sock)
+    client.sendall(encode_line({"op": "submit", "request": request}))
+    return client
+
+
+@pytest.mark.slow
+def test_sigkill_mid_certification_replays_byte_identical(tmp_path):
+    sock = os.path.join(tmp_path, "serve.sock")
+    journal_path = os.path.join(tmp_path, "journal.jsonl")
+    cache_dir = os.path.join(tmp_path, "cache")
+
+    proc = _spawn_service(sock, journal_path, cache_dir)
+    clients = []
+    try:
+        # The slow request occupies the single worker (mid-certification
+        # when we strike); the fast one is accepted and queued behind it.
+        clients.append(_fire_and_forget(sock, SLOW_REQUEST))
+        clients.append(_fire_and_forget(sock, FAST_REQUEST))
+        deadline = time.monotonic() + 30.0
+        pending = []
+        while time.monotonic() < deadline:
+            pending = Journal(journal_path).replay()
+            if len(pending) >= 2:
+                break
+            time.sleep(0.05)
+        assert len(pending) == 2, "requests were not journaled in time"
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=30.0)
+    finally:
+        for client in clients:
+            client.close()
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=30.0)
+
+    # Nothing finished: the journal holds two accepted, zero done.
+    j = Journal(journal_path)
+    assert len(j.replay()) == 2
+    assert j.stats.finished == 0
+
+    # Restart on the same journal (in process, for introspection).
+    async def restart():
+        svc = CertificationService(ServiceConfig(
+            workers=2, journal_path=journal_path, cache_dir=cache_dir,
+            tick_s=0.005, allow_test_hooks=True))
+        await svc.start()
+        try:
+            replayed = svc.metrics.replayed
+            while svc.queue.depth or svc.dispatched:
+                await asyncio.sleep(0.02)
+            cached = await svc.submit(dict(FAST_REQUEST))
+            return replayed, svc.metrics, cached
+        finally:
+            await svc.stop()
+
+    replayed, metrics, cached = asyncio.run(restart())
+    assert replayed == 2
+    assert metrics.completed == 2
+    assert metrics.certified == 2
+
+    # The replayed result was cached; its certificate must be
+    # byte-identical to an uninterrupted in-process run.
+    assert cached["cached"] is True
+    assert cached["replayed"] is True
+    direct = execute_request(dict(FAST_REQUEST))
+    assert (json.dumps(cached["certificates"], sort_keys=True)
+            == json.dumps(direct["certificates"], sort_keys=True))
+
+    # And the journal is settled: nothing pending anymore.
+    j2 = Journal(journal_path)
+    assert j2.replay() == []
+
+
+@pytest.mark.slow
+def test_cli_submit_status_drain_roundtrip(tmp_path):
+    """The documented client workflow against a live subprocess."""
+    sock = os.path.join(tmp_path, "serve.sock")
+    journal_path = os.path.join(tmp_path, "journal.jsonl")
+    proc = _spawn_service(sock, journal_path,
+                          os.path.join(tmp_path, "cache"))
+    try:
+        client = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        client.settimeout(60.0)
+        client.connect(sock)
+        buf = b""
+
+        def talk(message):
+            nonlocal buf
+            client.sendall(encode_line(message))
+            while b"\n" not in buf:
+                chunk = client.recv(65536)
+                if not chunk:
+                    raise ConnectionError("server hung up")
+                buf += chunk
+            line, _, rest = buf.partition(b"\n")
+            buf = rest
+            return decode_line(line + b"\n")
+
+        sub = talk({"op": "submit", "request": dict(FAST_REQUEST)})
+        assert sub["status"] == "certified"
+        status = talk({"op": "status"})
+        assert status["metrics"]["certified"] == 1
+        drain = talk({"op": "drain", "timeout_s": 30.0})
+        assert drain["drained"] is True
+        stop = talk({"op": "stop"})
+        assert stop["stopping"] is True
+        client.close()
+        proc.wait(timeout=30.0)
+        assert proc.returncode == 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=30.0)

@@ -1,0 +1,182 @@
+"""Worker execution semantics and the supervised pool."""
+
+import json
+import time
+
+import pytest
+
+from repro.serve import CertRequest, WorkerPool, execute_request
+from repro.serve.workers import _base_request
+
+
+class TestExecuteRequest:
+    def test_cold_symbolic_certifies(self):
+        out = execute_request({"topo": "n16-pgft"})
+        assert out["status"] == "certified"
+        [cert] = out["certificates"]
+        assert cert["certificate_kind"] == "symbolic"
+        assert cert["verdict"] == "contention-free"
+        assert out["num_flows"] > 0
+
+    def test_random_order_refuted_with_counterexample(self):
+        out = execute_request({"topo": "n16-pgft", "order": "random",
+                               "order_seed": 1})
+        assert out["status"] == "refuted"
+        ce = out["counterexample"]
+        assert ce["link_load"] > 1 and "stage" in ce
+
+    def test_enumerate_engine_uses_pipeline(self):
+        out = execute_request({"topo": "n16-pgft", "engine": "enumerate"})
+        assert out["status"] == "certified"
+        [cert] = out["certificates"]
+        assert cert["certificate_kind"] == "enumerated"
+        assert "tables_digest" in cert
+
+    def test_both_engines_emit_two_certificates(self):
+        out = execute_request({"topo": "n16-pgft", "engine": "both"})
+        assert out["status"] == "certified"
+        kinds = sorted(c["certificate_kind"] for c in out["certificates"])
+        assert kinds == ["enumerated", "symbolic"]
+
+    def test_delta_reuses_cached_base_state(self):
+        states = {}
+        base = _base_request(CertRequest(topo="n16-pgft", kind="delta",
+                                         order="rotate", order_seed=3))
+        execute_request(base.to_json(), states)
+        out = execute_request({"topo": "n16-pgft", "kind": "delta",
+                               "order": "rotate", "order_seed": 3}, states)
+        assert out["status"] == "certified"
+        assert out["incremental"]["base_cached"] is True
+
+    def test_delta_cold_base_matches_cached_base(self):
+        """A replayed delta (no cached state) must yield the same
+        certificate as one served incrementally -- byte for byte."""
+        payload = {"topo": "n16-pgft", "kind": "delta", "order": "rotate",
+                   "order_seed": 5}
+        states = {}
+        execute_request(_base_request(
+            CertRequest.from_json(payload)).to_json(), states)
+        warm = execute_request(payload, states)
+        cold = execute_request(payload, {})
+        assert warm["incremental"]["base_cached"] is True
+        assert cold["incremental"]["base_cached"] is False
+        assert (json.dumps(warm["certificates"], sort_keys=True)
+                == json.dumps(cold["certificates"], sort_keys=True))
+
+    def test_delta_both_cross_checks_engines(self):
+        out = execute_request({"topo": "n16-pgft", "kind": "delta",
+                               "order": "random", "order_seed": 1,
+                               "engine": "both"})
+        assert out["status"] == "refuted"
+        assert out["engine_agreement"] is True
+
+    def test_exclusion_certifies_active_subset(self):
+        out = execute_request({"topo": "n16-pgft", "exclude": 4,
+                               "exclude_seed": 2})
+        assert out["status"] in ("certified", "refuted")
+        if out["status"] == "certified":
+            assert out["certificates"][0]["num_flows"] == out["num_flows"]
+
+    def test_malformed_payload_is_structured_error(self):
+        out = execute_request({"topo": "missing-topo"})
+        assert out["status"] == "error"
+        assert "unknown topology" in out["error"]
+
+    def test_state_cache_bounded(self):
+        from repro.serve.workers import STATE_CACHE_SIZE
+        states = {}
+        for seed in range(STATE_CACHE_SIZE + 3):
+            execute_request({"topo": "n16-pgft", "order": "random",
+                             "order_seed": seed}, states)
+        assert len(states) <= STATE_CACHE_SIZE
+
+
+@pytest.mark.slow
+class TestWorkerPool:
+    def _roundtrip(self, pool, handle, seq, request, timeout=30.0):
+        pool.dispatch(handle, seq, request, now=time.monotonic())
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            results, deaths = pool.poll()
+            if results:
+                return results[0][1]
+            if deaths:
+                return None
+            time.sleep(0.01)
+        raise TimeoutError("worker never answered")
+
+    def test_dispatch_and_result(self):
+        pool = WorkerPool(size=1)
+        pool.start()
+        try:
+            handle = pool.idle()[0]
+            out = self._roundtrip(pool, handle, 7,
+                                  {"topo": "n16-pgft"})
+            assert out["seq"] == 7
+            assert out["status"] == "certified"
+            assert out["compute_s"] > 0
+            assert not handle.busy
+        finally:
+            pool.stop()
+
+    def test_crash_detected_and_respawned(self):
+        pool = WorkerPool(size=1)
+        pool.start()
+        try:
+            handle = pool.idle()[0]
+            pool.dispatch(handle, 1, {"topo": "n16-pgft",
+                                      "test_crash": True},
+                          now=time.monotonic())
+            deadline = time.monotonic() + 30.0
+            deaths = []
+            while not deaths and time.monotonic() < deadline:
+                _, deaths = pool.poll()
+                time.sleep(0.01)
+            assert deaths == [handle]
+            fresh = pool.respawn(handle)
+            assert pool.respawns == 1
+            out = self._roundtrip(pool, fresh, 2, {"topo": "n16-pgft"})
+            assert out["status"] == "certified"
+        finally:
+            pool.stop()
+
+    def test_kill_is_deadline_cancellation(self):
+        pool = WorkerPool(size=1)
+        pool.start()
+        try:
+            handle = pool.idle()[0]
+            pool.dispatch(handle, 1, {"topo": "n16-pgft",
+                                      "test_delay_s": 30.0},
+                          now=time.monotonic())
+            time.sleep(0.1)
+            pool.kill(handle)
+            assert not handle.alive()
+            fresh = pool.respawn(handle)
+            out = self._roundtrip(pool, fresh, 2, {"topo": "n16-pgft"})
+            assert out["status"] == "certified"
+        finally:
+            pool.stop()
+
+    def test_reap_idle_deaths(self):
+        pool = WorkerPool(size=2)
+        pool.start()
+        try:
+            victim = pool.handles[0]
+            victim.proc.kill()
+            victim.proc.join(timeout=5.0)
+            assert pool.reap_idle_deaths() == 1
+            assert all(h.alive() for h in pool.handles)
+        finally:
+            pool.stop()
+
+    def test_stop_is_idempotent_and_clean(self):
+        pool = WorkerPool(size=2)
+        pool.start()
+        pids = pool.pids()
+        pool.stop()
+        assert pool.handles == []
+        # all processes actually gone
+        import os
+        for pid in pids:
+            with pytest.raises(ProcessLookupError):
+                os.kill(pid, 0)

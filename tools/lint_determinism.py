@@ -42,7 +42,7 @@ DEFAULT_PATHS = ("src/repro/routing", "src/repro/runtime",
                  "src/repro/check", "src/repro/collectives",
                  "src/repro/faults", "src/repro/mpi",
                  "src/repro/jobs", "src/repro/fabric",
-                 "src/repro/sim")
+                 "src/repro/sim", "src/repro/serve")
 
 #: dict-view methods whose iteration order mirrors insertion order of a
 #: dict -- fine for literals, unordered when the dict was built from an
